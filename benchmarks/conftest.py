@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4 for the experiment index) and prints the paper-style rows; run
+with ``pytest benchmarks/ --benchmark-only -s`` to see them.  The timing
+captured by pytest-benchmark is the wall-clock cost of regenerating the
+artefact on the simulator, useful for tracking regressions in the simulation
+substrate itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

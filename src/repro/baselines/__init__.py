@@ -1,0 +1,28 @@
+"""Baseline consistency protocols for the Figure 2 trade-off study.
+
+Figure 2 of the paper places IDEA between two extremes: *optimistic*
+consistency control (fast, cheap, weak guarantees — the de-facto choice in
+large distributed systems, e.g. Bayou-style anti-entropy) and *strong*
+consistency (every update synchronously ordered through a primary, slow and
+expensive but conflict-free).  A TACT-style *bounded* protocol is also
+provided because the paper quantifies consistency with TACT's triple and
+positions IDEA against it in the related-work discussion.
+
+Each baseline exposes the same tiny interface (:class:`BaselineProtocol`):
+``write(node_id, payload, metadata_delta)`` plus the common measurement
+hooks, so the trade-off benchmark can run identical workloads against all of
+them and against IDEA.
+"""
+
+from repro.baselines.base import BaselineProtocol, ProtocolMetrics
+from repro.baselines.optimistic import OptimisticAntiEntropy
+from repro.baselines.strong import StrongConsistencyPrimary
+from repro.baselines.tact import TactBoundedConsistency
+
+__all__ = [
+    "BaselineProtocol",
+    "ProtocolMetrics",
+    "OptimisticAntiEntropy",
+    "StrongConsistencyPrimary",
+    "TactBoundedConsistency",
+]

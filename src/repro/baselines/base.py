@@ -1,0 +1,114 @@
+"""Common scaffolding shared by the baseline consistency protocols.
+
+A baseline owns one replica of the shared object per node (using the same
+:class:`~repro.store.replica.Replica` substrate IDEA uses) and propagates
+updates according to its own rules.  The benchmark-facing measurements are
+identical for every protocol:
+
+* ``detection_delay`` — time from an update being issued until every replica
+  *knows about* it (has either applied it or been told it conflicts),
+* ``write_latency`` — time the writer is blocked before its write is locally
+  durable (zero for optimistic protocols, one round trip+ for strong),
+* ``messages_per_update`` — protocol messages divided by updates issued.
+
+These are exactly the axes of the paper's Figure 2 trade-off: detection
+speed / consistency guarantee versus overhead.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.store.replica import Replica
+from repro.versioning.extended_vector import UpdateRecord
+
+
+@dataclass
+class ProtocolMetrics:
+    """Measurements accumulated while a baseline runs a workload."""
+
+    updates_issued: int = 0
+    #: per-update time until the update was known everywhere (seconds)
+    propagation_delays: List[float] = field(default_factory=list)
+    #: per-update synchronous latency experienced by the writer (seconds)
+    write_latencies: List[float] = field(default_factory=list)
+    #: writes rejected/blocked (strong consistency under contention)
+    writes_rejected: int = 0
+
+    def mean_propagation_delay(self) -> float:
+        """Mean time-to-known-everywhere over the updates that completed.
+
+        Returns ``inf`` when no update finished propagating during the run —
+        the honest answer for a protocol that never converged.
+        """
+        if not self.propagation_delays:
+            return float("inf")
+        return sum(self.propagation_delays) / len(self.propagation_delays)
+
+    def propagation_completion_fraction(self) -> float:
+        """Fraction of issued updates that became known at every replica."""
+        if self.updates_issued == 0:
+            return 1.0
+        return len(self.propagation_delays) / self.updates_issued
+
+    def mean_write_latency(self) -> float:
+        if not self.write_latencies:
+            return 0.0
+        return sum(self.write_latencies) / len(self.write_latencies)
+
+
+class BaselineProtocol(abc.ABC):
+    """Interface every baseline implements."""
+
+    #: protocol label prefix used for message accounting
+    protocol_name: str = "baseline"
+
+    def __init__(self, sim: Simulator, network: Network, nodes: Dict[str, Node],
+                 object_id: str) -> None:
+        self.sim = sim
+        self.network = network
+        self.nodes = nodes
+        self.object_id = object_id
+        self.replicas: Dict[str, Replica] = {
+            node_id: Replica(node_id, object_id) for node_id in nodes}
+        self.metrics = ProtocolMetrics()
+        self._messages_at_start = network.messages_sent(self.protocol_name)
+
+    # -------------------------------------------------------------- workload
+    @abc.abstractmethod
+    def write(self, node_id: str, payload: Any = None, *,
+              metadata_delta: float = 0.0) -> Optional[UpdateRecord]:
+        """Issue an update at ``node_id``; propagation is protocol-specific."""
+
+    def start(self) -> None:
+        """Start any periodic machinery (anti-entropy timers etc.)."""
+
+    # ----------------------------------------------------------- measurement
+    def messages_sent(self) -> int:
+        return self.network.messages_sent(self.protocol_name) - self._messages_at_start
+
+    def messages_per_update(self) -> float:
+        if self.metrics.updates_issued == 0:
+            return 0.0
+        return self.messages_sent() / self.metrics.updates_issued
+
+    def all_replicas_converged(self) -> bool:
+        """True when every replica has the same version vector."""
+        vectors = [r.vector.counts() for r in self.replicas.values()]
+        return all(v == vectors[0] for v in vectors[1:])
+
+    def track_propagation(self, record: UpdateRecord, issued_at: float) -> None:
+        """Watch for the moment ``record`` is known at every replica."""
+        def check() -> None:
+            if all(record.key() in r.known_update_keys()
+                   for r in self.replicas.values()):
+                self.metrics.propagation_delays.append(self.sim.now - issued_at)
+            else:
+                self.sim.call_after(0.05, check, label="propagation-check")
+
+        self.sim.call_after(0.0, check, label="propagation-check")

@@ -1,0 +1,125 @@
+"""Strong consistency: primary-copy with synchronous eager replication.
+
+Every write is forwarded to a designated primary, which orders it and pushes
+it synchronously to every replica before acknowledging the writer.  There are
+never conflicts and replicas never diverge, but the writer pays at least two
+wide-area round trips per update and the per-update message cost grows
+linearly with the replica count — the top-right corner of the Figure 2
+trade-off ("much smaller [overhead for IDEA] than other protocols, such as
+strong consistency").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.baselines.base import BaselineProtocol
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.node import Node
+from repro.versioning.extended_vector import UpdateRecord
+
+
+class StrongConsistencyPrimary(BaselineProtocol):
+    """Primary-copy protocol: forward → order → eager replicate → ack."""
+
+    protocol_name = "baseline.strong"
+
+    def __init__(self, sim: Simulator, network: Network, nodes: Dict[str, Node],
+                 object_id: str, *, primary: Optional[str] = None) -> None:
+        super().__init__(sim, network, nodes, object_id)
+        self.primary = primary if primary is not None else sorted(nodes)[0]
+        if self.primary not in nodes:
+            raise KeyError(f"primary {self.primary!r} is not a deployment node")
+        self._pending: Dict[int, dict] = {}
+        self._txn_counter = itertools.count()
+        for node in nodes.values():
+            node.register_handler(f"sc_submit:{object_id}", self._handle_submit)
+            node.register_handler(f"sc_replicate:{object_id}", self._handle_replicate)
+            node.register_handler(f"sc_repl_ack:{object_id}", self._handle_repl_ack)
+            node.register_handler(f"sc_commit_ack:{object_id}", self._handle_commit_ack)
+
+    # -------------------------------------------------------------- workload
+    def write(self, node_id: str, payload: Any = None, *,
+              metadata_delta: float = 0.0) -> Optional[UpdateRecord]:
+        """Submit the write to the primary; returns None (commit is async).
+
+        The write latency (submission → acknowledgement back at the writer)
+        is recorded in the metrics when the ack arrives.
+        """
+        self.metrics.updates_issued += 1
+        txn_id = next(self._txn_counter)
+        issued_at = self.sim.now
+        self._pending[txn_id] = {"writer": node_id, "issued_at": issued_at}
+        self.network.send(node_id, self.primary, protocol=self.protocol_name,
+                          msg_type=f"sc_submit:{self.object_id}",
+                          payload={"txn": txn_id, "writer": node_id,
+                                   "payload": payload, "delta": metadata_delta},
+                          size_bytes=512)
+        return None
+
+    # --------------------------------------------------------------- primary
+    def _handle_submit(self, message: Message) -> None:
+        """Primary orders the update and eagerly replicates it everywhere."""
+        payload = message.payload
+        primary_replica = self.replicas[self.primary]
+        record = primary_replica.local_write(
+            payload["writer"], self.nodes[self.primary].local_time(),
+            metadata_delta=payload["delta"], payload=payload["payload"],
+            applied_at=self.sim.now)
+        if record is None:
+            self.metrics.writes_rejected += 1
+            return
+        self.track_propagation(record, self.sim.now)
+        others = [n for n in self.nodes if n != self.primary]
+        state = {"record": record, "writer": payload["writer"], "txn": payload["txn"],
+                 "waiting": set(others)}
+        self._pending[payload["txn"]].update(state)
+        if not others:
+            self._ack_writer(payload["txn"])
+            return
+        for replica_node in others:
+            self.network.send(self.primary, replica_node, protocol=self.protocol_name,
+                              msg_type=f"sc_replicate:{self.object_id}",
+                              payload={"txn": payload["txn"], "record": record},
+                              size_bytes=512)
+
+    def _handle_replicate(self, message: Message) -> None:
+        receiver = message.dst
+        record: UpdateRecord = message.payload["record"]
+        self.replicas[receiver].apply_update(record, applied_at=self.sim.now)
+        self.network.send(receiver, self.primary, protocol=self.protocol_name,
+                          msg_type=f"sc_repl_ack:{self.object_id}",
+                          payload={"txn": message.payload["txn"], "from": receiver},
+                          size_bytes=64)
+
+    def _handle_repl_ack(self, message: Message) -> None:
+        txn = message.payload["txn"]
+        state = self._pending.get(txn)
+        if state is None or "waiting" not in state:
+            return
+        state["waiting"].discard(message.payload["from"])
+        if not state["waiting"]:
+            self._ack_writer(txn)
+
+    def _ack_writer(self, txn: int) -> None:
+        state = self._pending.get(txn)
+        if state is None:
+            return
+        writer = state["writer"]
+        if writer == self.primary:
+            self._record_latency(txn)
+            return
+        self.network.send(self.primary, writer, protocol=self.protocol_name,
+                          msg_type=f"sc_commit_ack:{self.object_id}",
+                          payload={"txn": txn}, size_bytes=64)
+
+    def _handle_commit_ack(self, message: Message) -> None:
+        self._record_latency(message.payload["txn"])
+
+    def _record_latency(self, txn: int) -> None:
+        state = self._pending.pop(txn, None)
+        if state is None:
+            return
+        self.metrics.write_latencies.append(self.sim.now - state["issued_at"])

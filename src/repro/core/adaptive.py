@@ -1,0 +1,223 @@
+"""Adaptive consistency control (paper Sections 2, 4.6 and 5).
+
+Three controller classes implement the paper's application archetypes.  They
+are deliberately free of any networking so they can be unit-tested in
+isolation; the middleware consults them after every detection and the
+experiment harness drives them with scripted user behaviour.
+
+* :class:`OnDemandController` — the user explicitly demands resolution when
+  unhappy.  IDEA *learns* from each complaint: the consistency level at which
+  the user complained (plus Δ) becomes the new floor below which IDEA
+  resolves proactively, "to avoid annoying the user again in the future".
+  The user may also re-weight the three metrics or do both.
+* :class:`HintBasedController` — the user supplies an initial hint level L1;
+  IDEA resolves whenever the level drops below the hint.  A later complaint
+  raises the hint to L1 + Δ (and further complaints keep raising it).
+* :class:`AutomaticController` — no user in the loop: the controller adjusts
+  the *frequency of background resolution* so that (a) IDEA's communication
+  overhead stays below a configured fraction of the available bandwidth
+  (Formula 4) and (b) the frequency stays between the under-selling and
+  over-selling bounds it learns from application feedback (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.config import IdeaConfig, MetricWeights
+
+
+@dataclass
+class ComplaintRecord:
+    """One user complaint observed by a controller."""
+
+    time: float
+    level_at_complaint: float
+    new_threshold: float
+    reweighted: bool = False
+
+
+class OnDemandController:
+    """User-driven adaptation with complaint learning."""
+
+    def __init__(self, config: IdeaConfig) -> None:
+        self.config = config
+        #: level below which IDEA resolves without waiting for the user;
+        #: starts at the configured hint (0 disables proactive resolution)
+        self.learned_threshold: float = config.hint_level
+        self.weights: MetricWeights = config.weights
+        self.complaints: List[ComplaintRecord] = []
+        self._pending_demand = False
+
+    # ------------------------------------------------------------ decisions
+    def should_resolve(self, level: float) -> bool:
+        """Resolve when the user demanded it or the learned floor is violated."""
+        if self._pending_demand:
+            return True
+        return self.learned_threshold > 0 and level < self.learned_threshold
+
+    def consume_demand(self) -> bool:
+        """Return and clear the explicit-demand flag (one resolution per demand)."""
+        pending, self._pending_demand = self._pending_demand, False
+        return pending
+
+    # --------------------------------------------------------------- inputs
+    def demand_resolution(self) -> None:
+        """The user explicitly asks for the inconsistency to be resolved."""
+        self._pending_demand = True
+
+    def complain(self, time: float, level: float, *,
+                 new_weights: Optional[MetricWeights] = None,
+                 boost: bool = True) -> ComplaintRecord:
+        """The user says the current consistency is unacceptable.
+
+        ``new_weights`` re-weights the three metrics ("change the weight");
+        ``boost`` raises the learned threshold above the complained-about
+        level ("boost overall consistency").  Both may be combined.
+        """
+        reweighted = False
+        if new_weights is not None:
+            self.weights = new_weights
+            reweighted = True
+        if boost:
+            self.learned_threshold = max(self.learned_threshold,
+                                         min(1.0, level + self.config.hint_delta))
+        self._pending_demand = True
+        record = ComplaintRecord(time=time, level_at_complaint=level,
+                                 new_threshold=self.learned_threshold,
+                                 reweighted=reweighted)
+        self.complaints.append(record)
+        return record
+
+
+class HintBasedController:
+    """Hint-based adaptation: keep the level above a user-supplied hint."""
+
+    def __init__(self, config: IdeaConfig, *, hint_level: Optional[float] = None) -> None:
+        self.config = config
+        self.hint_level: float = config.hint_level if hint_level is None else hint_level
+        if not 0.0 <= self.hint_level <= 1.0:
+            raise ValueError("hint level must be in [0, 1]")
+        self.hint_history: List[Tuple[float, float]] = [(0.0, self.hint_level)]
+        self.complaints: List[ComplaintRecord] = []
+
+    def should_resolve(self, level: float) -> bool:
+        """Trigger active resolution when the level drops below the hint."""
+        return self.hint_level > 0 and level < self.hint_level
+
+    def set_hint(self, time: float, hint_level: float) -> None:
+        """Change the hint at runtime (the Figure 8 scenario)."""
+        if not 0.0 <= hint_level <= 1.0:
+            raise ValueError("hint level must be in [0, 1]")
+        self.hint_level = hint_level
+        self.hint_history.append((time, hint_level))
+
+    def complain(self, time: float, level: float) -> ComplaintRecord:
+        """The pre-set hint was not high enough; raise it by Δ (L1 + Δ)."""
+        new_hint = min(1.0, self.hint_level + self.config.hint_delta)
+        self.set_hint(time, new_hint)
+        record = ComplaintRecord(time=time, level_at_complaint=level,
+                                 new_threshold=new_hint)
+        self.complaints.append(record)
+        return record
+
+
+@dataclass
+class FrequencyBounds:
+    """Learned bounds on the background-resolution period (seconds).
+
+    ``min_period`` prevents under-selling (resolving too often locks the
+    system and blocks sales); ``max_period`` prevents over-selling (resolving
+    too rarely lets replicas diverge and double-sell).
+    """
+
+    min_period: Optional[float] = None
+    max_period: Optional[float] = None
+
+    def clamp(self, period: float) -> float:
+        if self.max_period is not None:
+            period = min(period, self.max_period)
+        if self.min_period is not None:
+            period = max(period, self.min_period)
+        return period
+
+
+class AutomaticController:
+    """Fully automatic adaptation of the background-resolution frequency."""
+
+    def __init__(self, config: IdeaConfig, *,
+                 initial_period: Optional[float] = None,
+                 min_period_floor: float = 1.0,
+                 max_period_ceiling: float = 600.0) -> None:
+        self.config = config
+        period = initial_period if initial_period is not None else config.background_period
+        if period is None or period <= 0:
+            raise ValueError("automatic mode needs a positive background period")
+        self.period: float = period
+        self.bounds = FrequencyBounds()
+        self.min_period_floor = min_period_floor
+        self.max_period_ceiling = max_period_ceiling
+        self.adjustments: List[Tuple[float, float, str]] = []
+
+    # ----------------------------------------------------------- formula 4
+    def optimal_period(self, available_bandwidth_bps: float,
+                       round_cost_bits: float) -> float:
+        """Period implied by Formula 4's optimal rate.
+
+        ``optimal_rate = available_bandwidth * cap_fraction / round_cost``
+        (rounds per second); the period is its reciprocal, clamped to the
+        learned under/over-selling bounds and the absolute floor/ceiling.
+        """
+        if available_bandwidth_bps <= 0:
+            raise ValueError("available bandwidth must be positive")
+        if round_cost_bits <= 0:
+            raise ValueError("round cost must be positive")
+        budget = available_bandwidth_bps * self.config.bandwidth_cap_fraction
+        rate = budget / round_cost_bits
+        period = 1.0 / rate if rate > 0 else self.max_period_ceiling
+        return self._clamp(period)
+
+    def adapt_to_load(self, time: float, available_bandwidth_bps: float,
+                      round_cost_bits: float) -> float:
+        """Recompute and adopt the optimal period under the current load."""
+        new_period = self.optimal_period(available_bandwidth_bps, round_cost_bits)
+        if new_period != self.period:
+            self.adjustments.append((time, new_period, "bandwidth"))
+            self.period = new_period
+        return self.period
+
+    # ----------------------------------------------------- bound learning
+    def report_overselling(self, time: float) -> float:
+        """Consistency was too weak (tickets double-sold): resolve more often.
+
+        The current period becomes the learned maximum ("keep the frequency
+        above this one to avoid overselling"), and the controller speeds up.
+        """
+        self.bounds.max_period = (self.period if self.bounds.max_period is None
+                                  else min(self.bounds.max_period, self.period))
+        new_period = self._clamp(self.period / 2.0)
+        self.adjustments.append((time, new_period, "overselling"))
+        self.period = new_period
+        return self.period
+
+    def report_underselling(self, time: float) -> float:
+        """Resolution locked the system too often (sales lost): slow down."""
+        self.bounds.min_period = (self.period if self.bounds.min_period is None
+                                  else max(self.bounds.min_period, self.period))
+        new_period = self._clamp(self.period * 2.0)
+        self.adjustments.append((time, new_period, "underselling"))
+        self.period = new_period
+        return self.period
+
+    # ---------------------------------------------------------------- utils
+    def should_resolve(self, level: float) -> bool:
+        """Automatic mode never reacts to individual levels; timing decides."""
+        return False
+
+    def _clamp(self, period: float) -> float:
+        period = max(self.min_period_floor, min(self.max_period_ceiling, period))
+        # Learned bounds win over the raw bandwidth-derived value, but an
+        # inconsistent pair (min > max) falls back to the tighter max bound.
+        clamped = self.bounds.clamp(period)
+        return max(self.min_period_floor, min(self.max_period_ceiling, clamped))

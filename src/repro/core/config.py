@@ -1,0 +1,146 @@
+"""Configuration objects for IDEA.
+
+All knobs exposed through the developer API of Table 1 live here:
+
+* :class:`ConsistencyMetricSpec` — how the application casts itself onto the
+  ``<numerical error, order error, staleness>`` triple (the per-metric maxima
+  used by Formula 1; ``set_consistency_metric``),
+* :class:`MetricWeights` — the triple's weights (``set_weight``),
+* :class:`IdeaConfig` — everything else: resolution policy
+  (``set_resolution``), hint level (``set_hint``), background-resolution
+  frequency (``set_background_freq``), adaptation mode and the hint boost Δ
+  applied when a user complains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class AdaptationMode(enum.Enum):
+    """The three application archetypes of Section 4.6."""
+
+    ON_DEMAND = "on_demand"
+    HINT_BASED = "hint_based"
+    AUTOMATIC = "automatic"
+
+
+class ResolutionStrategy(enum.IntEnum):
+    """Numeric policy selector, as passed to ``set_resolution`` (§4.7)."""
+
+    INVALIDATE_BOTH = 1
+    USER_ID_BASED = 2
+    PRIORITY_BASED = 3
+
+
+@dataclass(frozen=True)
+class ConsistencyMetricSpec:
+    """Per-metric maxima: how large each error can plausibly get.
+
+    "IDEA predefines a maximum value for each member of the triple. For
+    example, if in practice the order error is very unlikely to be larger
+    than 10, then the maximum value for order error can be set as 10."
+    (Section 4.4.1.)  Errors above the maximum saturate at consistency 0 for
+    that component.
+    """
+
+    max_numerical: float = 60.0
+    max_order: float = 60.0
+    max_staleness: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name, value in (("max_numerical", self.max_numerical),
+                            ("max_order", self.max_order),
+                            ("max_staleness", self.max_staleness)):
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class MetricWeights:
+    """Weights of the three error components.
+
+    Weights need not sum to one on input (``set_weight(0.4, 0, 0.6)`` is
+    legal); :meth:`normalized` rescales them.  A zero weight removes the
+    metric from consideration, as the paper suggests for applications where
+    e.g. order error is meaningless.
+    """
+
+    numerical: float = 1.0 / 3.0
+    order: float = 1.0 / 3.0
+    staleness: float = 1.0 / 3.0
+
+    def __post_init__(self) -> None:
+        if self.numerical < 0 or self.order < 0 or self.staleness < 0:
+            raise ValueError("weights must be non-negative")
+        if self.numerical + self.order + self.staleness <= 0:
+            raise ValueError("at least one weight must be positive")
+
+    def normalized(self) -> "MetricWeights":
+        total = self.numerical + self.order + self.staleness
+        return MetricWeights(self.numerical / total, self.order / total,
+                             self.staleness / total)
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.numerical, self.order, self.staleness)
+
+    @classmethod
+    def equal(cls) -> "MetricWeights":
+        return cls()
+
+
+@dataclass
+class IdeaConfig:
+    """Complete configuration of one IDEA-managed object/application."""
+
+    metric: ConsistencyMetricSpec = field(default_factory=ConsistencyMetricSpec)
+    weights: MetricWeights = field(default_factory=MetricWeights)
+    resolution_strategy: ResolutionStrategy = ResolutionStrategy.USER_ID_BASED
+    mode: AdaptationMode = AdaptationMode.HINT_BASED
+    #: initial hint level L1 in [0, 1]; 0 disables hint-based behaviour,
+    #: 1 means "no inconsistency tolerated" (Section 4.7)
+    hint_level: float = 0.0
+    #: Δ added to the hint when a user complains (Section 2: "IDEA will
+    #: increase the consistency level by Δ; L1 + Δ becomes the new level")
+    hint_delta: float = 0.02
+    #: background-resolution period in seconds (``set_background_freq``);
+    #: None disables background resolution
+    background_period: Optional[float] = 20.0
+    #: fraction of available bandwidth IDEA may consume in automatic mode
+    bandwidth_cap_fraction: float = 0.2
+    #: tolerance used by the rollback check: if |bottom − top| exceeds this,
+    #: the user is alerted and a rollback may be required (§4.4.2 compares
+    #: "78% vs 80%", i.e. a few percent is considered "sufficiently close")
+    rollback_tolerance: float = 0.05
+    #: whether the active-resolution initiator waits for the phase-1
+    #: acknowledgements before starting phase 2 (see EXPERIMENTS.md note on
+    #: the paper's Table 2 accounting)
+    wait_for_attention_acks: bool = False
+    #: back-off window (seconds) when two initiators collide in phase 1
+    backoff_window: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hint_level <= 1.0:
+            raise ValueError("hint_level must lie in [0, 1]")
+        if self.hint_delta < 0:
+            raise ValueError("hint_delta must be non-negative")
+        if self.background_period is not None and self.background_period <= 0:
+            raise ValueError("background_period must be positive or None")
+        if not 0.0 < self.bandwidth_cap_fraction <= 1.0:
+            raise ValueError("bandwidth_cap_fraction must be in (0, 1]")
+        if self.rollback_tolerance < 0:
+            raise ValueError("rollback_tolerance must be non-negative")
+        if self.backoff_window <= 0:
+            raise ValueError("backoff_window must be positive")
+
+    # Convenience copies -------------------------------------------------
+    def with_hint(self, hint_level: float) -> "IdeaConfig":
+        return replace(self, hint_level=hint_level)
+
+    def with_weights(self, weights: MetricWeights) -> "IdeaConfig":
+        return replace(self, weights=weights)
+
+    def with_background_period(self, period: Optional[float]) -> "IdeaConfig":
+        return replace(self, background_period=period)

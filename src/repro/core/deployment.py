@@ -1,0 +1,267 @@
+"""Deployment helper: wire a complete IDEA installation on the simulator.
+
+The experiments all follow the same shape — N nodes on a wide-area topology,
+a handful of concurrent writers of a shared object, IDEA in a given
+adaptation mode — so :class:`IdeaDeployment` packages the wiring:
+
+* builds the simulator, topology, latency model and network,
+* creates one :class:`~repro.sim.node.Node` and one
+  :class:`~repro.store.filesystem.ReplicatedStore` per host,
+* runs RanSub and the two-layer overlay across the deployment,
+* creates an :class:`~repro.core.middleware.IdeaMiddleware` per (node,
+  object) when an object is registered,
+* schedules background resolution per object (reading the period from the
+  automatic controller each round, so frequency adaptation takes effect), and
+* offers the sampling helpers the benchmarks use (per-writer perceived
+  levels, ground-truth group evaluation, message accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.adaptive import AutomaticController
+from repro.core.config import AdaptationMode, IdeaConfig
+from repro.core.detection import evaluate_group
+from repro.core.middleware import IdeaMiddleware
+from repro.core.policies import ResolutionPolicy
+from repro.core.resolution import ResolutionResult
+from repro.overlay.gossip import GossipConfig, GossipDigest, GossipService
+from repro.overlay.ransub import RanSubService
+from repro.overlay.two_layer import OverlayConfig, TwoLayerOverlay
+from repro.sim.clock import ClockModel
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel, PlanetLabLatencyModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.sim.topology import Topology, planetlab_topology
+from repro.sim.trace import TraceRecorder
+from repro.store.filesystem import ReplicatedStore
+from repro.versioning.extended_vector import ExtendedVersionVector
+
+
+@dataclass
+class ManagedObject:
+    """Book-keeping for one IDEA-managed shared object."""
+
+    object_id: str
+    config: IdeaConfig
+    middlewares: Dict[str, IdeaMiddleware] = field(default_factory=dict)
+    background_cancel: Optional[Callable[[], None]] = None
+    background_rounds: int = 0
+    resolutions: List[ResolutionResult] = field(default_factory=list)
+
+
+class IdeaDeployment:
+    """A fully wired IDEA installation over the simulated wide-area network."""
+
+    def __init__(self, *, num_nodes: int = 40, seed: int = 7,
+                 topology: Optional[Topology] = None,
+                 latency: Optional[LatencyModel] = None,
+                 clock_model: Optional[ClockModel] = None,
+                 overlay_config: Optional[OverlayConfig] = None,
+                 gossip_config: Optional[GossipConfig] = None,
+                 ransub_period: float = 5.0,
+                 processing_delay: float = 0.035,
+                 use_ransub: bool = True,
+                 use_gossip: bool = False) -> None:
+        self.sim = Simulator(seed=seed)
+        self.topology = topology if topology is not None else planetlab_topology(num_nodes)
+        self.node_ids: List[str] = list(self.topology.node_ids)
+        self.latency = latency if latency is not None else PlanetLabLatencyModel(
+            self.topology, self.sim.random.stream("latency"))
+        self.network = Network(self.sim, self.latency)
+        self.clock_model = clock_model if clock_model is not None else ClockModel()
+        self.trace = TraceRecorder()
+
+        self.nodes: Dict[str, Node] = {}
+        self.stores: Dict[str, ReplicatedStore] = {}
+        for node_id in self.node_ids:
+            self.nodes[node_id] = Node(self.sim, self.network, node_id,
+                                       clock_model=self.clock_model,
+                                       processing_delay=processing_delay)
+            self.stores[node_id] = ReplicatedStore(node_id)
+
+        self.ransub: Optional[RanSubService] = None
+        if use_ransub:
+            self.ransub = RanSubService(self.sim, self.network, self.node_ids,
+                                        round_period=ransub_period)
+        self.overlay = TwoLayerOverlay(self.node_ids, config=overlay_config,
+                                       ransub=self.ransub)
+        self.gossip: Optional[GossipService] = None
+        if use_gossip:
+            # The background sweep "covers all the nodes in the network"
+            # (§4.1); membership is therefore every node, not only the
+            # current bottom layer, so divergence involving a (possibly
+            # cooled-down) writer is still caught.
+            self.gossip = GossipService(
+                self.sim, self.network, config=gossip_config,
+                membership=lambda obj: list(self.node_ids),
+                local_digest=self._gossip_digest)
+        self.objects: Dict[str, ManagedObject] = {}
+
+    # ----------------------------------------------------------- object mgmt
+    def register_object(self, object_id: str, config: IdeaConfig, *,
+                        participants: Optional[Sequence[str]] = None,
+                        policy: Optional[ResolutionPolicy] = None,
+                        start_background: bool = True) -> ManagedObject:
+        """Create replicas and middleware for a shared object.
+
+        ``participants`` restricts which nodes run IDEA middleware for the
+        object (defaults to every node).  All participants get a replica.
+        """
+        if object_id in self.objects:
+            raise ValueError(f"object {object_id!r} already registered")
+        participants = list(participants) if participants is not None else list(self.node_ids)
+        managed = ManagedObject(object_id=object_id, config=config)
+        for node_id in participants:
+            middleware = IdeaMiddleware(
+                self.nodes[node_id], self.stores[node_id], object_id,
+                config=config,
+                top_layer_provider=lambda oid=object_id: self.top_layer(oid),
+                on_update_recorded=self._record_update,
+                policy=policy)
+            # Aggregate resolution history at deployment level for reporting.
+            original = middleware.resolution._on_resolved
+
+            def _chain(result: ResolutionResult, _orig=original, _managed=managed) -> None:
+                _managed.resolutions.append(result)
+                if _orig is not None:
+                    _orig(result)
+
+            middleware.resolution._on_resolved = _chain
+            managed.middlewares[node_id] = middleware
+        self.objects[object_id] = managed
+        if self.gossip is not None:
+            self.gossip.watch_object(object_id)
+        if start_background and config.background_period is not None:
+            self._schedule_background(managed)
+        return managed
+
+    def middleware(self, object_id: str, node_id: str) -> IdeaMiddleware:
+        return self.objects[object_id].middlewares[node_id]
+
+    def _record_update(self, object_id: str, node_id: str, time: float) -> None:
+        self.overlay.record_update(object_id, node_id, time)
+        self.trace.increment(f"writes.{object_id}")
+
+    def _gossip_digest(self, node_id: str, object_id: str) -> Optional[GossipDigest]:
+        store = self.stores.get(node_id)
+        if store is None or not store.has_replica(object_id):
+            return None
+        replica = store.replica(object_id)
+        counts = tuple(sorted(replica.vector.counts().as_dict().items()))
+        return GossipDigest(object_id=object_id, origin=node_id, counts=counts,
+                            metadata=replica.metadata,
+                            last_consistent_time=replica.vector.last_consistent_time,
+                            issued_at=self.sim.now, ttl=3)
+
+    # --------------------------------------------------------------- overlay
+    def top_layer(self, object_id: str) -> List[str]:
+        return self.overlay.top_layer(object_id, self.sim.now)
+
+    def bottom_layer(self, object_id: str) -> List[str]:
+        return self.overlay.bottom_layer(object_id, self.sim.now)
+
+    # ------------------------------------------------------ background rounds
+    def _schedule_background(self, managed: ManagedObject) -> None:
+        """Schedule periodic background resolution, honouring period changes."""
+
+        def next_period() -> Optional[float]:
+            # An automatic controller may adapt the period over time; the
+            # scheduler re-reads it before every round.
+            for middleware in managed.middlewares.values():
+                controller = middleware.controller
+                if isinstance(controller, AutomaticController):
+                    return controller.period
+            return managed.config.background_period
+
+        def tick() -> None:
+            period = next_period()
+            if period is None:
+                return
+            self.run_background_round(managed.object_id)
+            self.sim.call_after(period, tick, label=f"bg:{managed.object_id}")
+
+        period = next_period()
+        if period is not None:
+            self.sim.call_after(period, tick, label=f"bg:{managed.object_id}")
+            managed.background_cancel = lambda: setattr(managed, "background_cancel", None)
+
+    def run_background_round(self, object_id: str) -> Optional[ResolutionResult]:
+        """Run one background-resolution round now; returns its result handle.
+
+        The initiator is the first member of the object's current top layer
+        ("one replica (chosen by IDEA) in the top layer acts as the
+        initiator"); with an empty top layer the round is skipped.
+        """
+        managed = self.objects[object_id]
+        top = self.top_layer(object_id)
+        if not top:
+            return None
+        initiator = sorted(top)[0]
+        middleware = managed.middlewares.get(initiator)
+        if middleware is None:
+            return None
+        managed.background_rounds += 1
+        process = middleware.resolution.start_background_resolution()
+        return process  # a Process; result available once the sim advances
+
+    # -------------------------------------------------------------- sampling
+    def vectors(self, object_id: str, nodes: Optional[Sequence[str]] = None
+                ) -> Dict[str, ExtendedVersionVector]:
+        nodes = list(nodes) if nodes is not None else list(self.objects[object_id].middlewares)
+        return {n: self.stores[n].replica(object_id).vector for n in nodes
+                if self.stores[n].has_replica(object_id)}
+
+    def perceived_levels(self, object_id: str, nodes: Sequence[str]) -> Dict[str, float]:
+        """Level each node's middleware currently perceives (what IDEA acts on)."""
+        managed = self.objects[object_id]
+        return {n: managed.middlewares[n].current_level() for n in nodes}
+
+    def ground_truth_levels(self, object_id: str,
+                            nodes: Optional[Sequence[str]] = None) -> Dict[str, float]:
+        """Levels computed from the actual replica vectors of ``nodes``."""
+        config = self.objects[object_id].config
+        vectors = self.vectors(object_id, nodes)
+        evaluated = evaluate_group(vectors, object_id=object_id, metric=config.metric,
+                                   weights=config.weights, now=self.sim.now)
+        return {node: level for node, (_, level) in evaluated.items()}
+
+    def sample_levels(self, object_id: str, nodes: Sequence[str], *,
+                      record: bool = True) -> Tuple[float, float]:
+        """(worst, average) perceived level over ``nodes``; optionally traced."""
+        levels = self.perceived_levels(object_id, nodes)
+        worst = min(levels.values())
+        average = sum(levels.values()) / len(levels)
+        if record:
+            self.trace.record(f"level.worst.{object_id}", self.sim.now, worst)
+            self.trace.record(f"level.avg.{object_id}", self.sim.now, average)
+        return worst, average
+
+    # ------------------------------------------------------------ accounting
+    def idea_messages(self) -> int:
+        """Total messages sent by IDEA protocols (detection + resolution)."""
+        return self.network.messages_sent("idea.")
+
+    def resolution_messages(self) -> int:
+        return self.network.messages_sent("idea.resolution")
+
+    def detection_messages(self) -> int:
+        return self.network.messages_sent("idea.detection")
+
+    def overlay_messages(self) -> int:
+        return self.network.messages_sent("overlay.")
+
+    # ----------------------------------------------------------------- misc
+    def run(self, until: float) -> float:
+        """Advance the simulation to ``until`` seconds."""
+        return self.sim.run(until=until)
+
+    def start_overlay_services(self) -> None:
+        """Start the periodic RanSub rounds (and gossip when enabled)."""
+        if self.ransub is not None:
+            self.ransub.start()
+        if self.gossip is not None:
+            self.gossip.start()

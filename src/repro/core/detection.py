@@ -1,0 +1,267 @@
+"""Inconsistency detection (paper Section 4.3).
+
+The detection module gives IDEA its ``detect(update)`` API: after a write the
+issuing node exchanges *version digests* with the other members of the
+object's top layer; comparing the digests against the local replica yields
+"success" (no inconsistency) or "fail" (conflict detected) plus, through the
+extended information carried in the digests, the error triple and consistency
+level of Section 4.4.
+
+A digest contains per-writer ``(count, cumulative metadata, last timestamp)``
+summaries.  Because every writer's updates are sequenced, the *reference
+consistent state* (the merged image a resolution round would produce) can be
+reconstructed exactly from a set of digests: per writer take the summary with
+the highest count, then sum the cumulative metadata.  Each replica's triple
+is then measured against that reference, exactly as the worked example of
+Figure 4 measures replica ``a`` against reference ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import ConsistencyMetricSpec, MetricWeights
+from repro.core.quantify import consistency_level
+from repro.sim.network import Message
+from repro.store.replica import Replica
+from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+PROTOCOL = "idea.detection"
+
+
+@dataclass(frozen=True)
+class WriterSummary:
+    """Per-writer summary carried in a version digest."""
+
+    count: int
+    cumulative_metadata: float
+    last_timestamp: float
+
+
+@dataclass(frozen=True)
+class VersionDigest:
+    """Compact description of one replica's extended version vector."""
+
+    object_id: str
+    node_id: str
+    issued_at: float
+    writers: Tuple[Tuple[str, WriterSummary], ...]
+    metadata: float
+    last_consistent_time: float
+
+    def counts(self) -> VersionVector:
+        return VersionVector({w: s.count for w, s in self.writers})
+
+    def writer_map(self) -> Dict[str, WriterSummary]:
+        return dict(self.writers)
+
+    def latest_update_time(self) -> float:
+        times = [s.last_timestamp for _, s in self.writers]
+        return max(times) if times else self.last_consistent_time
+
+    @classmethod
+    def from_vector(cls, object_id: str, node_id: str, vector: ExtendedVersionVector,
+                    issued_at: float) -> "VersionDigest":
+        writers = []
+        for writer in vector.writers():
+            records = vector.updates_from(writer)
+            writers.append((writer, WriterSummary(
+                count=len(records),
+                cumulative_metadata=sum(r.metadata_delta for r in records),
+                last_timestamp=max(r.timestamp for r in records))))
+        return cls(object_id=object_id, node_id=node_id, issued_at=issued_at,
+                   writers=tuple(sorted(writers)), metadata=vector.metadata,
+                   last_consistent_time=vector.last_consistent_time)
+
+    @classmethod
+    def from_replica(cls, replica: Replica, issued_at: float) -> "VersionDigest":
+        return cls.from_vector(replica.object_id, replica.node_id, replica.vector,
+                               issued_at)
+
+
+@dataclass(frozen=True)
+class ReferenceState:
+    """The reconstructed reference consistent state for an object."""
+
+    counts: VersionVector
+    metadata: float
+    latest_update_time: float
+
+    def triple_for(self, digest: VersionDigest) -> ErrorTriple:
+        numerical = abs(self.metadata - digest.metadata)
+        order = float(self.counts.order_distance(digest.counts()))
+        staleness = max(0.0, self.latest_update_time - digest.last_consistent_time)
+        return ErrorTriple(numerical=numerical, order=order, staleness=staleness)
+
+
+@dataclass(frozen=True)
+class DetectionOutcome:
+    """Result of ``detect(update)`` at one node."""
+
+    object_id: str
+    node_id: str
+    #: the paper's API value: True = "success" (no inconsistency), False = "fail"
+    success: bool
+    #: consistency level of the local replica against the reference state
+    level: float
+    triple: ErrorTriple
+    #: node ids whose digests disagreed with the local replica
+    conflicting_peers: Tuple[str, ...]
+    evaluated_at: float
+
+
+def build_reference(digests: Iterable[VersionDigest]) -> ReferenceState:
+    """Reconstruct the merged reference state from a set of digests."""
+    best: Dict[str, WriterSummary] = {}
+    for digest in digests:
+        for writer, summary in digest.writers:
+            current = best.get(writer)
+            if current is None or summary.count > current.count:
+                best[writer] = summary
+    counts = VersionVector({w: s.count for w, s in best.items()})
+    metadata = sum(s.cumulative_metadata for s in best.values())
+    latest = max((s.last_timestamp for s in best.values()), default=0.0)
+    return ReferenceState(counts=counts, metadata=metadata, latest_update_time=latest)
+
+
+def evaluate_group(vectors: Mapping[str, ExtendedVersionVector], *,
+                   object_id: str, metric: ConsistencyMetricSpec,
+                   weights: MetricWeights, now: float) -> Dict[str, Tuple[ErrorTriple, float]]:
+    """Evaluate every replica in a group against their merged reference.
+
+    This is the ground-truth evaluation the experiment harness samples every
+    five seconds for Figures 7, 8 and 10: ``{node: (triple, level)}``.
+    """
+    digests = {node: VersionDigest.from_vector(object_id, node, vec, now)
+               for node, vec in vectors.items()}
+    reference = build_reference(digests.values())
+    out: Dict[str, Tuple[ErrorTriple, float]] = {}
+    for node, digest in digests.items():
+        triple = reference.triple_for(digest)
+        out[node] = (triple, consistency_level(triple, metric, weights))
+    return out
+
+
+class DetectionService:
+    """Per-node detection component exchanging digests with top-layer peers."""
+
+    def __init__(self, node, *, object_id: str, metric: ConsistencyMetricSpec,
+                 weights: MetricWeights,
+                 top_layer_provider: Callable[[], Sequence[str]],
+                 replica_provider: Callable[[], Replica],
+                 on_remote_digest: Optional[Callable[[VersionDigest], None]] = None) -> None:
+        """
+        Parameters
+        ----------
+        node:
+            The :class:`repro.sim.node.Node` hosting this service.
+        top_layer_provider:
+            Returns the current top-layer membership for the object.
+        replica_provider:
+            Returns the local replica of the object.
+        on_remote_digest:
+            Invoked whenever a digest arrives from a peer (after the cache is
+            updated); the middleware uses it to re-evaluate consistency and
+            consult the adaptation controller.
+        """
+        self.node = node
+        self.object_id = object_id
+        self.metric = metric
+        self.weights = weights
+        self._top_layer_provider = top_layer_provider
+        self._replica_provider = replica_provider
+        self._on_remote_digest = on_remote_digest
+        self._peer_digests: Dict[str, VersionDigest] = {}
+        self._detections_run = 0
+        node.register_handler(f"idea_digest:{object_id}", self._handle_digest)
+
+    # ---------------------------------------------------------------- state
+    @property
+    def peer_digests(self) -> Dict[str, VersionDigest]:
+        return dict(self._peer_digests)
+
+    @property
+    def detections_run(self) -> int:
+        return self._detections_run
+
+    def set_weights(self, weights: MetricWeights) -> None:
+        self.weights = weights
+
+    def set_metric(self, metric: ConsistencyMetricSpec) -> None:
+        self.metric = metric
+
+    # ------------------------------------------------------------- exchange
+    def announce_write(self) -> int:
+        """Send the local digest to every other top-layer member.
+
+        Returns the number of detection messages sent.  This is the message
+        exchange that lets the write's conflicts be caught "in a timely
+        manner" in the top layer.
+        """
+        replica = self._replica_provider()
+        digest = VersionDigest.from_replica(replica, issued_at=self.node.sim.now)
+        peers = [p for p in self._top_layer_provider() if p != self.node.node_id]
+        for peer in peers:
+            self.node.send(peer, protocol=PROTOCOL,
+                           msg_type=f"idea_digest:{self.object_id}",
+                           payload={"digest": digest}, size_bytes=256)
+        return len(peers)
+
+    def _handle_digest(self, message: Message) -> None:
+        digest: VersionDigest = message.payload["digest"]
+        existing = self._peer_digests.get(digest.node_id)
+        if existing is None or digest.issued_at >= existing.issued_at:
+            self._peer_digests[digest.node_id] = digest
+        if self._on_remote_digest is not None:
+            self._on_remote_digest(digest)
+
+    def ingest_digest(self, digest: VersionDigest) -> None:
+        """Add a digest obtained out-of-band (e.g. from the bottom layer sweep)."""
+        existing = self._peer_digests.get(digest.node_id)
+        if existing is None or digest.issued_at >= existing.issued_at:
+            self._peer_digests[digest.node_id] = digest
+
+    def forget_peer(self, node_id: str) -> None:
+        self._peer_digests.pop(node_id, None)
+
+    # -------------------------------------------------------------- detect()
+    def detect(self) -> DetectionOutcome:
+        """The paper's ``detect(update)`` API evaluated at this node.
+
+        Compares the local replica against every cached peer digest, returns
+        "success" when no difference exists and otherwise "fail" together
+        with the consistency level of the local replica measured against the
+        reconstructed reference state.
+        """
+        self._detections_run += 1
+        replica = self._replica_provider()
+        now = self.node.sim.now
+        local_digest = VersionDigest.from_replica(replica, issued_at=now)
+        known = [local_digest] + list(self._peer_digests.values())
+        reference = build_reference(known)
+
+        local_counts = local_digest.counts()
+        conflicting = tuple(sorted(
+            peer for peer, digest in self._peer_digests.items()
+            if digest.counts().compare(local_counts) is not Ordering.EQUAL))
+
+        triple = reference.triple_for(local_digest)
+        level = consistency_level(triple, self.metric, self.weights)
+        return DetectionOutcome(
+            object_id=self.object_id, node_id=self.node.node_id,
+            success=not conflicting and reference.counts.compare(local_counts) is Ordering.EQUAL,
+            level=level, triple=triple, conflicting_peers=conflicting,
+            evaluated_at=now)
+
+    def current_level(self) -> float:
+        """Consistency level without counting as a detection run."""
+        replica = self._replica_provider()
+        now = self.node.sim.now
+        local_digest = VersionDigest.from_replica(replica, issued_at=now)
+        known = [local_digest] + list(self._peer_digests.values())
+        reference = build_reference(known)
+        triple = reference.triple_for(local_digest)
+        return consistency_level(triple, self.metric, self.weights)

@@ -1,0 +1,243 @@
+"""Per-node IDEA middleware (paper Figure 1 and Figure 3).
+
+One :class:`IdeaMiddleware` instance manages one shared object on one node.
+It glues together the node's replica, the detection service, the resolution
+manager, the adaptation controller and the rollback manager, and implements
+the protocol workflow of Figure 3:
+
+* a **write** always triggers the protocol — the update is applied locally,
+  the node's digest is announced to the other top-layer members, and
+  ``detect(update)`` evaluates the node's consistency level;
+* a **read of a new file/snapshot** triggers the protocol as well; other
+  reads trigger it only when the replica has been quiet for a long time
+  (``read(check=...)``);
+* after every evaluation the adaptation controller is consulted; if the
+  level is unacceptable an **active resolution** is started (unless one is
+  already in flight);
+* levels reported to the user are registered with the rollback manager so a
+  later bottom-layer sweep can correct them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.adaptive import (
+    AutomaticController,
+    HintBasedController,
+    OnDemandController,
+)
+from repro.core.config import AdaptationMode, IdeaConfig, MetricWeights
+from repro.core.detection import DetectionOutcome, DetectionService, VersionDigest
+from repro.core.policies import ResolutionPolicy, make_policy
+from repro.core.resolution import ResolutionManager, ResolutionResult
+from repro.core.rollback import RollbackManager
+from repro.sim.node import Node
+from repro.store.filesystem import ReplicatedStore
+from repro.store.replica import Replica
+from repro.versioning.extended_vector import UpdateRecord
+
+
+Controller = Union[OnDemandController, HintBasedController, AutomaticController]
+
+
+@dataclass
+class ReadResult:
+    """What an application sees when it reads through IDEA (Figure 1)."""
+
+    content: List[Any]
+    level: float
+    acceptable: bool
+    evaluated_at: float
+
+
+class IdeaMiddleware:
+    """IDEA's middleware instance for one (node, object) pair."""
+
+    #: minimum simulated seconds between two automatically triggered active
+    #: resolutions from the same node, preventing a storm while one is in
+    #: flight and its installs are still propagating
+    RESOLUTION_COOLDOWN = 1.0
+
+    def __init__(self, node: Node, store: ReplicatedStore, object_id: str, *,
+                 config: IdeaConfig,
+                 top_layer_provider: Callable[[], Sequence[str]],
+                 on_update_recorded: Optional[Callable[[str, str, float], None]] = None,
+                 policy: Optional[ResolutionPolicy] = None) -> None:
+        self.node = node
+        self.store = store
+        self.object_id = object_id
+        self.config = config
+        self._on_update_recorded = on_update_recorded
+        self.replica: Replica = store.create(object_id)
+        self.policy: ResolutionPolicy = policy or make_policy(config.resolution_strategy)
+        self.controller: Controller = self._make_controller(config)
+        self.rollback = RollbackManager(config)
+
+        self.detection = DetectionService(
+            node, object_id=object_id, metric=config.metric, weights=config.weights,
+            top_layer_provider=top_layer_provider,
+            replica_provider=lambda: self.replica,
+            on_remote_digest=self._on_remote_digest)
+        self.resolution = ResolutionManager(
+            node, object_id=object_id, config=config, policy=self.policy,
+            top_layer_provider=top_layer_provider,
+            replica_provider=lambda: self.replica,
+            on_resolved=self._on_resolved)
+
+        self._last_auto_resolution = -float("inf")
+        self.resolutions_triggered = 0
+        self.detection_outcomes: List[DetectionOutcome] = []
+
+    # --------------------------------------------------------------- set-up
+    @staticmethod
+    def _make_controller(config: IdeaConfig) -> Controller:
+        if config.mode is AdaptationMode.ON_DEMAND:
+            return OnDemandController(config)
+        if config.mode is AdaptationMode.HINT_BASED:
+            return HintBasedController(config)
+        if config.mode is AdaptationMode.AUTOMATIC:
+            return AutomaticController(config)
+        raise ValueError(f"unsupported adaptation mode {config.mode!r}")
+
+    # -------------------------------------------------------------- triggers
+    def write(self, payload: Any = None, *, metadata_delta: float = 0.0,
+              writer: Optional[str] = None) -> Optional[DetectionOutcome]:
+        """Apply a local write and run the IDEA protocol (Figure 3, left path).
+
+        Returns the detection outcome, or ``None`` when the write was blocked
+        by an in-progress resolution round.
+        """
+        writer = writer or self.node.node_id
+        record = self.store.write(self.object_id, writer, self.node.local_time(),
+                                  metadata_delta=metadata_delta, payload=payload,
+                                  applied_at=self.node.sim.now)
+        if record is None:
+            return None
+        if self._on_update_recorded is not None:
+            self._on_update_recorded(self.object_id, self.node.node_id, self.node.sim.now)
+        self.detection.announce_write()
+        outcome = self.detection.detect()
+        self.detection_outcomes.append(outcome)
+        self._consult_controller(outcome.level)
+        return outcome
+
+    def read(self, *, new_snapshot: bool = True,
+             quiet_threshold: Optional[float] = None) -> ReadResult:
+        """Read through IDEA (Figure 3, right path).
+
+        ``new_snapshot=True`` models retrieving a fresh file/snapshot, which
+        always triggers the protocol.  For other reads the protocol runs only
+        if the replica has not been updated locally for ``quiet_threshold``
+        seconds (the "file hasn't been locally updated for a long time" case).
+        """
+        now = self.node.sim.now
+        trigger = new_snapshot
+        if not trigger and quiet_threshold is not None:
+            last = max((e.applied_at for e in self.replica.log.entries()), default=0.0)
+            trigger = (now - last) >= quiet_threshold
+
+        if trigger:
+            outcome = self.detection.detect()
+            self.detection_outcomes.append(outcome)
+            level = outcome.level
+            self._consult_controller(level)
+        else:
+            level = self.detection.current_level()
+
+        acceptable = not self._level_unacceptable(level)
+        threshold = self._current_threshold()
+        self.rollback.register_estimate(
+            object_id=self.object_id, node_id=self.node.node_id, reported_at=now,
+            top_layer_level=level, user_threshold=threshold)
+        return ReadResult(content=self.store.read(self.object_id), level=level,
+                          acceptable=acceptable, evaluated_at=now)
+
+    def _on_remote_digest(self, digest: VersionDigest) -> None:
+        """A top-layer peer announced a write: re-evaluate and maybe resolve."""
+        level = self.detection.current_level()
+        self._consult_controller(level)
+
+    # ------------------------------------------------------------ controller
+    def _current_threshold(self) -> float:
+        if isinstance(self.controller, HintBasedController):
+            return self.controller.hint_level
+        if isinstance(self.controller, OnDemandController):
+            return self.controller.learned_threshold
+        return 0.0
+
+    def _level_unacceptable(self, level: float) -> bool:
+        return self.controller.should_resolve(level)
+
+    def _consult_controller(self, level: float) -> None:
+        if not self._level_unacceptable(level):
+            return
+        self.trigger_active_resolution(auto=True)
+
+    def trigger_active_resolution(self, *, auto: bool = False) -> bool:
+        """Start an active resolution round from this node.
+
+        Returns True when a round was actually started (False when suppressed
+        by the cooldown or an already-running round).
+        """
+        now = self.node.sim.now
+        if self.resolution.resolving:
+            return False
+        if auto and now - self._last_auto_resolution < self.RESOLUTION_COOLDOWN:
+            return False
+        if isinstance(self.controller, OnDemandController):
+            self.controller.consume_demand()
+        self._last_auto_resolution = now
+        self.resolutions_triggered += 1
+        jitter = self.config.backoff_window if auto else 0.0
+        self.resolution.start_active_resolution(suppression_jitter=jitter)
+        return True
+
+    def _on_resolved(self, result: ResolutionResult) -> None:
+        # Resolution completed: our replica is consistent as of now; peer
+        # digest caches refresh lazily as peers keep announcing writes.
+        pass
+
+    # ------------------------------------------------------------- user API
+    def demand_active_resolution(self) -> bool:
+        """Explicit user demand (Table 1's ``demand_active_resolution``)."""
+        if isinstance(self.controller, OnDemandController):
+            self.controller.demand_resolution()
+        return self.trigger_active_resolution(auto=False)
+
+    def complain(self, *, new_weights: Optional[MetricWeights] = None,
+                 boost: bool = True) -> None:
+        """The user is unhappy with the current consistency level."""
+        level = self.detection.current_level()
+        now = self.node.sim.now
+        if isinstance(self.controller, HintBasedController):
+            self.controller.complain(now, level)
+        elif isinstance(self.controller, OnDemandController):
+            self.controller.complain(now, level, new_weights=new_weights, boost=boost)
+            if new_weights is not None:
+                self.set_weights(new_weights)
+        else:
+            raise TypeError("automatic-mode objects have no interactive user")
+        self.trigger_active_resolution(auto=False)
+
+    # --------------------------------------------------------- configuration
+    def set_weights(self, weights: MetricWeights) -> None:
+        self.config = self.config.with_weights(weights)
+        self.detection.set_weights(weights)
+
+    def set_hint(self, hint_level: float) -> None:
+        if isinstance(self.controller, HintBasedController):
+            self.controller.set_hint(self.node.sim.now, hint_level)
+        elif isinstance(self.controller, OnDemandController):
+            self.controller.learned_threshold = hint_level
+        else:
+            raise TypeError("automatic-mode objects do not take hints")
+
+    # -------------------------------------------------------------- queries
+    def current_level(self) -> float:
+        """The consistency level this node currently perceives."""
+        return self.detection.current_level()
+
+    def content(self) -> List[Any]:
+        return self.store.read(self.object_id)

@@ -1,0 +1,75 @@
+"""Consistency-level quantification (Formula 1 of the paper).
+
+Given an error triple ``<numerical error, order error, staleness>``, a
+:class:`~repro.core.config.ConsistencyMetricSpec` of per-metric maxima and a
+:class:`~repro.core.config.MetricWeights`, the consistency level is
+
+.. math::
+
+   C \\;=\\; \\frac{maxN - n}{maxN}\\,w_n \\;+\\;
+            \\frac{maxO - o}{maxO}\\,w_o \\;+\\;
+            \\frac{maxS - s}{maxS}\\,w_s
+
+with each component clamped to ``[0, 1]`` (an error larger than its maximum
+contributes zero, not a negative amount) and weights normalised to sum to
+one.  The result is a single number in ``[0, 1]``; the paper reports it as a
+percentage ("such as 90%").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.config import ConsistencyMetricSpec, MetricWeights
+from repro.versioning.extended_vector import ErrorTriple
+
+
+def normalized_errors(triple: ErrorTriple, metric: ConsistencyMetricSpec) -> Tuple[float, float, float]:
+    """Each error divided by its maximum, clamped to [0, 1]."""
+    def norm(error: float, maximum: float) -> float:
+        if error <= 0:
+            return 0.0
+        return min(error / maximum, 1.0)
+
+    return (norm(triple.numerical, metric.max_numerical),
+            norm(triple.order, metric.max_order),
+            norm(triple.staleness, metric.max_staleness))
+
+
+def consistency_level(triple: ErrorTriple, metric: ConsistencyMetricSpec,
+                      weights: MetricWeights) -> float:
+    """Formula 1: weighted sum of per-metric consistency, in [0, 1].
+
+    Computed as ``1 − Σ wᵢ·errorᵢ/maxᵢ`` (algebraically identical to the
+    paper's form with normalised weights) so that a zero error triple yields
+    exactly 1.0 regardless of floating-point weight normalisation.
+    """
+    w = weights.normalized()
+    n, o, s = normalized_errors(triple, metric)
+    level = 1.0 - (n * w.numerical + o * w.order + s * w.staleness)
+    # Guard against floating-point drift at the boundaries.
+    return min(1.0, max(0.0, level))
+
+
+def level_as_percent(level: float) -> float:
+    """Convenience: express a [0, 1] level as a percentage."""
+    if not 0.0 <= level <= 1.0:
+        raise ValueError(f"level must be in [0, 1], got {level}")
+    return level * 100.0
+
+
+def worst_level(levels) -> float:
+    """The minimum level in a collection ("view from the user" in Fig. 7:
+    the consistency level of the writer with the worst consistency)."""
+    levels = list(levels)
+    if not levels:
+        raise ValueError("worst_level of an empty collection is undefined")
+    return min(levels)
+
+
+def average_level(levels) -> float:
+    """The mean level in a collection ("system average" in Fig. 7)."""
+    levels = list(levels)
+    if not levels:
+        raise ValueError("average_level of an empty collection is undefined")
+    return sum(levels) / len(levels)

@@ -1,0 +1,116 @@
+"""Bottom-layer verification and rollback (paper Section 4.4.2).
+
+The consistency level first reported to a user only considers the top layer,
+so it can be optimistic: replicas in the bottom layer may hold conflicting
+updates the top layer has not seen.  IDEA therefore keeps detecting in the
+bottom layer (the TTL-bounded gossip sweep) and, when that later result comes
+back,
+
+* stays silent if it is *sufficiently close* to the top-layer value
+  (the paper's example: 78 % vs 80 %),
+* otherwise alerts the user and, if the corrected level is unacceptable under
+  the user's current threshold, rolls back the operations performed since the
+  optimistic value was reported.
+
+Rollback is handled in the background and the affected operations are
+reported to the user afterwards.  The paper stresses that the mechanism is a
+backup: top-layer detection misses fewer than 5 % of inconsistencies, so
+rollbacks are rare — the ablation benchmark ``bench_abl_toplayer`` measures
+exactly that miss rate in this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.config import IdeaConfig
+from repro.store.replica import Replica
+from repro.versioning.extended_vector import UpdateRecord
+
+
+@dataclass(frozen=True)
+class PendingVerification:
+    """A top-layer consistency estimate awaiting bottom-layer confirmation."""
+
+    object_id: str
+    node_id: str
+    reported_at: float
+    top_layer_level: float
+    user_threshold: float
+
+
+@dataclass(frozen=True)
+class RollbackDecision:
+    """Outcome of comparing the bottom-layer result with the estimate."""
+
+    object_id: str
+    node_id: str
+    top_layer_level: float
+    bottom_layer_level: float
+    discrepancy: float
+    alert_user: bool
+    rolled_back: bool
+    rolled_back_updates: Tuple[UpdateRecord, ...] = ()
+
+
+class RollbackManager:
+    """Tracks optimistic estimates and applies rollbacks when they were wrong."""
+
+    def __init__(self, config: IdeaConfig, *,
+                 on_alert: Optional[Callable[[RollbackDecision], None]] = None) -> None:
+        self.config = config
+        self._on_alert = on_alert
+        self._pending: List[PendingVerification] = []
+        self.decisions: List[RollbackDecision] = []
+
+    # -------------------------------------------------------------- pending
+    def register_estimate(self, *, object_id: str, node_id: str, reported_at: float,
+                          top_layer_level: float, user_threshold: float) -> PendingVerification:
+        """Record a top-layer level that was shown to the user."""
+        pending = PendingVerification(object_id=object_id, node_id=node_id,
+                                      reported_at=reported_at,
+                                      top_layer_level=top_layer_level,
+                                      user_threshold=user_threshold)
+        self._pending.append(pending)
+        return pending
+
+    def pending(self, object_id: Optional[str] = None) -> List[PendingVerification]:
+        if object_id is None:
+            return list(self._pending)
+        return [p for p in self._pending if p.object_id == object_id]
+
+    # ------------------------------------------------------------ verifying
+    def verify(self, pending: PendingVerification, bottom_layer_level: float,
+               replica: Replica, *, now: float) -> RollbackDecision:
+        """Compare the delayed bottom-layer level with the reported estimate."""
+        if pending in self._pending:
+            self._pending.remove(pending)
+        discrepancy = abs(bottom_layer_level - pending.top_layer_level)
+        close_enough = discrepancy <= self.config.rollback_tolerance
+        unacceptable = (pending.user_threshold > 0
+                        and bottom_layer_level < pending.user_threshold)
+
+        rolled_back_updates: Tuple[UpdateRecord, ...] = ()
+        rolled_back = False
+        if not close_enough and unacceptable:
+            rolled_back_updates = tuple(replica.roll_back_after(pending.reported_at))
+            rolled_back = True
+
+        decision = RollbackDecision(
+            object_id=pending.object_id, node_id=pending.node_id,
+            top_layer_level=pending.top_layer_level,
+            bottom_layer_level=bottom_layer_level, discrepancy=discrepancy,
+            alert_user=not close_enough, rolled_back=rolled_back,
+            rolled_back_updates=rolled_back_updates)
+        self.decisions.append(decision)
+        if decision.alert_user and self._on_alert is not None:
+            self._on_alert(decision)
+        return decision
+
+    # ------------------------------------------------------------ statistics
+    def rollback_count(self) -> int:
+        return sum(1 for d in self.decisions if d.rolled_back)
+
+    def alert_count(self) -> int:
+        return sum(1 for d in self.decisions if d.alert_user)

@@ -1,0 +1,49 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+Every module exposes a ``run_*`` function returning a plain result dataclass
+and a ``format_report`` helper that prints rows in the same shape as the
+paper's artefact.  The benchmarks under ``benchmarks/`` and the examples
+under ``examples/`` are thin wrappers around these harnesses, so the numbers
+shown by ``pytest benchmarks/ --benchmark-only`` and the example scripts are
+always produced by the same code path.
+
+Experiment index (see DESIGN.md §4 for the full mapping):
+
+=============  =====================================================
+``fig2``       trade-off study: optimistic vs IDEA vs strong vs TACT
+``fig7``       hint-based white board, hint 95 % / 85 %
+``fig8``       hint changed at runtime (95 % → 90 % at t = 100 s)
+``tab2``       active-resolution phase breakdown
+``fig9``       active-resolution scalability vs top-layer size
+``tab3``       background-resolution message overhead (20 s vs 40 s)
+``fig10``      consistency level under automatic background resolution
+=============  =====================================================
+"""
+
+from repro.experiments.report import format_table, series_to_rows
+from repro.experiments.fig7_hint import HintExperimentResult, run_hint_experiment
+from repro.experiments.fig8_hint_change import HintChangeResult, run_hint_change_experiment
+from repro.experiments.tab2_phases import PhaseBreakdownResult, run_phase_breakdown
+from repro.experiments.fig9_scalability import ScalabilityResult, run_scalability_experiment
+from repro.experiments.tab3_overhead import OverheadResult, run_overhead_experiment
+from repro.experiments.fig10_automatic import AutomaticResult, run_automatic_experiment
+from repro.experiments.fig2_tradeoff import TradeoffResult, run_tradeoff_experiment
+
+__all__ = [
+    "format_table",
+    "series_to_rows",
+    "HintExperimentResult",
+    "run_hint_experiment",
+    "HintChangeResult",
+    "run_hint_change_experiment",
+    "PhaseBreakdownResult",
+    "run_phase_breakdown",
+    "ScalabilityResult",
+    "run_scalability_experiment",
+    "OverheadResult",
+    "run_overhead_experiment",
+    "AutomaticResult",
+    "run_automatic_experiment",
+    "TradeoffResult",
+    "run_tradeoff_experiment",
+]

@@ -1,0 +1,102 @@
+"""Figure 9: scalability of active resolution with the top-layer size.
+
+The paper extrapolates the Table 2 measurement with Formula 2
+(``Delay(n) = 0.468 ms + 104.747 ms · (n − 1)``) and plots the predicted cost
+for top layers of up to ten writers, concluding that even ten simultaneous
+writers keep the resolution below one second.
+
+This harness does both things:
+
+* it *measures* the active-resolution delay for top-layer sizes 2..N on the
+  simulated deployment, and
+* it *fits* the same linear model to the measurements
+  (:func:`repro.analysis.formulas.fit_delay_model`) so the slope/intercept can
+  be compared against the paper's coefficients and against Formula 3 for
+  background resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.formulas import DelayModel, fit_delay_model, paper_delay_model
+from repro.experiments.report import format_table
+from repro.experiments.tab2_phases import _build_whiteboard
+
+
+@dataclass
+class ScalabilityResult:
+    """Measured delay versus top-layer size plus the fitted linear model."""
+
+    sizes: List[int]
+    active_delays: List[float]
+    background_delays: List[float]
+    fitted: DelayModel
+    paper_model: DelayModel
+
+    def as_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for n, a, b in zip(self.sizes, self.active_delays, self.background_delays):
+            rows.append([n, f"{a * 1e3:.1f} ms", f"{b * 1e3:.1f} ms",
+                         f"{self.fitted.predict(n) * 1e3:.1f} ms",
+                         f"{self.paper_model.predict(n) * 1e3:.1f} ms"])
+        return rows
+
+
+def _measure_for_size(size: int, *, num_nodes: int, seed: int) -> Tuple[float, float]:
+    """(active delay, background delay) for a top layer of ``size`` writers."""
+    deployment, app, writers = _build_whiteboard(num_nodes, size, seed)
+
+    for writer in writers:
+        app.post(writer, f"{writer} divergence before measurement")
+    deployment.run(until=deployment.sim.now + 2.0)
+
+    initiator = writers[0]
+    middleware = app.middleware(initiator)
+    active_process = middleware.resolution.start_active_resolution()
+    deployment.run(until=deployment.sim.now + 10.0)
+    active_result = active_process.result
+    if active_result is None or active_result.aborted:
+        raise RuntimeError(f"active resolution aborted for top layer size {size}")
+
+    for writer in writers:
+        app.post(writer, f"{writer} divergence before background round")
+    deployment.run(until=deployment.sim.now + 2.0)
+    background_process = middleware.resolution.start_background_resolution()
+    deployment.run(until=deployment.sim.now + 10.0)
+    background_result = background_process.result
+    if background_result is None or background_result.aborted:
+        raise RuntimeError(f"background resolution aborted for size {size}")
+
+    return (active_result.phase1_delay + active_result.phase2_delay,
+            background_result.phase2_delay)
+
+
+def run_scalability_experiment(*, max_top_layer: int = 10, num_nodes: int = 40,
+                               seed: int = 19) -> ScalabilityResult:
+    """Measure resolution delay for top-layer sizes 2..max_top_layer."""
+    if max_top_layer < 2:
+        raise ValueError("max_top_layer must be >= 2")
+    sizes = list(range(2, max_top_layer + 1))
+    active: List[float] = []
+    background: List[float] = []
+    for size in sizes:
+        a, b = _measure_for_size(size, num_nodes=max(num_nodes, size), seed=seed + size)
+        active.append(a)
+        background.append(b)
+    fitted = fit_delay_model(list(zip(sizes, active)))
+    return ScalabilityResult(sizes=sizes, active_delays=active,
+                             background_delays=background, fitted=fitted,
+                             paper_model=paper_delay_model())
+
+
+def format_report(result: ScalabilityResult) -> str:
+    table = format_table(
+        ["top-layer size", "measured active", "measured background",
+         "fitted model", "paper formula 2"],
+        result.as_rows(), title="Figure 9 reproduction — resolution scalability")
+    extra = (f"\nfitted: delay(n) = {result.fitted.phase1 * 1e3:.3f} ms + "
+             f"{result.fitted.per_member * 1e3:.3f} ms × (n − 1)"
+             f"\npaper:  delay(n) = 0.468 ms + 104.747 ms × (n − 1)")
+    return table + extra

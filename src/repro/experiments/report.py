@@ -1,0 +1,51 @@
+"""Plain-text reporting helpers shared by the experiment harnesses.
+
+The benchmarks print paper-style rows with these utilities so that the
+regenerated artefacts (EXPERIMENTS.md, bench output) all share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], *,
+                 title: str = "") -> str:
+    """Render a fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def series_to_rows(times: Sequence[float], *series: Tuple[str, Sequence[float]]
+                   ) -> List[List[object]]:
+    """Zip a time axis with one or more named series into printable rows."""
+    rows: List[List[object]] = []
+    for i, t in enumerate(times):
+        row: List[object] = [t]
+        for _, values in series:
+            row.append(values[i] if i < len(values) else "")
+        rows.append(row)
+    return rows
+
+
+def percent(value: float) -> str:
+    """Format a [0, 1] level the way the paper reports it (e.g. '94.2%')."""
+    return f"{value * 100:.1f}%"

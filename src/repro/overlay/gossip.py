@@ -1,0 +1,202 @@
+"""TTL-bounded gossip for background (bottom-layer) inconsistency detection.
+
+The paper's detection framework "uses gossip-based protocol to check in the
+background any missed inconsistency by the top-layer" (Section 4.3), with a
+TTL on the traversal of detection messages to bound the delay (Section
+4.4.2).  The reproduction follows the lpbcast style: each round every
+participating node sends its version *digest* (per-writer counts, metadata
+value, last-consistent time) to ``fanout`` uniformly chosen peers; receivers
+compare the digest against their own replica, report any inconsistency
+through a callback, and forward the digest with the TTL decremented until it
+reaches zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, Network
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+PROTOCOL = "overlay.gossip"
+
+
+@dataclass(frozen=True)
+class GossipDigest:
+    """Compact replica summary exchanged by the gossip protocol."""
+
+    object_id: str
+    origin: str
+    counts: Tuple[Tuple[str, int], ...]
+    metadata: float
+    last_consistent_time: float
+    issued_at: float
+    ttl: int
+
+    def version_vector(self) -> VersionVector:
+        return VersionVector(dict(self.counts))
+
+    def decremented(self) -> "GossipDigest":
+        return GossipDigest(object_id=self.object_id, origin=self.origin,
+                            counts=self.counts, metadata=self.metadata,
+                            last_consistent_time=self.last_consistent_time,
+                            issued_at=self.issued_at, ttl=self.ttl - 1)
+
+
+@dataclass
+class GossipConfig:
+    """Gossip parameters (defaults follow common lpbcast-style settings)."""
+
+    round_period: float = 10.0
+    fanout: int = 3
+    ttl: int = 3
+    #: approximate digest size on the wire (bytes); version vectors "only
+    #: need several bits" per entry, so digests are small
+    digest_bytes: int = 128
+
+    def __post_init__(self) -> None:
+        if self.round_period <= 0:
+            raise ValueError("round_period must be positive")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.ttl < 1:
+            raise ValueError("ttl must be >= 1")
+
+
+#: callback signature: (observer_node, digest, observer_counts) -> None
+DetectionCallback = Callable[[str, GossipDigest, VersionVector], None]
+
+
+class GossipService:
+    """Runs background gossip among a (typically bottom-layer) node set."""
+
+    def __init__(self, sim: Simulator, network: Network, *,
+                 config: Optional[GossipConfig] = None,
+                 membership: Callable[[str], Sequence[str]],
+                 local_digest: Callable[[str, str], Optional[GossipDigest]],
+                 on_inconsistency: Optional[DetectionCallback] = None) -> None:
+        """
+        Parameters
+        ----------
+        membership:
+            ``membership(object_id)`` returns the node ids participating in
+            gossip for that object (IDEA passes the bottom layer).
+        local_digest:
+            ``local_digest(node_id, object_id)`` returns the node's current
+            digest, or ``None`` if it holds no replica.
+        on_inconsistency:
+            Invoked whenever a received digest differs from the receiver's
+            local state.
+        """
+        self.sim = sim
+        self.network = network
+        self.config = config or GossipConfig()
+        self._membership = membership
+        self._local_digest = local_digest
+        self._on_inconsistency = on_inconsistency
+        self._rng = sim.random.stream("overlay.gossip")
+        self._objects: List[str] = []
+        self._timer_started = False
+        self._rounds = 0
+        self._detections: List[Tuple[float, str, str]] = []
+        self._seen: Dict[str, set] = {}
+        # Nodes receive gossip through their normal handler table.
+        self._registered_nodes: set = set()
+
+    # ------------------------------------------------------------ lifecycle
+    def watch_object(self, object_id: str) -> None:
+        """Start gossiping digests of ``object_id``."""
+        if object_id not in self._objects:
+            self._objects.append(object_id)
+
+    def start(self) -> None:
+        if self._timer_started:
+            return
+        self._timer_started = True
+        self.sim.call_after(self.config.round_period, self._round_timer,
+                            label="gossip-round")
+
+    def _round_timer(self) -> None:
+        self.run_round()
+        self.sim.call_after(self.config.round_period, self._round_timer,
+                            label="gossip-round")
+
+    # ---------------------------------------------------------------- rounds
+    def run_round(self) -> int:
+        """Run one gossip round for every watched object; returns msg count."""
+        self._rounds += 1
+        sent = 0
+        for object_id in self._objects:
+            members = list(self._membership(object_id))
+            for node_id in members:
+                digest = self._local_digest(node_id, object_id)
+                if digest is None:
+                    continue
+                digest = GossipDigest(
+                    object_id=digest.object_id, origin=digest.origin,
+                    counts=digest.counts, metadata=digest.metadata,
+                    last_consistent_time=digest.last_consistent_time,
+                    issued_at=self.sim.now, ttl=self.config.ttl)
+                sent += self._forward(node_id, digest, members)
+        return sent
+
+    def _forward(self, sender: str, digest: GossipDigest, members: Sequence[str]) -> int:
+        peers = [m for m in members if m != sender and m != digest.origin]
+        if not peers:
+            return 0
+        fanout = min(self.config.fanout, len(peers))
+        chosen_idx = self._rng.choice(len(peers), size=fanout, replace=False)
+        count = 0
+        for idx in sorted(chosen_idx):
+            peer = peers[idx]
+            self._ensure_handler(peer)
+            self.network.send(sender, peer, protocol=PROTOCOL,
+                              msg_type="gossip_digest",
+                              payload={"digest": digest, "members": list(members)},
+                              size_bytes=self.config.digest_bytes)
+            count += 1
+        return count
+
+    def _ensure_handler(self, node_id: str) -> None:
+        if node_id in self._registered_nodes:
+            return
+        node = self.network.node(node_id)
+        node.register_handler("gossip_digest", self._handle_digest)
+        self._registered_nodes.add(node_id)
+
+    # ------------------------------------------------------------- receiving
+    def _handle_digest(self, message: Message) -> None:
+        digest: GossipDigest = message.payload["digest"]
+        members: List[str] = message.payload["members"]
+        receiver = message.dst
+
+        dedupe_key = (digest.origin, digest.object_id, digest.issued_at)
+        seen = self._seen.setdefault(receiver, set())
+        already_seen = dedupe_key in seen
+        seen.add(dedupe_key)
+
+        local = self._local_digest(receiver, digest.object_id)
+        if local is not None:
+            local_vv = local.version_vector()
+            if local_vv.compare(digest.version_vector()) is not Ordering.EQUAL:
+                self._detections.append((self.sim.now, receiver, digest.object_id))
+                if self._on_inconsistency is not None:
+                    self._on_inconsistency(receiver, digest, local_vv)
+
+        # Forward onwards while TTL remains and this is the first sighting.
+        if digest.ttl > 1 and not already_seen:
+            self._forward(receiver, digest.decremented(), members)
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def rounds_completed(self) -> int:
+        return self._rounds
+
+    def detections(self, object_id: Optional[str] = None) -> List[Tuple[float, str, str]]:
+        """(time, observer, object) tuples for every detected inconsistency."""
+        if object_id is None:
+            return list(self._detections)
+        return [d for d in self._detections if d[2] == object_id]

@@ -1,0 +1,110 @@
+"""Update-temperature tracking and top-layer selection.
+
+The paper's top layer for a file — the "temperature overlay" — contains the
+nodes that "update this file sufficiently frequently and/or recently"
+(Section 4.1).  We model temperature as an exponentially decayed count of
+updates: every write adds 1, and the score decays with a configurable
+half-life, so sustained or recent writers stay hot while nodes that stop
+writing cool down and drop back into the bottom layer.
+
+The selection rule mirrors the paper's evaluation setup: after a warm-up
+period the four concurrent writers "form a top layer of four nodes that
+includes all of them"; i.e. all nodes whose temperature exceeds a threshold
+are included, subject to a maximum top-layer size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class TemperatureConfig:
+    """Parameters of the temperature model.
+
+    Attributes
+    ----------
+    half_life:
+        Time (seconds) for a node's temperature to halve with no new writes.
+    hot_threshold:
+        Minimum temperature for a node to qualify for the top layer.
+    max_top_size:
+        Hard cap on top-layer size; the hottest nodes win ties.
+    min_top_size:
+        The top layer never shrinks below this as long as any node has ever
+        written (prevents an empty top layer right after warm-up).
+    """
+
+    half_life: float = 60.0
+    hot_threshold: float = 0.5
+    max_top_size: int = 10
+    min_top_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError("half_life must be positive")
+        if self.max_top_size < 1:
+            raise ValueError("max_top_size must be >= 1")
+        if self.min_top_size < 0 or self.min_top_size > self.max_top_size:
+            raise ValueError("require 0 <= min_top_size <= max_top_size")
+
+
+class TemperatureTracker:
+    """Tracks per-node update temperature for a single shared object."""
+
+    def __init__(self, object_id: str, config: Optional[TemperatureConfig] = None) -> None:
+        self.object_id = object_id
+        self.config = config or TemperatureConfig()
+        self._decay_rate = math.log(2.0) / self.config.half_life
+        self._scores: Dict[str, float] = {}
+        self._last_update: Dict[str, float] = {}
+
+    # ------------------------------------------------------------- updates
+    def record_update(self, node_id: str, time: float, weight: float = 1.0) -> None:
+        """Record that ``node_id`` wrote the object at ``time``."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        current = self.temperature(node_id, time)
+        self._scores[node_id] = current + weight
+        self._last_update[node_id] = time
+
+    def temperature(self, node_id: str, time: float) -> float:
+        """Current (decayed) temperature of a node."""
+        score = self._scores.get(node_id, 0.0)
+        if score == 0.0:
+            return 0.0
+        last = self._last_update.get(node_id, time)
+        dt = max(0.0, time - last)
+        return score * math.exp(-self._decay_rate * dt)
+
+    def temperatures(self, time: float) -> Dict[str, float]:
+        return {n: self.temperature(n, time) for n in self._scores}
+
+    def writers_seen(self) -> List[str]:
+        return sorted(self._scores)
+
+    # ------------------------------------------------------------ selection
+    def select_top(self, time: float, candidates: Optional[Sequence[str]] = None) -> List[str]:
+        """Choose the top layer at ``time``.
+
+        ``candidates`` restricts the choice to nodes present in the most
+        recent RanSub view (plus any node that has actually written — a
+        writer the sample happened to miss must not be silently dropped,
+        otherwise its conflicts would go undetected).
+        """
+        cfg = self.config
+        temps = self.temperatures(time)
+        pool = set(temps)
+        if candidates is not None:
+            pool &= set(candidates) | set(self._scores)
+        ranked = sorted(pool, key=lambda n: (-temps.get(n, 0.0), n))
+
+        hot = [n for n in ranked if temps.get(n, 0.0) >= cfg.hot_threshold]
+        if len(hot) < cfg.min_top_size:
+            hot = ranked[:cfg.min_top_size]
+        return hot[:cfg.max_top_size]
+
+    def is_hot(self, node_id: str, time: float) -> bool:
+        return self.temperature(node_id, time) >= self.config.hot_threshold

@@ -1,0 +1,103 @@
+"""Per-object two-layer overlay manager.
+
+Combines RanSub candidate sets and update temperature into the per-object
+top/bottom-layer split the rest of IDEA consumes:
+
+* ``record_update(object_id, node_id)`` — called by the middleware whenever
+  a node writes an object, heating that node up;
+* ``top_layer(object_id)`` — the current temperature overlay for the object;
+* ``bottom_layer(object_id)`` — everyone else.
+
+Each object has its own independent overlay state ("different files may have
+different top layers and different top layers do not interfere with one
+another", Section 4.1), which the tests verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.overlay.ransub import RanSubService, RanSubView
+from repro.overlay.temperature import TemperatureConfig, TemperatureTracker
+
+
+@dataclass
+class OverlayConfig:
+    """Configuration shared by every per-object overlay."""
+
+    temperature: TemperatureConfig = field(default_factory=TemperatureConfig)
+    #: refresh the top-layer membership whenever it is queried (True) or only
+    #: when an update is recorded (False).  Queries are cheap either way.
+    refresh_on_query: bool = True
+
+
+class TwoLayerOverlay:
+    """Top/bottom-layer membership for every shared object in a deployment."""
+
+    def __init__(self, node_ids: Sequence[str], *,
+                 config: Optional[OverlayConfig] = None,
+                 ransub: Optional[RanSubService] = None) -> None:
+        if not node_ids:
+            raise ValueError("overlay needs at least one node")
+        self.node_ids = list(node_ids)
+        self.config = config or OverlayConfig()
+        self.ransub = ransub
+        self._trackers: Dict[str, TemperatureTracker] = {}
+        self._top_cache: Dict[str, List[str]] = {}
+        self._candidate_views: Dict[str, RanSubView] = {}
+        if ransub is not None:
+            for node in self.node_ids:
+                ransub.subscribe(node, lambda view, n=node: self._on_view(n, view))
+
+    # --------------------------------------------------------------- ransub
+    def _on_view(self, node_id: str, view: RanSubView) -> None:
+        self._candidate_views[node_id] = view
+
+    def _candidate_pool(self) -> Optional[List[str]]:
+        """Union of the freshest RanSub views (None when RanSub is unused)."""
+        if self.ransub is None:
+            return None
+        members: List[str] = []
+        for view in self._candidate_views.values():
+            members.extend(view.members)
+        return members or None
+
+    # ------------------------------------------------------------- tracking
+    def tracker(self, object_id: str) -> TemperatureTracker:
+        if object_id not in self._trackers:
+            self._trackers[object_id] = TemperatureTracker(
+                object_id, self.config.temperature)
+        return self._trackers[object_id]
+
+    def record_update(self, object_id: str, node_id: str, time: float) -> None:
+        """Heat up ``node_id`` for ``object_id`` and refresh its top layer."""
+        if node_id not in self.node_ids:
+            raise KeyError(f"unknown node {node_id!r}")
+        self.tracker(object_id).record_update(node_id, time)
+        self._top_cache[object_id] = self.tracker(object_id).select_top(
+            time, self._candidate_pool())
+
+    # ------------------------------------------------------------ membership
+    def top_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:
+        """Current top-layer members for the object (may be empty pre-warm-up)."""
+        tracker = self._trackers.get(object_id)
+        if tracker is None:
+            return []
+        if self.config.refresh_on_query and time is not None:
+            self._top_cache[object_id] = tracker.select_top(time, self._candidate_pool())
+        return list(self._top_cache.get(object_id, []))
+
+    def bottom_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:
+        """All registered nodes not currently in the object's top layer."""
+        top = set(self.top_layer(object_id, time))
+        return [n for n in self.node_ids if n not in top]
+
+    def is_top(self, object_id: str, node_id: str, time: Optional[float] = None) -> bool:
+        return node_id in self.top_layer(object_id, time)
+
+    def objects(self) -> List[str]:
+        return sorted(self._trackers)
+
+    def temperature(self, object_id: str, node_id: str, time: float) -> float:
+        return self.tracker(object_id).temperature(node_id, time)

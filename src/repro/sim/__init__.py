@@ -1,0 +1,57 @@
+"""Discrete-event simulation substrate.
+
+The paper evaluates IDEA on a 40-node Planet-Lab slice spanning the US and
+Canada.  This subpackage is the substitute substrate: a deterministic
+discrete-event simulator with
+
+* an event engine supporting callbacks and generator-style processes
+  (:mod:`repro.sim.engine`, :mod:`repro.sim.process`),
+* a wide-area latency model whose round-trip times mimic a continental
+  Planet-Lab slice (:mod:`repro.sim.latency`, :mod:`repro.sim.topology`),
+* a message-passing network that counts every protocol message
+  (:mod:`repro.sim.network`),
+* per-node clocks with bounded skew, standing in for NTP-synchronised
+  hosts (:mod:`repro.sim.clock`),
+* deterministic named random streams (:mod:`repro.sim.random`), and
+* time-series / counter tracing used by the experiment harness
+  (:mod:`repro.sim.trace`).
+
+All protocol logic in :mod:`repro.core`, :mod:`repro.overlay` and
+:mod:`repro.baselines` is written against these primitives only, so the same
+code could in principle be re-targeted at a real network layer.
+"""
+
+from repro.sim.engine import Event, EventQueue, Simulator
+from repro.sim.process import Process, sleep
+from repro.sim.random import RandomStreams
+from repro.sim.clock import DriftingClock, ClockModel
+from repro.sim.latency import LatencyModel, PlanetLabLatencyModel, UniformLatencyModel
+from repro.sim.topology import Site, Topology, planetlab_topology
+from repro.sim.network import Message, Network, NetworkStats
+from repro.sim.node import Node, RPCError
+from repro.sim.trace import Counter, TimeSeries, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "Process",
+    "sleep",
+    "RandomStreams",
+    "DriftingClock",
+    "ClockModel",
+    "LatencyModel",
+    "PlanetLabLatencyModel",
+    "UniformLatencyModel",
+    "Site",
+    "Topology",
+    "planetlab_topology",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "RPCError",
+    "Counter",
+    "TimeSeries",
+    "TraceRecorder",
+]

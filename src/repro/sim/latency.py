@@ -1,0 +1,107 @@
+"""Message latency models.
+
+A latency model turns a (source, destination) pair into a one-way message
+delay.  Two implementations are provided:
+
+* :class:`PlanetLabLatencyModel` — base delay from the synthetic continental
+  :class:`~repro.sim.topology.Topology`, plus log-normal jitter to mimic the
+  variable queueing the paper's Planet-Lab measurements would include.
+* :class:`UniformLatencyModel` — a simple uniform-random delay useful for
+  unit tests and for the Figure 2 tradeoff study where only relative protocol
+  costs matter.
+
+Both models are deterministic given the simulator seed.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.topology import Topology
+
+
+class LatencyModel(abc.ABC):
+    """Interface consumed by :class:`repro.sim.network.Network`."""
+
+    @abc.abstractmethod
+    def delay(self, src: str, dst: str) -> float:
+        """Return a one-way delay sample in seconds for a message src→dst."""
+
+    def expected_delay(self, src: str, dst: str) -> float:
+        """Expected (mean) one-way delay; defaults to a single sample."""
+        return self.delay(src, dst)
+
+
+class UniformLatencyModel(LatencyModel):
+    """One-way delays drawn uniformly from ``[low, high]`` for every pair."""
+
+    def __init__(self, low: float = 0.01, high: float = 0.05,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        if low < 0 or high < low:
+            raise ValueError("require 0 <= low <= high")
+        self.low = low
+        self.high = high
+        self._rng = rng or np.random.default_rng(0)
+
+    def delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        return float(self._rng.uniform(self.low, self.high))
+
+    def expected_delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        return (self.low + self.high) / 2.0
+
+
+class FixedLatencyModel(LatencyModel):
+    """A constant one-way delay for every distinct pair (handy in tests)."""
+
+    def __init__(self, delay: float = 0.02) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self._delay = delay
+
+    def delay(self, src: str, dst: str) -> float:
+        return 0.0 if src == dst else self._delay
+
+    def expected_delay(self, src: str, dst: str) -> float:
+        return self.delay(src, dst)
+
+
+class PlanetLabLatencyModel(LatencyModel):
+    """Topology-driven delays with multiplicative log-normal jitter.
+
+    ``delay = base(src, dst) * lognormal(sigma) + minimum_floor`` where the
+    log-normal is centred so its mean is 1.  ``sigma = 0.25`` gives a delay
+    coefficient of variation of ~25 %, a reasonable stand-in for wide-area
+    queueing variability on mid-2000s Planet-Lab paths.
+    """
+
+    def __init__(self, topology: Topology, rng: np.random.Generator, *,
+                 jitter_sigma: float = 0.25, floor: float = 0.0005) -> None:
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        self.topology = topology
+        self._rng = rng
+        self.jitter_sigma = jitter_sigma
+        self.floor = floor
+        # mean of lognormal(mu, sigma) is exp(mu + sigma^2/2); choose mu so mean=1
+        self._mu = -0.5 * jitter_sigma ** 2
+
+    def delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        base = self.topology.one_way_delay(src, dst)
+        if self.jitter_sigma == 0:
+            return max(base, self.floor)
+        jitter = float(self._rng.lognormal(self._mu, self.jitter_sigma))
+        return max(base * jitter, self.floor)
+
+    def expected_delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        return max(self.topology.one_way_delay(src, dst), self.floor)

@@ -1,0 +1,168 @@
+"""Simulated message-passing network.
+
+Every protocol message in the reproduction — detection probes, gossip
+digests, call-for-attention requests, resolution visits, anti-entropy
+exchanges of the baselines — is sent through :meth:`Network.send`.  The
+network
+
+* samples a one-way delay from the configured :class:`LatencyModel`,
+* optionally drops the message according to a loss probability,
+* delivers it by invoking the destination node's ``deliver`` method at the
+  delayed time, and
+* records per-protocol counters (message count and payload bytes), which is
+  exactly what Table 3 of the paper reports ("overhead in number of
+  exchanged messages").
+
+Message "size" is an abstract byte count supplied by the sender (the paper
+assumes ~1 KB per message when converting counts to bandwidth).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+
+
+@dataclass
+class Message:
+    """A protocol message in flight."""
+
+    msg_id: int
+    src: str
+    dst: str
+    protocol: str
+    msg_type: str
+    payload: Any
+    size_bytes: int
+    sent_at: float
+    deliver_at: float
+
+
+@dataclass
+class NetworkStats:
+    """Aggregated message accounting, grouped by protocol label."""
+
+    sent: Dict[str, int] = field(default_factory=dict)
+    delivered: Dict[str, int] = field(default_factory=dict)
+    dropped: Dict[str, int] = field(default_factory=dict)
+    bytes_sent: Dict[str, int] = field(default_factory=dict)
+
+    def record_sent(self, protocol: str, size_bytes: int) -> None:
+        self.sent[protocol] = self.sent.get(protocol, 0) + 1
+        self.bytes_sent[protocol] = self.bytes_sent.get(protocol, 0) + size_bytes
+
+    def record_delivered(self, protocol: str) -> None:
+        self.delivered[protocol] = self.delivered.get(protocol, 0) + 1
+
+    def record_dropped(self, protocol: str) -> None:
+        self.dropped[protocol] = self.dropped.get(protocol, 0) + 1
+
+    def total_sent(self, prefix: str = "") -> int:
+        """Total messages sent whose protocol label starts with ``prefix``."""
+        return sum(v for k, v in self.sent.items() if k.startswith(prefix))
+
+    def total_bytes(self, prefix: str = "") -> int:
+        return sum(v for k, v in self.bytes_sent.items() if k.startswith(prefix))
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Return a plain-dict copy (useful for diffing before/after a phase)."""
+        return {
+            "sent": dict(self.sent),
+            "delivered": dict(self.delivered),
+            "dropped": dict(self.dropped),
+            "bytes_sent": dict(self.bytes_sent),
+        }
+
+
+class Network:
+    """Delivers messages between registered nodes with latency and loss."""
+
+    #: default payload size assumed by the paper when converting message
+    #: counts into bandwidth (Section 6.3.1: "each packet has size of 1KB").
+    DEFAULT_MESSAGE_BYTES = 1024
+
+    def __init__(self, sim: Simulator, latency: LatencyModel, *,
+                 loss_probability: float = 0.0) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency
+        self.loss_probability = loss_probability
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, Any] = {}
+        self._msg_counter = itertools.count()
+        self._loss_rng = sim.random.stream("network.loss")
+        self._in_flight: List[Message] = []
+        #: observers called with every delivered message (used by tests)
+        self.delivery_hooks: List[Callable[[Message], None]] = []
+
+    # ------------------------------------------------------------ membership
+    def register(self, node: Any) -> None:
+        """Register a node object exposing ``node_id`` and ``deliver(message)``."""
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._nodes[node_id] = node
+
+    def unregister(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> Any:
+        return self._nodes[node_id]
+
+    # ---------------------------------------------------------------- sending
+    def send(self, src: str, dst: str, *, protocol: str, msg_type: str,
+             payload: Any = None, size_bytes: Optional[int] = None) -> Optional[Message]:
+        """Send a message; returns the in-flight message or ``None`` if dropped."""
+        if dst not in self._nodes:
+            raise KeyError(f"destination node {dst!r} is not registered")
+        if src not in self._nodes:
+            raise KeyError(f"source node {src!r} is not registered")
+        size = self.DEFAULT_MESSAGE_BYTES if size_bytes is None else int(size_bytes)
+        self.stats.record_sent(protocol, size)
+
+        if self.loss_probability > 0 and self._loss_rng.random() < self.loss_probability:
+            self.stats.record_dropped(protocol)
+            return None
+
+        delay = self.latency.delay(src, dst)
+        now = self.sim.now
+        message = Message(
+            msg_id=next(self._msg_counter), src=src, dst=dst, protocol=protocol,
+            msg_type=msg_type, payload=payload, size_bytes=size,
+            sent_at=now, deliver_at=now + delay)
+        self.sim.call_after(delay, lambda: self._deliver(message),
+                            priority=Simulator.PRIORITY_NETWORK,
+                            label=f"deliver:{protocol}:{msg_type}")
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:
+            # Destination departed while the message was in flight; drop it.
+            self.stats.record_dropped(message.protocol)
+            return
+        self.stats.record_delivered(message.protocol)
+        for hook in self.delivery_hooks:
+            hook(message)
+        node.deliver(message)
+
+    # ------------------------------------------------------------- accounting
+    def messages_sent(self, protocol_prefix: str = "") -> int:
+        return self.stats.total_sent(protocol_prefix)
+
+    def bytes_sent(self, protocol_prefix: str = "") -> int:
+        return self.stats.total_bytes(protocol_prefix)
+
+    def expected_rtt(self, a: str, b: str) -> float:
+        """Expected round-trip time between two nodes (seconds)."""
+        return (self.latency.expected_delay(a, b) +
+                self.latency.expected_delay(b, a))

@@ -1,0 +1,223 @@
+"""Simulated node framework.
+
+:class:`Node` provides the plumbing every protocol participant needs:
+
+* registration with the :class:`~repro.sim.network.Network`,
+* a dispatch table from message type to handler method,
+* a request/response RPC layer built on top of one-way messages (used by the
+  resolution protocols: call-for-attention, version-info collection, update
+  push),
+* a local :class:`~repro.sim.clock.DriftingClock`, and
+* convenience timer helpers.
+
+Protocol components (detection module, resolution manager, overlay manager,
+application logic) are attached to a node as collaborators rather than
+subclasses, keeping each module small and testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.sim.clock import ClockModel, DriftingClock
+from repro.sim.engine import Simulator
+from repro.sim.network import Message, Network
+from repro.sim.process import Waiter
+
+
+class RPCError(RuntimeError):
+    """Raised when a request times out or the remote handler failed."""
+
+
+@dataclass
+class _PendingRequest:
+    waiter: Waiter
+    timeout_event: Any
+
+
+class Node:
+    """A host participating in the simulated deployment."""
+
+    #: per-message processing overhead (seconds) charged before a reply is
+    #: issued, standing in for the "computing overhead" the paper attributes
+    #: to phase two of active resolution (version-vector comparison etc.).
+    DEFAULT_PROCESSING_DELAY = 0.002
+
+    def __init__(self, sim: Simulator, network: Network, node_id: str, *,
+                 clock_model: Optional[ClockModel] = None,
+                 processing_delay: Optional[float] = None) -> None:
+        self.sim = sim
+        self.network = network
+        self.node_id = node_id
+        model = clock_model if clock_model is not None else ClockModel()
+        self.clock = DriftingClock(node_id, model,
+                                   sim.random.stream(f"clock.{node_id}"))
+        self.processing_delay = (self.DEFAULT_PROCESSING_DELAY
+                                 if processing_delay is None else processing_delay)
+        self._handlers: Dict[str, Callable[[Message], Any]] = {}
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._request_counter = itertools.count()
+        self._alive = True
+        network.register(self)
+        self.register_handler("__rpc_request__", self._handle_rpc_request)
+        self.register_handler("__rpc_response__", self._handle_rpc_response)
+
+    # -------------------------------------------------------------- lifecycle
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Take the node offline: stop receiving messages (crash-stop model)."""
+        self._alive = False
+        self.network.unregister(self.node_id)
+
+    def recover(self) -> None:
+        """Bring a failed node back online."""
+        if not self._alive:
+            self._alive = True
+            self.network.register(self)
+
+    # ------------------------------------------------------------------ time
+    def local_time(self) -> float:
+        """This node's (possibly skewed) clock reading."""
+        return self.clock.read(self.sim.now)
+
+    def call_after(self, delay: float, callback: Callable[[], None], *,
+                   label: str = "") -> Any:
+        return self.sim.call_after(delay, callback, label=f"{self.node_id}:{label}")
+
+    def call_every(self, period: float, callback: Callable[[], None], *,
+                   label: str = "", jitter: float = 0.0) -> Callable[[], None]:
+        """Run ``callback`` every ``period`` seconds until the returned
+        cancel function is invoked."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        cancelled = {"flag": False}
+        rng = self.sim.random.stream(f"timer.{self.node_id}.{label}")
+
+        def tick() -> None:
+            if cancelled["flag"] or not self._alive:
+                return
+            callback()
+            delay = period + (float(rng.uniform(-jitter, jitter)) if jitter > 0 else 0.0)
+            self.sim.call_after(max(delay, 1e-9), tick, label=f"{self.node_id}:{label}")
+
+        self.sim.call_after(period, tick, label=f"{self.node_id}:{label}")
+
+        def cancel() -> None:
+            cancelled["flag"] = True
+
+        return cancel
+
+    # ------------------------------------------------------------- messaging
+    def register_handler(self, msg_type: str, handler: Callable[[Message], Any]) -> None:
+        """Register a handler for one-way messages of type ``msg_type``."""
+        self._handlers[msg_type] = handler
+
+    def register_rpc(self, method: str, handler: Callable[[Any], Any]) -> None:
+        """Register an RPC method callable via :meth:`request`."""
+        self._handlers[f"rpc:{method}"] = handler
+
+    def send(self, dst: str, *, protocol: str, msg_type: str, payload: Any = None,
+             size_bytes: Optional[int] = None) -> Optional[Message]:
+        """Send a one-way message."""
+        if not self._alive:
+            return None
+        return self.network.send(self.node_id, dst, protocol=protocol,
+                                 msg_type=msg_type, payload=payload,
+                                 size_bytes=size_bytes)
+
+    def deliver(self, message: Message) -> None:
+        """Entry point used by the network to hand over a message."""
+        if not self._alive:
+            return
+        handler = self._handlers.get(message.msg_type)
+        if handler is None:
+            raise KeyError(
+                f"node {self.node_id!r} has no handler for {message.msg_type!r}")
+        handler(message)
+
+    # ------------------------------------------------------------------- rpc
+    def request(self, dst: str, method: str, payload: Any = None, *,
+                protocol: str, timeout: Optional[float] = None,
+                size_bytes: Optional[int] = None) -> Waiter:
+        """Issue an RPC; the returned waiter is triggered with the response.
+
+        The waiter's value is ``("ok", result)`` on success, ``("error", msg)``
+        if the remote handler raised, or ``("timeout", None)`` if ``timeout``
+        elapsed first.  :func:`unwrap_response` converts this into a value or
+        an :class:`RPCError`.
+        """
+        waiter = Waiter(self.sim)
+        if not self._alive:
+            waiter.trigger(("error", f"{self.node_id} is offline"))
+            return waiter
+        request_id = next(self._request_counter)
+        timeout_event = None
+        if timeout is not None:
+            timeout_event = self.sim.call_after(
+                timeout, lambda: self._timeout_request(request_id),
+                label=f"{self.node_id}:rpc-timeout")
+        self._pending[request_id] = _PendingRequest(waiter, timeout_event)
+        try:
+            self.send(dst, protocol=protocol, msg_type="__rpc_request__",
+                      payload={"request_id": request_id, "method": method,
+                               "args": payload, "reply_to": self.node_id,
+                               "protocol": protocol},
+                      size_bytes=size_bytes)
+        except KeyError:
+            # Destination is offline/unregistered: fail the RPC rather than
+            # blowing up the caller (callers treat it like an unreachable peer).
+            self._pending.pop(request_id, None)
+            if timeout_event is not None:
+                timeout_event.cancel()
+            waiter.trigger(("error", f"destination {dst!r} is unreachable"))
+        return waiter
+
+    def _timeout_request(self, request_id: int) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is not None:
+            pending.waiter.trigger(("timeout", None))
+
+    def _handle_rpc_request(self, message: Message) -> None:
+        payload = message.payload
+        method = payload["method"]
+        handler = self._handlers.get(f"rpc:{method}")
+
+        def respond() -> None:
+            if handler is None:
+                result = ("error", f"unknown RPC method {method!r} on {self.node_id}")
+            else:
+                try:
+                    result = ("ok", handler(payload["args"]))
+                except Exception as exc:  # noqa: BLE001 - propagate to caller
+                    result = ("error", f"{type(exc).__name__}: {exc}")
+            self.send(payload["reply_to"], protocol=payload["protocol"],
+                      msg_type="__rpc_response__",
+                      payload={"request_id": payload["request_id"], "result": result})
+
+        if self.processing_delay > 0:
+            self.sim.call_after(self.processing_delay, respond,
+                                label=f"{self.node_id}:rpc-process:{method}")
+        else:
+            respond()
+
+    def _handle_rpc_response(self, message: Message) -> None:
+        payload = message.payload
+        pending = self._pending.pop(payload["request_id"], None)
+        if pending is None:
+            return  # response after timeout; ignore
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        pending.waiter.trigger(payload["result"])
+
+
+def unwrap_response(result: Any) -> Any:
+    """Convert an RPC waiter value into the handler result or raise RPCError."""
+    status, value = result
+    if status == "ok":
+        return value
+    raise RPCError(str(value) if value is not None else status)

@@ -1,0 +1,162 @@
+"""Per-node replica of a shared object.
+
+A :class:`Replica` couples three things that must stay in step:
+
+* the :class:`~repro.store.update_log.UpdateLog` of applied updates,
+* the current :class:`~repro.versioning.extended_vector.ExtendedVersionVector`,
+* per-writer sequence counters for locally issued writes.
+
+The consistency level the user perceives (Figures 7, 8 and 10 of the paper)
+is always computed from a replica's extended vector compared against a
+reference state, so keeping vector and log consistent is the core invariant
+of this module (checked by property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.store.update_log import UpdateLog
+from repro.versioning.extended_vector import (
+    ErrorTriple,
+    ExtendedVersionVector,
+    UpdateRecord,
+)
+from repro.versioning.version_vector import VersionVector
+
+
+@dataclass(frozen=True)
+class ReplicaSnapshot:
+    """A point-in-time view of a replica handed to detection/resolution."""
+
+    node_id: str
+    object_id: str
+    vector: ExtendedVersionVector
+    taken_at: float
+
+    @property
+    def counts(self) -> VersionVector:
+        return self.vector.counts()
+
+
+class Replica:
+    """One node's copy of one shared object."""
+
+    def __init__(self, node_id: str, object_id: str, *,
+                 initial_consistent_time: float = 0.0) -> None:
+        self.node_id = node_id
+        self.object_id = object_id
+        self.log = UpdateLog()
+        self._vector = ExtendedVersionVector(
+            last_consistent_time=initial_consistent_time)
+        self._local_seq: Dict[str, int] = {}
+        #: number of updates blocked because a resolution was in progress
+        self.blocked_writes = 0
+        #: whether writes are currently blocked (during a resolution round)
+        self.write_blocked = False
+
+    # -------------------------------------------------------------- access
+    @property
+    def vector(self) -> ExtendedVersionVector:
+        return self._vector
+
+    @property
+    def metadata(self) -> float:
+        return self._vector.metadata
+
+    def snapshot(self, now: float) -> ReplicaSnapshot:
+        return ReplicaSnapshot(node_id=self.node_id, object_id=self.object_id,
+                               vector=self._vector, taken_at=now)
+
+    def known_update_keys(self) -> Set[Tuple[str, int]]:
+        return self._vector.update_keys()
+
+    def content(self) -> List[Any]:
+        """Application payloads of live updates, in timestamp order."""
+        records = sorted(self.log.records(), key=lambda r: (r.timestamp, r.writer, r.seq))
+        return [r.payload for r in records]
+
+    # -------------------------------------------------------------- writes
+    def next_seq(self, writer: str) -> int:
+        """Sequence number the next local write by ``writer`` should carry."""
+        return self._vector.count(writer) + 1
+
+    def local_write(self, writer: str, timestamp: float, *,
+                    metadata_delta: float = 0.0, payload: Any = None,
+                    applied_at: Optional[float] = None) -> Optional[UpdateRecord]:
+        """Issue a local write.
+
+        Returns the created record, or ``None`` when writes are blocked
+        because a resolution round is in progress (the paper blocks updates
+        during resolution "to prevent invalid updates that [are] based on an
+        inconsistent copy").
+        """
+        if self.write_blocked:
+            self.blocked_writes += 1
+            return None
+        record = UpdateRecord(writer=writer, seq=self.next_seq(writer),
+                              timestamp=timestamp, metadata_delta=metadata_delta,
+                              payload=payload)
+        self.apply_update(record, applied_at=applied_at if applied_at is not None else timestamp)
+        return record
+
+    def apply_update(self, record: UpdateRecord, applied_at: float) -> bool:
+        """Apply a (local or remote) update idempotently.
+
+        Returns True when the update was new.  Remote updates must arrive in
+        per-writer sequence order; resolution pushes satisfy this because the
+        initiator sends each writer's missing updates sorted by sequence.
+        """
+        if record.key() in self._vector.update_keys():
+            return False
+        self._vector = self._vector.apply(record)
+        self.log.append(record, applied_at=applied_at)
+        return True
+
+    def apply_updates(self, records: List[UpdateRecord], applied_at: float) -> int:
+        """Apply many updates (sorted per writer by seq); returns new count."""
+        new = 0
+        for record in sorted(records, key=lambda r: (r.writer, r.seq)):
+            if self.apply_update(record, applied_at=applied_at):
+                new += 1
+        return new
+
+    # ----------------------------------------------------- resolution hooks
+    def block_writes(self) -> None:
+        self.write_blocked = True
+
+    def unblock_writes(self) -> None:
+        self.write_blocked = False
+
+    def mark_consistent(self, time: float) -> None:
+        """Record that the replica was brought to a consistent state at ``time``."""
+        self._vector = self._vector.with_consistent_time(time)
+
+    def attach_triple(self, triple: ErrorTriple) -> None:
+        self._vector = self._vector.with_triple(triple)
+
+    def install_merged(self, merged: ExtendedVersionVector, *, now: float) -> int:
+        """Install the resolved consistent image: apply every missing update.
+
+        Returns the number of updates pulled in.  The replica's own extra
+        updates (if any) are kept — the merged image by construction contains
+        them, so vectors converge.
+        """
+        missing = merged.missing_from(self._vector)
+        applied = self.apply_updates(missing, applied_at=now)
+        self.mark_consistent(now)
+        return applied
+
+    def invalidate_updates(self, keys: List[Tuple[str, int]]) -> int:
+        """Tombstone updates chosen by the invalidate-both policy."""
+        return self.log.invalidate(keys)
+
+    def roll_back_after(self, time: float) -> List[UpdateRecord]:
+        """Roll back updates applied after ``time`` (bottom-layer discrepancy)."""
+        return self.log.roll_back_after(time)
+
+    # -------------------------------------------------------------- dunder
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Replica {self.object_id}@{self.node_id} "
+                f"updates={self._vector.total_updates()} meta={self.metadata:g}>")

@@ -1,0 +1,115 @@
+"""Append-only update log kept by each replica.
+
+The log records every :class:`~repro.versioning.extended_vector.UpdateRecord`
+applied to the replica, in application order.  It supports the operations the
+protocols need:
+
+* appending local writes and remote updates idempotently,
+* extracting the updates missing from a peer (for resolution pushes),
+* tombstoning updates invalidated by the *invalidate-both* resolution policy
+  (Section 4.5.1), and
+* replaying the surviving updates to rebuild application state after a
+  rollback (Section 4.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.versioning.extended_vector import UpdateRecord
+
+
+@dataclass
+class LogEntry:
+    """One applied update plus bookkeeping flags."""
+
+    record: UpdateRecord
+    applied_at: float
+    invalidated: bool = False
+    rolled_back: bool = False
+
+    @property
+    def live(self) -> bool:
+        return not self.invalidated and not self.rolled_back
+
+
+class UpdateLog:
+    """Ordered, idempotent log of updates applied to one replica."""
+
+    def __init__(self) -> None:
+        self._entries: List[LogEntry] = []
+        self._index: Dict[Tuple[str, int], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._index
+
+    # -------------------------------------------------------------- appends
+    def append(self, record: UpdateRecord, applied_at: float) -> bool:
+        """Append a record; returns False if it was already present."""
+        key = record.key()
+        if key in self._index:
+            return False
+        self._index[key] = len(self._entries)
+        self._entries.append(LogEntry(record=record, applied_at=applied_at))
+        return True
+
+    def extend(self, records: Iterable[UpdateRecord], applied_at: float) -> int:
+        """Append many records; returns how many were new."""
+        return sum(1 for r in records if self.append(r, applied_at))
+
+    # ------------------------------------------------------------- queries
+    def entries(self, include_dead: bool = False) -> List[LogEntry]:
+        if include_dead:
+            return list(self._entries)
+        return [e for e in self._entries if e.live]
+
+    def records(self, include_dead: bool = False) -> List[UpdateRecord]:
+        return [e.record for e in self.entries(include_dead=include_dead)]
+
+    def record_keys(self) -> Set[Tuple[str, int]]:
+        return set(self._index)
+
+    def get(self, key: Tuple[str, int]) -> Optional[LogEntry]:
+        idx = self._index.get(key)
+        return self._entries[idx] if idx is not None else None
+
+    def missing_from(self, known_keys: Set[Tuple[str, int]]) -> List[UpdateRecord]:
+        """Live records present here that the peer (with ``known_keys``) lacks."""
+        return [e.record for e in self._entries if e.live and e.record.key() not in known_keys]
+
+    def applied_since(self, time: float) -> List[LogEntry]:
+        """Entries applied strictly after ``time`` (rollback candidates)."""
+        return [e for e in self._entries if e.applied_at > time]
+
+    # ------------------------------------------------------------ mutation
+    def invalidate(self, keys: Iterable[Tuple[str, int]]) -> int:
+        """Tombstone the given updates (invalidate-both policy); returns count."""
+        count = 0
+        for key in keys:
+            entry = self.get(key)
+            if entry is not None and not entry.invalidated:
+                entry.invalidated = True
+                count += 1
+        return count
+
+    def roll_back_after(self, time: float) -> List[UpdateRecord]:
+        """Mark all updates applied after ``time`` as rolled back.
+
+        Returns the affected records so the caller can notify the user
+        (the paper handles rollback "in the background and return[s] the
+        result to the users afterwards").
+        """
+        rolled: List[UpdateRecord] = []
+        for entry in self._entries:
+            if entry.applied_at > time and not entry.rolled_back:
+                entry.rolled_back = True
+                rolled.append(entry.record)
+        return rolled
+
+    def live_metadata(self) -> float:
+        """Sum of metadata deltas over live updates."""
+        return sum(e.record.metadata_delta for e in self._entries if e.live)

@@ -1,0 +1,41 @@
+"""Version-vector algebra.
+
+IDEA detects inconsistency by exchanging *version vectors* (Parker et al.,
+1983) among replicas and extends them (Section 4.4.1, Figure 5) with
+
+* per-update timestamps,
+* an application-supplied numerical meta-datum (e.g. sum of ASCII codes of
+  recent white-board updates, or total sale price of a booking server), and
+* the TACT-style ``<numerical error, order error, staleness>`` triple.
+
+This subpackage provides both the classic vector
+(:class:`~repro.versioning.version_vector.VersionVector`) and the extended
+vector (:class:`~repro.versioning.extended_vector.ExtendedVersionVector`),
+plus the comparison/merge algebra used by detection and resolution
+(:mod:`repro.versioning.conflict`).
+"""
+
+from repro.versioning.version_vector import Ordering, VersionVector
+from repro.versioning.extended_vector import (
+    ErrorTriple,
+    ExtendedVersionVector,
+    UpdateRecord,
+)
+from repro.versioning.conflict import (
+    ConflictReport,
+    compare_extended,
+    detect_conflict,
+    merge_vectors,
+)
+
+__all__ = [
+    "Ordering",
+    "VersionVector",
+    "ErrorTriple",
+    "ExtendedVersionVector",
+    "UpdateRecord",
+    "ConflictReport",
+    "compare_extended",
+    "detect_conflict",
+    "merge_vectors",
+]

@@ -1,0 +1,110 @@
+"""Conflict detection and reference-state selection helpers.
+
+The detection module's public face is the paper's ``detect(update)`` API:
+"success" when no inconsistency exists, "fail" when a conflict is detected
+(Section 4.3).  Internally that decision is made here by comparing version
+vectors; this module also implements the *reference consistent state*
+selection rule used in Section 4.4.1 ("the replica with higher ID value
+becomes the reference consistent state") and the pairwise merge used by the
+resolution mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+@dataclass(frozen=True)
+class ConflictReport:
+    """Outcome of comparing two replicas' vectors."""
+
+    ordering: Ordering
+    #: True when the replicas differ at all (either direction or concurrent)
+    inconsistent: bool
+    #: True only for concurrent (incomparable) vectors — a genuine conflict
+    conflicting: bool
+    #: error triple of the first replica measured against the reference
+    triple_a: ErrorTriple
+    #: error triple of the second replica measured against the reference
+    triple_b: ErrorTriple
+    #: which replica id was chosen as the reference consistent state
+    reference_id: str
+
+
+def detect_conflict(vv_a: VersionVector, vv_b: VersionVector) -> bool:
+    """The boolean core of ``detect(update)``: True when replicas differ.
+
+    Per Section 4.3, "two replicas are inconsistent if their version vectors
+    are different" — this includes the comparable (stale-but-ordered) case,
+    not only concurrent writes.
+    """
+    return vv_a.compare(vv_b) is not Ordering.EQUAL
+
+
+def choose_reference(id_a: str, vec_a: ExtendedVersionVector,
+                     id_b: str, vec_b: ExtendedVersionVector) -> Tuple[str, ExtendedVersionVector]:
+    """Choose the reference consistent state between two replicas.
+
+    If one vector dominates the other, the dominating one is the natural
+    reference (it already contains every update).  When the vectors are
+    concurrent the paper's example rule applies: the replica with the higher
+    ID value wins ("IDEA will choose b (b > a)").
+    """
+    ordering = vec_a.compare(vec_b)
+    if ordering is Ordering.AFTER:
+        return id_a, vec_a
+    if ordering is Ordering.BEFORE:
+        return id_b, vec_b
+    if ordering is Ordering.EQUAL:
+        # Either works; keep the rule deterministic.
+        return (id_a, vec_a) if id_a >= id_b else (id_b, vec_b)
+    return (id_a, vec_a) if id_a > id_b else (id_b, vec_b)
+
+
+def compare_extended(id_a: str, vec_a: ExtendedVersionVector,
+                     id_b: str, vec_b: ExtendedVersionVector) -> ConflictReport:
+    """Full pairwise comparison: ordering, conflict flag and error triples."""
+    ordering = vec_a.compare(vec_b)
+    reference_id, reference_vec = choose_reference(id_a, vec_a, id_b, vec_b)
+    triple_a = vec_a.error_triple_against(reference_vec)
+    triple_b = vec_b.error_triple_against(reference_vec)
+    return ConflictReport(
+        ordering=ordering,
+        inconsistent=ordering is not Ordering.EQUAL,
+        conflicting=ordering is Ordering.CONCURRENT,
+        triple_a=triple_a,
+        triple_b=triple_b,
+        reference_id=reference_id,
+    )
+
+
+def merge_vectors(vectors: Sequence[ExtendedVersionVector], *,
+                  consistent_time: Optional[float] = None) -> ExtendedVersionVector:
+    """Merge any number of extended vectors into one consistent image.
+
+    This is what the resolution initiator computes after collecting version
+    information from every top-layer member: the union of all known updates.
+    """
+    if not vectors:
+        raise ValueError("merge_vectors requires at least one vector")
+    merged = vectors[0]
+    for vec in vectors[1:]:
+        merged = merged.merge(vec, consistent_time=consistent_time)
+    if consistent_time is not None:
+        merged = merged.with_consistent_time(consistent_time)
+    return merged
+
+
+def pairwise_conflicts(vectors: Iterable[Tuple[str, ExtendedVersionVector]]) -> List[Tuple[str, str]]:
+    """Return all pairs of replica ids whose vectors are concurrent."""
+    items = list(vectors)
+    conflicts: List[Tuple[str, str]] = []
+    for i, (id_a, vec_a) in enumerate(items):
+        for id_b, vec_b in items[i + 1:]:
+            if vec_a.compare(vec_b) is Ordering.CONCURRENT:
+                conflicts.append((id_a, id_b))
+    return conflicts

@@ -1,0 +1,279 @@
+"""Extended version vectors (paper Section 4.4.1, Figures 4 and 5).
+
+IDEA's extended version vector augments the classic per-writer update counts
+with three extras:
+
+1. **Per-update timestamps** — e.g. ``A:2(1, 2)`` means writer A's two
+   updates happened at (node-local, NTP-bounded) times 1 and 2.  These are
+   the basis of the *staleness* component of the error triple.
+2. **A numerical application meta-datum** (the ``[5]`` column in Figure 5) —
+   a quick summary of the replica's content whose gap between two replicas
+   gives the *numerical error* (sum of ASCII codes for a white board; total
+   sale price for the booking system).
+3. **The TACT-style error triple** ``<numerical error, order error,
+   staleness>`` — computed against a chosen *reference consistent state* and
+   carried along with the vector.
+
+The worked example of Figure 4 is reproduced verbatim in
+``tests/test_extended_vector.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+@dataclass(frozen=True)
+class UpdateRecord:
+    """A single write applied to a replica.
+
+    Attributes
+    ----------
+    writer:
+        Identity of the writer (node/user id).
+    seq:
+        The writer's sequence number for this update (1-based, strictly
+        increasing per writer).
+    timestamp:
+        The writer's clock reading when the update was issued.
+    metadata_delta:
+        Contribution of this update to the replica's numerical meta-datum.
+    payload:
+        Opaque application content (white-board stroke, booking record, ...).
+    """
+
+    writer: str
+    seq: int
+    timestamp: float
+    metadata_delta: float = 0.0
+    payload: Any = None
+
+    def key(self) -> Tuple[str, int]:
+        """Unique identity of the update: (writer, per-writer sequence)."""
+        return (self.writer, self.seq)
+
+
+@dataclass(frozen=True)
+class ErrorTriple:
+    """The ``<numerical error, order error, staleness>`` triple."""
+
+    numerical: float = 0.0
+    order: float = 0.0
+    staleness: float = 0.0
+
+    #: the all-zero triple (set right after the class definition)
+    ZERO: ClassVar["ErrorTriple"]
+
+    def __post_init__(self) -> None:
+        if self.numerical < 0 or self.order < 0 or self.staleness < 0:
+            raise ValueError(f"error components must be non-negative: {self}")
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.numerical, self.order, self.staleness)
+
+    def max_with(self, other: "ErrorTriple") -> "ErrorTriple":
+        return ErrorTriple(max(self.numerical, other.numerical),
+                           max(self.order, other.order),
+                           max(self.staleness, other.staleness))
+
+
+ErrorTriple.ZERO = ErrorTriple(0.0, 0.0, 0.0)
+
+
+class ExtendedVersionVector:
+    """Immutable extended version vector.
+
+    Instances are value objects: :meth:`apply` and :meth:`merge` return new
+    vectors.  A replica's current vector lives in
+    :class:`repro.store.replica.Replica`.
+    """
+
+    __slots__ = ("_updates", "_metadata", "_last_consistent_time", "_triple")
+
+    def __init__(self, updates: Mapping[str, Tuple[UpdateRecord, ...]] | None = None,
+                 metadata: float = 0.0, last_consistent_time: float = 0.0,
+                 triple: ErrorTriple = ErrorTriple.ZERO) -> None:
+        cleaned: Dict[str, Tuple[UpdateRecord, ...]] = {}
+        if updates:
+            for writer, records in updates.items():
+                records = tuple(sorted(records, key=lambda r: r.seq))
+                if not records:
+                    continue
+                seqs = [r.seq for r in records]
+                if len(set(seqs)) != len(seqs):
+                    raise ValueError(f"duplicate sequence numbers for writer {writer!r}")
+                if any(r.writer != writer for r in records):
+                    raise ValueError("update record writer does not match map key")
+                cleaned[writer] = records
+        self._updates = cleaned
+        self._metadata = float(metadata)
+        self._last_consistent_time = float(last_consistent_time)
+        self._triple = triple
+
+    # ----------------------------------------------------------- properties
+    @property
+    def metadata(self) -> float:
+        """Current numerical meta-datum of the replica."""
+        return self._metadata
+
+    @property
+    def last_consistent_time(self) -> float:
+        """Last time point at which the replica was known to be consistent."""
+        return self._last_consistent_time
+
+    @property
+    def triple(self) -> ErrorTriple:
+        """Most recently attached error triple (zero until a comparison)."""
+        return self._triple
+
+    def counts(self) -> VersionVector:
+        """Project onto a classic version vector of per-writer counts."""
+        return VersionVector({w: len(records) for w, records in self._updates.items()})
+
+    def count(self, writer: str) -> int:
+        return len(self._updates.get(writer, ()))
+
+    def writers(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._updates))
+
+    def updates_from(self, writer: str) -> Tuple[UpdateRecord, ...]:
+        return self._updates.get(writer, ())
+
+    def all_updates(self) -> List[UpdateRecord]:
+        """Every known update, ordered by timestamp then writer (stable)."""
+        records = [r for recs in self._updates.values() for r in recs]
+        return sorted(records, key=lambda r: (r.timestamp, r.writer, r.seq))
+
+    def update_keys(self) -> set:
+        return {r.key() for recs in self._updates.values() for r in recs}
+
+    def latest_update_time(self) -> float:
+        """Timestamp of the most recent update known to this replica."""
+        times = [r.timestamp for recs in self._updates.values() for r in recs]
+        return max(times) if times else self._last_consistent_time
+
+    def total_updates(self) -> int:
+        return sum(len(recs) for recs in self._updates.values())
+
+    # -------------------------------------------------------------- algebra
+    def apply(self, record: UpdateRecord) -> "ExtendedVersionVector":
+        """Apply a local or remote update and return the resulting vector."""
+        existing = self._updates.get(record.writer, ())
+        expected_seq = len(existing) + 1
+        if record.seq != expected_seq:
+            if record.key() in {r.key() for r in existing}:
+                return self  # duplicate delivery: idempotent
+            raise ValueError(
+                f"out-of-order update from {record.writer!r}: got seq {record.seq}, "
+                f"expected {expected_seq}")
+        updates = dict(self._updates)
+        updates[record.writer] = existing + (record,)
+        return ExtendedVersionVector(
+            updates=updates,
+            metadata=self._metadata + record.metadata_delta,
+            last_consistent_time=self._last_consistent_time,
+            triple=self._triple)
+
+    def merge(self, other: "ExtendedVersionVector",
+              consistent_time: Optional[float] = None) -> "ExtendedVersionVector":
+        """Union of the update sets of both replicas (resolution outcome).
+
+        The merged metadata is recomputed from the union of updates so it
+        stays consistent with the update history, and the error triple is
+        reset to zero — after a resolution both replicas are consistent.
+        """
+        updates: Dict[str, Tuple[UpdateRecord, ...]] = {}
+        for writer in set(self._updates) | set(other._updates):
+            mine = {r.seq: r for r in self._updates.get(writer, ())}
+            theirs = {r.seq: r for r in other._updates.get(writer, ())}
+            merged = dict(theirs)
+            merged.update(mine)  # identical keys should carry identical records
+            seqs = sorted(merged)
+            if seqs != list(range(1, len(seqs) + 1)):
+                raise ValueError(
+                    f"cannot merge: missing intermediate updates for writer {writer!r}")
+            updates[writer] = tuple(merged[s] for s in seqs)
+        metadata = sum(r.metadata_delta
+                       for recs in updates.values() for r in recs)
+        new_time = consistent_time
+        if new_time is None:
+            new_time = max(self._last_consistent_time, other._last_consistent_time)
+        return ExtendedVersionVector(updates=updates, metadata=metadata,
+                                     last_consistent_time=new_time,
+                                     triple=ErrorTriple.ZERO)
+
+    def with_triple(self, triple: ErrorTriple) -> "ExtendedVersionVector":
+        """Attach a freshly computed error triple (Figure 4(d))."""
+        return ExtendedVersionVector(updates=self._updates, metadata=self._metadata,
+                                     last_consistent_time=self._last_consistent_time,
+                                     triple=triple)
+
+    def with_consistent_time(self, time: float) -> "ExtendedVersionVector":
+        """Mark the replica as consistent as of ``time`` (post-resolution)."""
+        return ExtendedVersionVector(updates=self._updates, metadata=self._metadata,
+                                     last_consistent_time=time, triple=ErrorTriple.ZERO)
+
+    # ------------------------------------------------------------ comparison
+    def compare(self, other: "ExtendedVersionVector") -> Ordering:
+        """Compare using the classic count projection."""
+        return self.counts().compare(other.counts())
+
+    def missing_from(self, other: "ExtendedVersionVector") -> List[UpdateRecord]:
+        """Updates known here but absent from ``other`` (what to push)."""
+        other_keys = other.update_keys()
+        return [r for r in self.all_updates() if r.key() not in other_keys]
+
+    def error_triple_against(self, reference: "ExtendedVersionVector") -> ErrorTriple:
+        """Compute ``<numerical, order, staleness>`` against a reference state.
+
+        Following the paper's worked example (Figure 4(d)):
+
+        * numerical error — absolute gap between the two meta-data values,
+        * order error — total per-writer count gap in both directions
+          ("misses one update and has two extra ones ⇒ order error 3"),
+        * staleness — gap between the reference's most recent update time and
+          the last time point at which this replica was consistent.
+        """
+        numerical = abs(self._metadata - reference._metadata)
+        order = float(self.counts().order_distance(reference.counts()))
+        staleness = max(0.0, reference.latest_update_time() - self._last_consistent_time)
+        return ErrorTriple(numerical=numerical, order=order, staleness=staleness)
+
+    # -------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExtendedVersionVector):
+            return NotImplemented
+        return (self._updates == other._updates
+                and self._metadata == other._metadata)
+
+    def __hash__(self) -> int:
+        return hash((tuple(sorted((w, tuple(r.key() for r in recs))
+                                  for w, recs in self._updates.items())),
+                     self._metadata))
+
+    def __repr__(self) -> str:
+        parts = []
+        for writer, recs in sorted(self._updates.items()):
+            times = ", ".join(f"{r.timestamp:g}" for r in recs)
+            parts.append(f"{writer}:{len(recs)}({times})")
+        t = self._triple
+        return (f"<EVV {' '.join(parts) or 'empty'} [{self._metadata:g}] "
+                f"<{t.numerical:g},{t.order:g},{t.staleness:g}>>")
+
+    # --------------------------------------------------------- construction
+    @classmethod
+    def from_updates(cls, records: Iterable[UpdateRecord], *,
+                     last_consistent_time: float = 0.0) -> "ExtendedVersionVector":
+        """Build a vector by applying records grouped per writer in seq order."""
+        vector = cls(last_consistent_time=last_consistent_time)
+        grouped: Dict[str, List[UpdateRecord]] = {}
+        for record in records:
+            grouped.setdefault(record.writer, []).append(record)
+        # Apply per writer in sequence order; interleave writers deterministically.
+        for writer in sorted(grouped):
+            for record in sorted(grouped[writer], key=lambda r: r.seq):
+                vector = vector.apply(record)
+        return vector

@@ -1,0 +1,152 @@
+"""Classic version vectors (Parker et al., 1983).
+
+A version vector maps each writer identity to the number of updates that
+writer has applied to a replica.  Two replicas are consistent exactly when
+their vectors are equal; a vector *dominates* another when it has seen at
+least as many updates from every writer; two vectors that do not dominate
+each other are *concurrent* (the replicas conflict and, per Section 4.5.1 of
+the paper, a resolution policy must decide the outcome).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class Ordering(enum.Enum):
+    """Outcome of comparing two version vectors."""
+
+    EQUAL = "equal"
+    BEFORE = "before"        # self < other: other dominates
+    AFTER = "after"          # self > other: self dominates
+    CONCURRENT = "concurrent"  # incomparable: conflicting updates
+
+    @property
+    def comparable(self) -> bool:
+        """True when the two vectors are ordered (u < v, u = v or u > v)."""
+        return self is not Ordering.CONCURRENT
+
+
+class VersionVector:
+    """An immutable mapping from writer id to update count.
+
+    Zero entries are normalised away so that ``VersionVector({"A": 0}) ==
+    VersionVector()``; this keeps equality and hashing well defined as
+    writers join over time.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Mapping[str, int] | None = None) -> None:
+        cleaned: Dict[str, int] = {}
+        if counts:
+            for writer, count in counts.items():
+                if count < 0:
+                    raise ValueError(f"negative update count for {writer!r}: {count}")
+                if count > 0:
+                    cleaned[str(writer)] = int(count)
+        self._counts: Dict[str, int] = cleaned
+
+    # ----------------------------------------------------------- inspection
+    def count(self, writer: str) -> int:
+        """Number of updates from ``writer`` reflected in this vector."""
+        return self._counts.get(writer, 0)
+
+    def writers(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._counts))
+
+    def total_updates(self) -> int:
+        """Total number of updates across all writers."""
+        return sum(self._counts.values())
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._counts))
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __bool__(self) -> bool:
+        return bool(self._counts)
+
+    # ------------------------------------------------------------- mutation
+    def increment(self, writer: str, amount: int = 1) -> "VersionVector":
+        """Return a new vector with ``writer``'s count increased."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        counts = dict(self._counts)
+        counts[writer] = counts.get(writer, 0) + amount
+        return VersionVector(counts)
+
+    def merge(self, other: "VersionVector") -> "VersionVector":
+        """Pointwise maximum — the least vector dominating both inputs."""
+        counts = dict(self._counts)
+        for writer, count in other._counts.items():
+            counts[writer] = max(counts.get(writer, 0), count)
+        return VersionVector(counts)
+
+    # ------------------------------------------------------------ comparison
+    def compare(self, other: "VersionVector") -> Ordering:
+        """Classify the relationship between two vectors."""
+        writers = set(self._counts) | set(other._counts)
+        self_ge = all(self.count(w) >= other.count(w) for w in writers)
+        other_ge = all(other.count(w) >= self.count(w) for w in writers)
+        if self_ge and other_ge:
+            return Ordering.EQUAL
+        if self_ge:
+            return Ordering.AFTER
+        if other_ge:
+            return Ordering.BEFORE
+        return Ordering.CONCURRENT
+
+    def dominates(self, other: "VersionVector") -> bool:
+        """True if this vector has seen every update the other has."""
+        return self.compare(other) in (Ordering.EQUAL, Ordering.AFTER)
+
+    def concurrent_with(self, other: "VersionVector") -> bool:
+        return self.compare(other) is Ordering.CONCURRENT
+
+    def difference(self, other: "VersionVector") -> Dict[str, int]:
+        """Per-writer updates present here but missing from ``other``."""
+        out: Dict[str, int] = {}
+        for writer in set(self._counts) | set(other._counts):
+            gap = self.count(writer) - other.count(writer)
+            if gap > 0:
+                out[writer] = gap
+        return out
+
+    def order_distance(self, other: "VersionVector") -> int:
+        """Total update-count gap in both directions.
+
+        This is the paper's *order error* between two plain vectors: in the
+        worked example of Figure 4, replica ``a`` "misses one update and has
+        two extra ones, so the order error is 3".
+        """
+        distance = 0
+        for writer in set(self._counts) | set(other._counts):
+            distance += abs(self.count(writer) - other.count(writer))
+        return distance
+
+    # ------------------------------------------------------------- dunder
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VersionVector):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._counts.items())))
+
+    def __repr__(self) -> str:
+        inner = " ".join(f"{w}:{c}" for w, c in sorted(self._counts.items()))
+        return f"<VV {inner or 'empty'}>"
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_items(cls, items: Iterable[Tuple[str, int]]) -> "VersionVector":
+        return cls(dict(items))

@@ -1,0 +1,102 @@
+"""Unit tests for the paper's analytical formulae (2)–(5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.formulas import (
+    DelayModel,
+    active_resolution_delay,
+    background_resolution_delay,
+    fit_delay_model,
+    messages_per_round,
+    optimal_background_rate,
+    paper_delay_model,
+    round_cost_bits,
+)
+
+
+class TestDelayModel:
+    def test_paper_formula_2_values(self):
+        """Delay(4) = 0.468 ms + 104.747 ms * 3 ≈ 314.7 ms (Table 2 / Formula 2)."""
+        model = paper_delay_model()
+        assert model.predict(4) * 1e3 == pytest.approx(0.46825 + 3 * 104.747, rel=1e-6)
+
+    def test_paper_ten_writers_below_one_second(self):
+        """The paper's headline scalability claim (Figure 9)."""
+        assert paper_delay_model().predict(10) < 1.0
+
+    def test_background_formula_3_has_no_phase1(self):
+        assert background_resolution_delay(4) == pytest.approx(3 * 104.747e-3)
+
+    def test_active_formula_2_helper(self):
+        assert active_resolution_delay(1) == pytest.approx(0.46825e-3)
+
+    def test_predict_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            paper_delay_model().predict(0)
+
+    def test_predict_many(self):
+        model = DelayModel(phase1=1.0, per_member=2.0)
+        assert model.predict_many([1, 2, 3]) == [1.0, 3.0, 5.0]
+
+
+class TestFitDelayModel:
+    def test_recovers_exact_linear_data(self):
+        true = DelayModel(phase1=0.001, per_member=0.1)
+        samples = [(n, true.predict(n)) for n in range(2, 11)]
+        fitted = fit_delay_model(samples)
+        assert fitted.phase1 == pytest.approx(0.001, abs=1e-9)
+        assert fitted.per_member == pytest.approx(0.1, abs=1e-9)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_delay_model([(2, 0.2)])
+
+    def test_fit_is_robust_to_noise(self):
+        import numpy as np
+        rng = np.random.default_rng(0)
+        true = DelayModel(phase1=0.0005, per_member=0.08)
+        samples = [(n, true.predict(n) * float(rng.uniform(0.95, 1.05)))
+                   for n in range(2, 12)]
+        fitted = fit_delay_model(samples)
+        assert fitted.per_member == pytest.approx(0.08, rel=0.15)
+
+    def test_negative_coefficients_clamped(self):
+        fitted = fit_delay_model([(2, 0.001), (3, 0.0005), (4, 0.0001)])
+        assert fitted.per_member >= 0.0
+
+
+class TestOverheadFormulae:
+    def test_messages_per_round_pools_experiments(self):
+        """The paper: (168 + 96) / 6 = 44 messages per round (Formula 5)."""
+        assert messages_per_round([168, 96], [4, 2]) == pytest.approx(44.0)
+
+    def test_messages_per_round_requires_rounds(self):
+        with pytest.raises(ValueError):
+            messages_per_round([10], [0])
+
+    def test_optimal_rate_formula_4(self):
+        # b = 1 Mbps, x = 20%, c = 44 messages * 1 KB = 360448 bits
+        cost = round_cost_bits(44, 1024)
+        rate = optimal_background_rate(1_000_000, 0.2, cost)
+        assert rate == pytest.approx(200_000 / cost)
+
+    def test_optimal_rate_validation(self):
+        with pytest.raises(ValueError):
+            optimal_background_rate(0, 0.2, 1)
+        with pytest.raises(ValueError):
+            optimal_background_rate(1, 0, 1)
+        with pytest.raises(ValueError):
+            optimal_background_rate(1, 0.2, 0)
+
+    def test_round_cost_bits(self):
+        assert round_cost_bits(10, 100) == 8000
+        with pytest.raises(ValueError):
+            round_cost_bits(0, 100)
+
+    def test_paper_bandwidth_estimate_is_tiny(self):
+        """Section 6.3.1: 168 KB over 100 s ≈ 1.68 KB/s — trivial bandwidth."""
+        total_bytes = 168 * 1024
+        rate_kbps = total_bytes / 100 / 1024
+        assert rate_kbps == pytest.approx(1.68, abs=0.01)

@@ -1,0 +1,108 @@
+"""Unit tests for conflict detection and reference-state selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.versioning.conflict import (
+    choose_reference,
+    compare_extended,
+    detect_conflict,
+    merge_vectors,
+    pairwise_conflicts,
+)
+from repro.versioning.extended_vector import ExtendedVersionVector, UpdateRecord
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+def rec(writer, seq, ts, delta=1.0):
+    return UpdateRecord(writer=writer, seq=seq, timestamp=ts, metadata_delta=delta)
+
+
+def evv(*records, lct=0.0):
+    return ExtendedVersionVector.from_updates(list(records), last_consistent_time=lct)
+
+
+class TestDetectConflict:
+    def test_equal_vectors_are_consistent(self):
+        assert not detect_conflict(VersionVector({"A": 1}), VersionVector({"A": 1}))
+
+    def test_stale_vector_is_inconsistent(self):
+        """Per §4.3, any difference counts as inconsistency, not only conflicts."""
+        assert detect_conflict(VersionVector({"A": 1}), VersionVector({"A": 2}))
+
+    def test_concurrent_vectors_are_inconsistent(self):
+        assert detect_conflict(VersionVector({"A": 1}), VersionVector({"B": 1}))
+
+
+class TestChooseReference:
+    def test_dominating_vector_wins(self):
+        small = evv(rec("A", 1, 1.0))
+        big = evv(rec("A", 1, 1.0), rec("A", 2, 2.0))
+        ref_id, ref = choose_reference("x", small, "y", big)
+        assert ref_id == "y"
+        assert ref is big
+
+    def test_concurrent_breaks_tie_by_higher_id(self):
+        """The paper: 'IDEA will choose b (b > a) as the reference'."""
+        a = evv(rec("A", 1, 1.0))
+        b = evv(rec("B", 1, 2.0))
+        ref_id, _ = choose_reference("a", a, "b", b)
+        assert ref_id == "b"
+
+    def test_equal_vectors_deterministic(self):
+        v = evv(rec("A", 1, 1.0))
+        ref_id, _ = choose_reference("n1", v, "n2", v)
+        assert ref_id == "n2"
+
+
+class TestCompareExtended:
+    def test_report_fields_for_concurrent_replicas(self):
+        a = evv(rec("A", 1, 1.0), rec("A", 2, 2.0), lct=1.0)
+        b = evv(rec("B", 1, 3.0, delta=8.0), lct=1.0)
+        report = compare_extended("a", a, "b", b)
+        assert report.ordering is Ordering.CONCURRENT
+        assert report.inconsistent
+        assert report.conflicting
+        assert report.reference_id == "b"
+        assert report.triple_b.numerical == 0.0
+        assert report.triple_a.order == 3.0
+
+    def test_equal_replicas_report_consistent(self):
+        v = evv(rec("A", 1, 1.0))
+        report = compare_extended("a", v, "b", v)
+        assert not report.inconsistent
+        assert not report.conflicting
+
+
+class TestMergeVectors:
+    def test_merge_many(self):
+        vectors = [evv(rec("A", 1, 1.0)), evv(rec("B", 1, 2.0)), evv(rec("C", 1, 3.0))]
+        merged = merge_vectors(vectors, consistent_time=5.0)
+        assert merged.total_updates() == 3
+        assert merged.last_consistent_time == 5.0
+
+    def test_merge_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            merge_vectors([])
+
+    def test_merge_dominates_all_inputs(self):
+        vectors = [evv(rec("A", 1, 1.0), rec("A", 2, 2.0)), evv(rec("B", 1, 1.5))]
+        merged = merge_vectors(vectors)
+        for v in vectors:
+            assert merged.counts().dominates(v.counts())
+
+
+class TestPairwiseConflicts:
+    def test_finds_all_concurrent_pairs(self):
+        a = evv(rec("A", 1, 1.0))
+        b = evv(rec("B", 1, 1.0))
+        c = a.merge(b)
+        conflicts = pairwise_conflicts([("a", a), ("b", b), ("c", c)])
+        assert ("a", "b") in conflicts
+        assert len(conflicts) == 1
+
+    def test_no_conflicts_for_ordered_chain(self):
+        a = evv(rec("A", 1, 1.0))
+        b = a.apply(rec("A", 2, 2.0))
+        assert pairwise_conflicts([("a", a), ("b", b)]) == []

@@ -1,0 +1,147 @@
+"""Unit tests for digests, reference reconstruction and the detection service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ConsistencyMetricSpec, MetricWeights
+from repro.core.detection import (
+    VersionDigest,
+    WriterSummary,
+    build_reference,
+    evaluate_group,
+)
+from repro.store.replica import Replica
+from repro.versioning.extended_vector import ExtendedVersionVector, UpdateRecord
+
+
+def rec(writer, seq, ts, delta=1.0):
+    return UpdateRecord(writer=writer, seq=seq, timestamp=ts, metadata_delta=delta)
+
+
+METRIC = ConsistencyMetricSpec(max_numerical=10, max_order=10, max_staleness=10)
+WEIGHTS = MetricWeights.equal()
+
+
+class TestVersionDigest:
+    def test_from_vector_summarises_per_writer(self):
+        vec = ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0, 2.0), rec("A", 2, 3.0, 1.0), rec("B", 1, 2.0, 5.0)])
+        digest = VersionDigest.from_vector("obj", "n0", vec, issued_at=4.0)
+        summary = digest.writer_map()
+        assert summary["A"] == WriterSummary(count=2, cumulative_metadata=3.0,
+                                             last_timestamp=3.0)
+        assert summary["B"].count == 1
+        assert digest.metadata == pytest.approx(8.0)
+        assert digest.latest_update_time() == 3.0
+
+    def test_from_replica(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0, metadata_delta=2.0)
+        digest = VersionDigest.from_replica(replica, issued_at=1.0)
+        assert digest.node_id == "n0"
+        assert digest.counts().count("n0") == 1
+
+    def test_empty_vector_digest(self):
+        digest = VersionDigest.from_vector("obj", "n0", ExtendedVersionVector(), 0.0)
+        assert digest.writers == ()
+        assert digest.latest_update_time() == 0.0
+
+
+class TestBuildReference:
+    def test_reference_takes_per_writer_maximum(self):
+        a = VersionDigest.from_vector("obj", "a", ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0, 1.0), rec("A", 2, 2.0, 1.0)]), 2.0)
+        b = VersionDigest.from_vector("obj", "b", ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0, 1.0), rec("B", 1, 3.0, 5.0)]), 3.0)
+        reference = build_reference([a, b])
+        assert reference.counts.count("A") == 2
+        assert reference.counts.count("B") == 1
+        assert reference.metadata == pytest.approx(2.0 + 5.0)
+        assert reference.latest_update_time == 3.0
+
+    def test_reference_triple_for_complete_digest_is_zero_error(self):
+        vec = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        digest = VersionDigest.from_vector("obj", "a", vec.with_consistent_time(1.0), 1.0)
+        reference = build_reference([digest])
+        triple = reference.triple_for(digest)
+        assert triple.numerical == 0.0
+        assert triple.order == 0.0
+        assert triple.staleness == 0.0
+
+
+class TestEvaluateGroup:
+    def test_consistent_group_all_at_level_one(self):
+        vec = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)]).with_consistent_time(1.0)
+        out = evaluate_group({"a": vec, "b": vec}, object_id="obj", metric=METRIC,
+                             weights=WEIGHTS, now=1.0)
+        assert all(level == 1.0 for _, level in out.values())
+
+    def test_stale_replica_scores_lower(self):
+        full = ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0), rec("B", 1, 2.0)]).with_consistent_time(2.0)
+        stale = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        out = evaluate_group({"full": full, "stale": stale}, object_id="obj",
+                             metric=METRIC, weights=WEIGHTS, now=2.0)
+        assert out["full"][1] > out["stale"][1]
+
+    def test_symmetric_divergence_scores_equal(self):
+        a = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        b = ExtendedVersionVector.from_updates([rec("B", 1, 1.0)])
+        out = evaluate_group({"a": a, "b": b}, object_id="obj", metric=METRIC,
+                             weights=WEIGHTS, now=1.0)
+        assert out["a"][1] == pytest.approx(out["b"][1])
+
+
+class TestDetectionService:
+    def build(self, hint_config, small_deployment):
+        deployment = small_deployment
+        deployment.register_object("obj", hint_config, start_background=False)
+        return deployment
+
+    def test_detect_success_when_alone(self, small_deployment, hint_config):
+        deployment = self.build(hint_config, small_deployment)
+        mw = deployment.middleware("obj", "n00")
+        outcome = mw.write("first", metadata_delta=1.0)
+        assert outcome is not None
+        assert outcome.success            # nothing else known yet
+        assert outcome.level == pytest.approx(1.0, abs=0.05)
+
+    def test_detect_fail_after_conflicting_peer_write(self, small_deployment, hint_config):
+        deployment = self.build(hint_config, small_deployment)
+        deployment.middleware("obj", "n00").write("a", metadata_delta=1.0)
+        deployment.run(until=5.0)
+        deployment.middleware("obj", "n01").write("b", metadata_delta=1.0)
+        deployment.run(until=10.0)
+        # n00 has received n01's digest announcing a concurrent update.
+        outcome = deployment.middleware("obj", "n00").detection.detect()
+        assert not outcome.success
+        assert "n01" in outcome.conflicting_peers
+        assert outcome.level < 1.0
+
+    def test_announce_write_sends_to_top_layer_peers(self, small_deployment, hint_config):
+        deployment = self.build(hint_config, small_deployment)
+        deployment.middleware("obj", "n00").write("a")
+        deployment.run(until=3.0)
+        deployment.middleware("obj", "n01").write("b")
+        before = deployment.detection_messages()
+        sent = deployment.middleware("obj", "n01").detection.announce_write()
+        assert sent >= 1
+        assert deployment.detection_messages() - before == sent
+
+    def test_current_level_does_not_count_as_detection(self, small_deployment, hint_config):
+        deployment = self.build(hint_config, small_deployment)
+        mw = deployment.middleware("obj", "n00")
+        runs_before = mw.detection.detections_run
+        mw.detection.current_level()
+        assert mw.detection.detections_run == runs_before
+
+    def test_ingest_digest_updates_cache(self, small_deployment, hint_config):
+        deployment = self.build(hint_config, small_deployment)
+        mw = deployment.middleware("obj", "n00")
+        peer_vec = ExtendedVersionVector.from_updates([rec("n05", 1, 1.0)])
+        digest = VersionDigest.from_vector("obj", "n05", peer_vec, issued_at=1.0)
+        mw.detection.ingest_digest(digest)
+        assert "n05" in mw.detection.peer_digests
+        mw.detection.forget_peer("n05")
+        assert "n05" not in mw.detection.peer_digests

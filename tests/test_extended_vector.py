@@ -1,0 +1,168 @@
+"""Unit tests for extended version vectors, including the paper's Figure 4."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector, UpdateRecord
+from repro.versioning.version_vector import Ordering
+
+
+def rec(writer: str, seq: int, ts: float, delta: float = 1.0, payload=None) -> UpdateRecord:
+    return UpdateRecord(writer=writer, seq=seq, timestamp=ts, metadata_delta=delta,
+                        payload=payload)
+
+
+class TestErrorTriple:
+    def test_zero_constant(self):
+        assert ErrorTriple.ZERO.as_tuple() == (0.0, 0.0, 0.0)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorTriple(numerical=-1.0)
+
+    def test_max_with(self):
+        a = ErrorTriple(1, 5, 2)
+        b = ErrorTriple(3, 1, 2)
+        assert a.max_with(b) == ErrorTriple(3, 5, 2)
+
+
+class TestApply:
+    def test_apply_accumulates_counts_and_metadata(self):
+        v = ExtendedVersionVector()
+        v = v.apply(rec("A", 1, 1.0, delta=2.0))
+        v = v.apply(rec("A", 2, 2.0, delta=3.0))
+        assert v.count("A") == 2
+        assert v.metadata == pytest.approx(5.0)
+        assert v.counts().count("A") == 2
+
+    def test_apply_is_immutable(self):
+        v = ExtendedVersionVector()
+        v2 = v.apply(rec("A", 1, 1.0))
+        assert v.count("A") == 0
+        assert v2.count("A") == 1
+
+    def test_out_of_order_apply_rejected(self):
+        v = ExtendedVersionVector()
+        with pytest.raises(ValueError):
+            v.apply(rec("A", 2, 1.0))
+
+    def test_duplicate_apply_is_idempotent(self):
+        v = ExtendedVersionVector().apply(rec("A", 1, 1.0))
+        again = v.apply(rec("A", 1, 1.0))
+        assert again is v
+
+    def test_latest_update_time(self):
+        v = ExtendedVersionVector.from_updates([rec("A", 1, 1.0), rec("B", 1, 7.0)])
+        assert v.latest_update_time() == 7.0
+
+    def test_all_updates_sorted_by_timestamp(self):
+        v = ExtendedVersionVector.from_updates(
+            [rec("A", 1, 5.0), rec("B", 1, 1.0), rec("A", 2, 9.0)])
+        assert [r.timestamp for r in v.all_updates()] == [1.0, 5.0, 9.0]
+
+    def test_update_keys(self):
+        v = ExtendedVersionVector.from_updates([rec("A", 1, 1.0), rec("B", 1, 2.0)])
+        assert v.update_keys() == {("A", 1), ("B", 1)}
+
+
+class TestMerge:
+    def test_merge_unions_updates(self):
+        a = ExtendedVersionVector.from_updates([rec("A", 1, 1.0), rec("A", 2, 2.0)])
+        b = ExtendedVersionVector.from_updates([rec("B", 1, 3.0)])
+        merged = a.merge(b)
+        assert merged.count("A") == 2
+        assert merged.count("B") == 1
+        assert merged.metadata == pytest.approx(3.0)
+
+    def test_merge_resets_triple(self):
+        a = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)]).with_triple(
+            ErrorTriple(1, 1, 1))
+        b = ExtendedVersionVector.from_updates([rec("B", 1, 2.0)])
+        assert a.merge(b).triple == ErrorTriple.ZERO
+
+    def test_merge_with_gap_rejected(self):
+        # A vector claiming A:2 exists without A:1 (possible only by poking
+        # internals) cannot be merged: the union would have a sequence hole.
+        broken = ExtendedVersionVector({"A": (rec("A", 2, 2.0),)})
+        other = ExtendedVersionVector.from_updates([rec("B", 1, 1.0)])
+        with pytest.raises(ValueError):
+            other.merge(broken)
+
+    def test_merge_sets_consistent_time(self):
+        a = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        b = ExtendedVersionVector.from_updates([rec("B", 1, 2.0)])
+        merged = a.merge(b, consistent_time=9.0)
+        assert merged.last_consistent_time == 9.0
+
+    def test_missing_from(self):
+        a = ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0), rec("A", 2, 2.0), rec("B", 1, 3.0)])
+        b = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        missing = a.missing_from(b)
+        assert {r.key() for r in missing} == {("A", 2), ("B", 1)}
+
+
+class TestPaperFigure4:
+    """Reproduce the worked example of Section 4.4.1 / Figure 4.
+
+    Replica a has two updates from A (times 1 and 2, meta-data total 5) and
+    misses B's update; replica b (the reference) has one update from B at
+    time 3 whose meta-data value is 8 ... the paper's concrete numbers are
+    chosen so that replica a ends with numerical error 3, order error 3 and
+    staleness 2.
+    """
+
+    def build_replicas(self):
+        # Replica a: A updated twice (t=1, t=2), final meta value 5.
+        a = ExtendedVersionVector.from_updates(
+            [rec("A", 1, 1.0, delta=2.0), rec("A", 2, 2.0, delta=3.0)],
+            last_consistent_time=1.0)
+        # Replica b (reference): B updated once at t=3, meta value 8.
+        b = ExtendedVersionVector.from_updates(
+            [rec("B", 1, 3.0, delta=8.0)], last_consistent_time=1.0)
+        return a, b
+
+    def test_vectors_conflict(self):
+        a, b = self.build_replicas()
+        assert a.compare(b) is Ordering.CONCURRENT
+
+    def test_error_triple_of_a_against_reference_b(self):
+        a, b = self.build_replicas()
+        triple = a.error_triple_against(b)
+        # numerical: |5 - 8| = 3; order: misses one update, has two extra = 3;
+        # staleness: b's latest update (3) - a's last consistent point (1) = 2.
+        assert triple.numerical == pytest.approx(3.0)
+        assert triple.order == pytest.approx(3.0)
+        assert triple.staleness == pytest.approx(2.0)
+
+    def test_reference_has_zero_error_against_itself(self):
+        _, b = self.build_replicas()
+        assert b.error_triple_against(b) == ErrorTriple(0.0, 0.0, max(0.0, 3.0 - 1.0))
+
+    def test_consistency_levels_match_formula_one(self):
+        """With max error 10 for every metric and equal weights (Figure 4(e))."""
+        from repro.core.config import ConsistencyMetricSpec, MetricWeights
+        from repro.core.quantify import consistency_level
+
+        a, b = self.build_replicas()
+        metric = ConsistencyMetricSpec(max_numerical=10, max_order=10, max_staleness=10)
+        weights = MetricWeights.equal()
+        level_a = consistency_level(a.error_triple_against(b), metric, weights)
+        # (7/10 + 7/10 + 8/10) / 3 = 0.7333...
+        assert level_a == pytest.approx((0.7 + 0.7 + 0.8) / 3, abs=1e-9)
+
+
+class TestConsistentTime:
+    def test_with_consistent_time_resets_triple(self):
+        v = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)]).with_triple(
+            ErrorTriple(1, 2, 3))
+        v2 = v.with_consistent_time(5.0)
+        assert v2.last_consistent_time == 5.0
+        assert v2.triple == ErrorTriple.ZERO
+
+    def test_staleness_zero_when_consistent_now(self):
+        v = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        ref = ExtendedVersionVector.from_updates([rec("A", 1, 1.0)])
+        v = v.with_consistent_time(10.0)
+        assert v.error_triple_against(ref).staleness == 0.0

@@ -1,0 +1,136 @@
+"""Unit tests for the TTL-bounded gossip service."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overlay.gossip import GossipConfig, GossipDigest, GossipService
+from repro.sim.clock import ClockModel
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatencyModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+from repro.versioning.version_vector import VersionVector
+
+
+def make_digest(object_id, origin, counts, issued_at=0.0, ttl=3):
+    return GossipDigest(object_id=object_id, origin=origin,
+                        counts=tuple(sorted(counts.items())), metadata=float(sum(counts.values())),
+                        last_consistent_time=0.0, issued_at=issued_at, ttl=ttl)
+
+
+class GossipHarness:
+    """A small deployment where each node's replica state is a dict of counts."""
+
+    def __init__(self, num_nodes=8, config=None):
+        self.sim = Simulator(seed=5)
+        self.network = Network(self.sim, FixedLatencyModel(0.01))
+        self.node_ids = [f"n{i:02d}" for i in range(num_nodes)]
+        for node_id in self.node_ids:
+            Node(self.sim, self.network, node_id, clock_model=ClockModel().perfect())
+        self.state = {n: {"w": 1} for n in self.node_ids}
+        self.detected = []
+        self.service = GossipService(
+            self.sim, self.network, config=config,
+            membership=lambda obj: self.node_ids,
+            local_digest=self._digest,
+            on_inconsistency=lambda node, digest, vv: self.detected.append(node))
+        self.service.watch_object("obj")
+
+    def _digest(self, node_id, object_id):
+        return make_digest(object_id, node_id, self.state[node_id],
+                           issued_at=self.sim.now)
+
+
+class TestGossipConfig:
+    def test_defaults_valid(self):
+        GossipConfig()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GossipConfig(round_period=0)
+        with pytest.raises(ValueError):
+            GossipConfig(fanout=0)
+        with pytest.raises(ValueError):
+            GossipConfig(ttl=0)
+
+
+class TestGossipDigest:
+    def test_version_vector_roundtrip(self):
+        digest = make_digest("obj", "n0", {"a": 2, "b": 1})
+        assert digest.version_vector() == VersionVector({"a": 2, "b": 1})
+
+    def test_decremented_lowers_ttl_only(self):
+        digest = make_digest("obj", "n0", {"a": 1}, ttl=3)
+        lower = digest.decremented()
+        assert lower.ttl == 2
+        assert lower.counts == digest.counts
+
+
+class TestGossipService:
+    def test_consistent_nodes_produce_no_detections(self):
+        harness = GossipHarness()
+        harness.service.run_round()
+        harness.sim.run(until=5.0)
+        assert harness.detected == []
+
+    def test_divergent_node_is_detected(self):
+        harness = GossipHarness()
+        harness.state["n03"] = {"w": 5}     # n03 diverged from everyone else
+        harness.service.run_round()
+        harness.sim.run(until=5.0)
+        assert len(harness.detected) > 0
+
+    def test_detections_recorded_with_object(self):
+        harness = GossipHarness()
+        harness.state["n01"] = {"w": 9}
+        harness.service.run_round()
+        harness.sim.run(until=5.0)
+        assert all(obj == "obj" for _, _, obj in harness.service.detections())
+        assert harness.service.detections("other") == []
+
+    def test_round_sends_fanout_messages_per_node(self):
+        config = GossipConfig(fanout=2, ttl=1)
+        harness = GossipHarness(num_nodes=6, config=config)
+        sent = harness.service.run_round()
+        assert sent == 6 * 2
+
+    def test_ttl_bounds_forwarding(self):
+        """With TTL 1 digests are never forwarded beyond the first hop."""
+        config_short = GossipConfig(fanout=2, ttl=1)
+        config_long = GossipConfig(fanout=2, ttl=4)
+        short = GossipHarness(num_nodes=10, config=config_short)
+        long = GossipHarness(num_nodes=10, config=config_long)
+        for harness in (short, long):
+            harness.state["n01"] = {"w": 7}
+            harness.service.run_round()
+            harness.sim.run(until=5.0)
+        short_msgs = short.network.messages_sent("overlay.gossip")
+        long_msgs = long.network.messages_sent("overlay.gossip")
+        assert long_msgs > short_msgs
+
+    def test_periodic_rounds_with_start(self):
+        config = GossipConfig(round_period=10.0, fanout=1, ttl=1)
+        harness = GossipHarness(num_nodes=4, config=config)
+        harness.service.start()
+        harness.sim.run(until=35.0)
+        assert harness.service.rounds_completed == 3
+
+    def test_watch_object_idempotent(self):
+        harness = GossipHarness()
+        harness.service.watch_object("obj")
+        assert harness.service._objects.count("obj") == 1
+
+    def test_nodes_without_replica_are_skipped(self):
+        harness = GossipHarness(num_nodes=4)
+        harness.state["n02"] = None
+
+        def digest(node_id, object_id):
+            if harness.state[node_id] is None:
+                return None
+            return make_digest(object_id, node_id, harness.state[node_id],
+                               issued_at=harness.sim.now)
+
+        harness.service._local_digest = digest
+        harness.service.run_round()
+        harness.sim.run(until=2.0)  # should not raise

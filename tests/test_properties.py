@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ConsistencyMetricSpec, MetricWeights
+from repro.core.detection import VersionDigest, build_reference
+from repro.core.quantify import consistency_level
+from repro.overlay.temperature import TemperatureConfig, TemperatureTracker
+from repro.store.update_log import UpdateLog
+from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector, UpdateRecord
+from repro.versioning.version_vector import Ordering, VersionVector
+
+
+# ----------------------------------------------------------------- strategies
+writers = st.sampled_from(["A", "B", "C", "D", "E"])
+counts = st.dictionaries(writers, st.integers(min_value=0, max_value=20), max_size=5)
+vectors = counts.map(VersionVector)
+
+triples = st.builds(
+    ErrorTriple,
+    numerical=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    order=st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    staleness=st.floats(min_value=0, max_value=1e4, allow_nan=False))
+
+metrics = st.builds(
+    ConsistencyMetricSpec,
+    max_numerical=st.floats(min_value=0.1, max_value=1e3),
+    max_order=st.floats(min_value=0.1, max_value=1e3),
+    max_staleness=st.floats(min_value=0.1, max_value=1e3))
+
+weights = st.builds(
+    MetricWeights,
+    numerical=st.floats(min_value=0.01, max_value=10),
+    order=st.floats(min_value=0.01, max_value=10),
+    staleness=st.floats(min_value=0.01, max_value=10))
+
+
+@st.composite
+def update_sequences(draw, max_updates=12):
+    """A valid per-writer-sequenced list of update records."""
+    n = draw(st.integers(min_value=0, max_value=max_updates))
+    seq_counters = {}
+    records = []
+    for i in range(n):
+        writer = draw(writers)
+        seq_counters[writer] = seq_counters.get(writer, 0) + 1
+        records.append(UpdateRecord(
+            writer=writer, seq=seq_counters[writer],
+            timestamp=float(i),
+            metadata_delta=draw(st.floats(min_value=-5, max_value=5,
+                                          allow_nan=False, allow_infinity=False))))
+    return records
+
+
+# ------------------------------------------------------- version vector algebra
+class TestVersionVectorProperties:
+    @given(vectors, vectors)
+    def test_merge_dominates_both(self, a, b):
+        merged = a.merge(b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    @given(vectors, vectors)
+    def test_merge_commutative(self, a, b):
+        assert a.merge(b) == b.merge(a)
+
+    @given(vectors, vectors, vectors)
+    def test_merge_associative(self, a, b, c):
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @given(vectors)
+    def test_merge_idempotent(self, a):
+        assert a.merge(a) == a
+
+    @given(vectors, vectors)
+    def test_comparison_antisymmetric(self, a, b):
+        ab, ba = a.compare(b), b.compare(a)
+        inverse = {Ordering.EQUAL: Ordering.EQUAL, Ordering.BEFORE: Ordering.AFTER,
+                   Ordering.AFTER: Ordering.BEFORE,
+                   Ordering.CONCURRENT: Ordering.CONCURRENT}
+        assert ba is inverse[ab]
+
+    @given(vectors, vectors)
+    def test_order_distance_zero_iff_equal(self, a, b):
+        assert (a.order_distance(b) == 0) == (a == b)
+
+    @given(vectors, vectors)
+    def test_order_distance_symmetric(self, a, b):
+        assert a.order_distance(b) == b.order_distance(a)
+
+    @given(vectors, writers)
+    def test_increment_strictly_dominates(self, a, w):
+        assert a.increment(w).compare(a) is Ordering.AFTER
+
+
+# ------------------------------------------------------ extended vector algebra
+class TestExtendedVectorProperties:
+    @given(update_sequences())
+    def test_metadata_equals_sum_of_deltas(self, records):
+        vec = ExtendedVersionVector.from_updates(records)
+        assert abs(vec.metadata - sum(r.metadata_delta for r in records)) < 1e-9
+
+    @given(update_sequences(), update_sequences())
+    def test_merge_counts_are_pointwise_max(self, recs_a, recs_b):
+        a = ExtendedVersionVector.from_updates(recs_a)
+        b = ExtendedVersionVector.from_updates(recs_b)
+        # Only merge when shared (writer, seq) keys carry identical records —
+        # build b's records so overlapping prefixes agree by reusing a's.
+        by_key = {r.key(): r for r in recs_a}
+        harmonised = [by_key.get(r.key(), r) for r in recs_b]
+        b = ExtendedVersionVector.from_updates(harmonised)
+        merged = a.merge(b)
+        assert merged.counts() == a.counts().merge(b.counts())
+
+    @given(update_sequences())
+    def test_error_triple_against_self_has_no_numerical_or_order_error(self, records):
+        vec = ExtendedVersionVector.from_updates(records)
+        triple = vec.error_triple_against(vec)
+        assert triple.numerical == 0.0
+        assert triple.order == 0.0
+
+    @given(update_sequences())
+    def test_triple_components_non_negative(self, records):
+        vec = ExtendedVersionVector.from_updates(records)
+        ref = ExtendedVersionVector.from_updates(records[: len(records) // 2])
+        triple = vec.error_triple_against(ref)
+        assert triple.numerical >= 0 and triple.order >= 0 and triple.staleness >= 0
+
+
+# --------------------------------------------------------------- quantification
+class TestQuantifyProperties:
+    @given(triples, metrics, weights)
+    def test_level_in_unit_interval(self, triple, metric, weight):
+        level = consistency_level(triple, metric, weight)
+        assert 0.0 <= level <= 1.0
+
+    @given(triples, metrics, weights, st.floats(min_value=1.0, max_value=10.0))
+    def test_level_monotone_in_error(self, triple, metric, weight, factor):
+        worse = ErrorTriple(triple.numerical * factor, triple.order * factor,
+                            triple.staleness * factor)
+        assert consistency_level(worse, metric, weight) <= consistency_level(
+            triple, metric, weight) + 1e-12
+
+    @given(metrics, weights)
+    def test_zero_error_is_perfect(self, metric, weight):
+        assert consistency_level(ErrorTriple.ZERO, metric, weight) == 1.0
+
+    @given(triples, metrics)
+    def test_weight_scaling_invariance(self, triple, metric):
+        a = consistency_level(triple, metric, MetricWeights(1, 2, 3))
+        b = consistency_level(triple, metric, MetricWeights(2, 4, 6))
+        assert abs(a - b) < 1e-12
+
+
+# ------------------------------------------------------------ detection digests
+class TestDetectionProperties:
+    @given(st.lists(update_sequences(max_updates=8), min_size=1, max_size=4))
+    def test_reference_dominates_every_digest(self, sequences):
+        digests = []
+        for i, records in enumerate(sequences):
+            vec = ExtendedVersionVector.from_updates(records)
+            digests.append(VersionDigest.from_vector("obj", f"n{i}", vec, issued_at=0.0))
+        reference = build_reference(digests)
+        for digest in digests:
+            assert reference.counts.dominates(digest.counts())
+
+    @given(update_sequences(max_updates=8))
+    def test_single_digest_reference_is_itself(self, records):
+        vec = ExtendedVersionVector.from_updates(records)
+        digest = VersionDigest.from_vector("obj", "n0", vec, issued_at=0.0)
+        reference = build_reference([digest])
+        assert reference.counts == digest.counts()
+        assert abs(reference.metadata - digest.metadata) < 1e-9
+
+
+# ------------------------------------------------------------------- update log
+class TestUpdateLogProperties:
+    @given(update_sequences())
+    def test_append_is_idempotent(self, records):
+        log = UpdateLog()
+        for r in records:
+            log.append(r, applied_at=r.timestamp)
+        size = len(log)
+        for r in records:
+            assert not log.append(r, applied_at=r.timestamp + 100)
+        assert len(log) == size
+
+    @given(update_sequences())
+    def test_live_metadata_matches_live_records(self, records):
+        log = UpdateLog()
+        for r in records:
+            log.append(r, applied_at=r.timestamp)
+        assert abs(log.live_metadata() - sum(r.metadata_delta for r in log.records())) < 1e-9
+
+    @given(update_sequences(), st.floats(min_value=0, max_value=12))
+    def test_rollback_removes_exactly_later_entries(self, records, cutoff):
+        log = UpdateLog()
+        for r in records:
+            log.append(r, applied_at=r.timestamp)
+        rolled = log.roll_back_after(cutoff)
+        assert all(r.timestamp > cutoff for r in rolled)
+        assert all(e.record.timestamp <= cutoff for e in log.entries())
+
+
+# ------------------------------------------------------------------ temperature
+class TestTemperatureProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.floats(min_value=0, max_value=100)),
+                    max_size=20),
+           st.floats(min_value=0, max_value=200))
+    def test_temperature_never_negative(self, events, query_time):
+        tracker = TemperatureTracker("obj", TemperatureConfig(half_life=10.0))
+        for node, t in sorted(events, key=lambda e: e[1]):
+            tracker.record_update(node, t)
+        q = max(query_time, max((t for _, t in events), default=0.0))
+        for node in ("a", "b", "c"):
+            assert tracker.temperature(node, q) >= 0.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=50), min_size=1, max_size=10))
+    def test_top_layer_size_bounded(self, times):
+        cfg = TemperatureConfig(max_top_size=3)
+        tracker = TemperatureTracker("obj", cfg)
+        for i, t in enumerate(sorted(times)):
+            tracker.record_update(f"n{i}", t)
+        assert len(tracker.select_top(max(times))) <= 3

@@ -1,0 +1,153 @@
+"""Unit tests for Formula 1 quantification and the configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    AdaptationMode,
+    ConsistencyMetricSpec,
+    IdeaConfig,
+    MetricWeights,
+    ResolutionStrategy,
+)
+from repro.core.quantify import (
+    average_level,
+    consistency_level,
+    level_as_percent,
+    normalized_errors,
+    worst_level,
+)
+from repro.versioning.extended_vector import ErrorTriple
+
+
+METRIC = ConsistencyMetricSpec(max_numerical=10, max_order=10, max_staleness=10)
+EQUAL = MetricWeights.equal()
+
+
+class TestNormalizedErrors:
+    def test_zero_triple_normalises_to_zero(self):
+        assert normalized_errors(ErrorTriple.ZERO, METRIC) == (0.0, 0.0, 0.0)
+
+    def test_errors_divided_by_maxima(self):
+        n, o, s = normalized_errors(ErrorTriple(5, 2, 8), METRIC)
+        assert (n, o, s) == (0.5, 0.2, 0.8)
+
+    def test_errors_above_max_clamp_to_one(self):
+        n, o, s = normalized_errors(ErrorTriple(100, 100, 100), METRIC)
+        assert (n, o, s) == (1.0, 1.0, 1.0)
+
+
+class TestConsistencyLevel:
+    def test_perfect_consistency_is_one(self):
+        assert consistency_level(ErrorTriple.ZERO, METRIC, EQUAL) == 1.0
+
+    def test_saturated_errors_give_zero(self):
+        assert consistency_level(ErrorTriple(100, 100, 100), METRIC, EQUAL) == 0.0
+
+    def test_paper_figure4_value(self):
+        """Formula 1 on the Figure 4 numbers: (7/10+7/10+8/10)/3."""
+        level = consistency_level(ErrorTriple(3, 3, 2), METRIC, EQUAL)
+        assert level == pytest.approx((0.7 + 0.7 + 0.8) / 3)
+
+    def test_more_error_means_lower_level(self):
+        low = consistency_level(ErrorTriple(1, 1, 1), METRIC, EQUAL)
+        high = consistency_level(ErrorTriple(5, 5, 5), METRIC, EQUAL)
+        assert high < low
+
+    def test_zero_weight_removes_metric(self):
+        weights = MetricWeights(numerical=0.5, order=0.0, staleness=0.5)
+        level = consistency_level(ErrorTriple(0, 100, 0), METRIC, weights)
+        assert level == 1.0
+
+    def test_unnormalised_weights_are_normalised(self):
+        a = consistency_level(ErrorTriple(5, 0, 0), METRIC, MetricWeights(1, 1, 1))
+        b = consistency_level(ErrorTriple(5, 0, 0), METRIC, MetricWeights(10, 10, 10))
+        assert a == pytest.approx(b)
+
+    def test_result_always_in_unit_interval(self):
+        for triple in (ErrorTriple(0, 0, 0), ErrorTriple(3, 7, 100),
+                       ErrorTriple(1e9, 0, 0)):
+            level = consistency_level(triple, METRIC, EQUAL)
+            assert 0.0 <= level <= 1.0
+
+
+class TestLevelHelpers:
+    def test_percent(self):
+        assert level_as_percent(0.943) == pytest.approx(94.3)
+
+    def test_percent_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            level_as_percent(1.5)
+
+    def test_worst_and_average(self):
+        levels = [0.9, 0.95, 0.85]
+        assert worst_level(levels) == 0.85
+        assert average_level(levels) == pytest.approx(0.9)
+
+    def test_empty_collections_raise(self):
+        with pytest.raises(ValueError):
+            worst_level([])
+        with pytest.raises(ValueError):
+            average_level([])
+
+
+class TestMetricSpec:
+    def test_positive_maxima_required(self):
+        with pytest.raises(ValueError):
+            ConsistencyMetricSpec(max_numerical=0)
+        with pytest.raises(ValueError):
+            ConsistencyMetricSpec(max_order=-1)
+
+
+class TestMetricWeights:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            MetricWeights(-0.1, 0.5, 0.6)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            MetricWeights(0, 0, 0)
+
+    def test_normalized_sums_to_one(self):
+        w = MetricWeights(0.4, 0.0, 0.6).normalized()
+        assert sum(w.as_tuple()) == pytest.approx(1.0)
+
+    def test_equal_helper(self):
+        assert MetricWeights.equal().as_tuple() == pytest.approx((1 / 3, 1 / 3, 1 / 3))
+
+
+class TestIdeaConfig:
+    def test_defaults_valid(self):
+        IdeaConfig()
+
+    def test_hint_level_range(self):
+        with pytest.raises(ValueError):
+            IdeaConfig(hint_level=1.5)
+        with pytest.raises(ValueError):
+            IdeaConfig(hint_level=-0.1)
+
+    def test_background_period_validation(self):
+        with pytest.raises(ValueError):
+            IdeaConfig(background_period=0)
+        IdeaConfig(background_period=None)   # disabled is fine
+
+    def test_bandwidth_cap_validation(self):
+        with pytest.raises(ValueError):
+            IdeaConfig(bandwidth_cap_fraction=0)
+        with pytest.raises(ValueError):
+            IdeaConfig(bandwidth_cap_fraction=1.5)
+
+    def test_with_hint_returns_copy(self):
+        config = IdeaConfig(hint_level=0.5)
+        other = config.with_hint(0.9)
+        assert config.hint_level == 0.5
+        assert other.hint_level == 0.9
+
+    def test_with_background_period(self):
+        config = IdeaConfig(background_period=20.0)
+        assert config.with_background_period(None).background_period is None
+
+    def test_mode_enum_values(self):
+        assert AdaptationMode("hint_based") is AdaptationMode.HINT_BASED
+        assert ResolutionStrategy(2) is ResolutionStrategy.USER_ID_BASED

@@ -1,0 +1,179 @@
+"""Integration tests for background and active resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdaptationMode, IdeaConfig, ResolutionStrategy
+from repro.core.deployment import IdeaDeployment
+
+
+def build_deployment(num_nodes=8, *, strategy=ResolutionStrategy.USER_ID_BASED,
+                     hint=0.0, seed=7):
+    deployment = IdeaDeployment(num_nodes=num_nodes, seed=seed)
+    config = IdeaConfig(mode=AdaptationMode.ON_DEMAND, hint_level=hint,
+                        background_period=None, resolution_strategy=strategy)
+    deployment.register_object("obj", config, start_background=False)
+    return deployment
+
+
+def diverge(deployment, writers, rounds=1):
+    """Make the writers issue conflicting updates and let digests propagate."""
+    for k in range(rounds):
+        for writer in writers:
+            deployment.middleware("obj", writer).write(f"{writer}-{k}",
+                                                       metadata_delta=1.0)
+        deployment.run(until=deployment.sim.now + 2.0)
+
+
+class TestBackgroundResolution:
+    def test_round_converges_top_layer(self):
+        deployment = build_deployment()
+        writers = ["n00", "n01", "n02"]
+        diverge(deployment, writers)
+        process = deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        result = process.result
+        assert result is not None and not result.aborted
+        vectors = [deployment.stores[w].replica("obj").vector.counts() for w in writers]
+        assert all(v == vectors[0] for v in vectors)
+
+    def test_phase1_delay_is_zero_for_background(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01"])
+        process = deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert process.result.phase1_delay == 0.0
+        assert process.result.kind == "background"
+
+    def test_phase2_delay_grows_with_membership(self):
+        small = build_deployment(num_nodes=10)
+        diverge(small, ["n00", "n01"])
+        p_small = small.middleware("obj", "n00").resolution.start_background_resolution()
+        small.run(until=small.sim.now + 10.0)
+
+        large = build_deployment(num_nodes=10)
+        diverge(large, ["n00", "n01", "n02", "n03", "n04", "n05"])
+        p_large = large.middleware("obj", "n00").resolution.start_background_resolution()
+        large.run(until=large.sim.now + 10.0)
+
+        assert p_large.result.phase2_delay > p_small.result.phase2_delay
+
+    def test_resolution_marks_replicas_consistent(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01"])
+        deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        now = deployment.sim.now
+        for writer in ("n00", "n01"):
+            vec = deployment.stores[writer].replica("obj").vector
+            assert vec.last_consistent_time > 0
+            assert now - vec.last_consistent_time < 10.0
+
+    def test_merged_update_count_reported(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01", "n02"], rounds=2)
+        process = deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert process.result.merged_updates == 6
+
+
+class TestActiveResolution:
+    def test_two_phase_round_completes(self):
+        deployment = build_deployment()
+        writers = ["n00", "n01", "n02", "n03"]
+        diverge(deployment, writers)
+        process = deployment.middleware("obj", "n02").resolution.start_active_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        result = process.result
+        assert not result.aborted
+        assert result.kind == "active"
+        assert result.initiator == "n02"
+        assert set(result.members) == set(writers)
+
+    def test_phase1_much_cheaper_than_phase2(self):
+        """The qualitative Table 2 claim: parallel call-for-attention is ~1000x
+        cheaper than the sequential collection phase."""
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01", "n02", "n03"])
+        process = deployment.middleware("obj", "n00").resolution.start_active_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        result = process.result
+        assert result.phase1_delay < 0.01
+        assert result.phase2_delay > 0.05
+        assert result.phase1_delay < result.phase2_delay / 50
+
+    def test_total_delay_below_one_second_for_ten_writers(self):
+        """The paper's scalability claim (Figure 9)."""
+        deployment = build_deployment(num_nodes=12)
+        writers = [f"n{i:02d}" for i in range(10)]
+        diverge(deployment, writers)
+        process = deployment.middleware("obj", "n00").resolution.start_active_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert process.result.total_delay < 1.0
+
+    def test_concurrent_initiators_suppressed_by_backoff(self):
+        deployment = build_deployment()
+        writers = ["n00", "n01", "n02", "n03"]
+        diverge(deployment, writers)
+        processes = [deployment.middleware("obj", w).resolution.start_active_resolution(
+            suppression_jitter=1.0) for w in writers]
+        deployment.run(until=deployment.sim.now + 15.0)
+        completed = [p.result for p in processes if p.result and not p.result.aborted]
+        aborted = [p.result for p in processes if p.result and p.result.aborted]
+        assert len(completed) >= 1
+        assert len(aborted) >= 1
+
+    def test_writes_blocked_during_resolution_round(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01"])
+        mw1 = deployment.middleware("obj", "n01")
+        deployment.middleware("obj", "n00").resolution.start_active_resolution()
+        # Try to write at the member while the collect visit is in flight.
+        deployment.run(until=deployment.sim.now + 0.06)
+        blocked_before = mw1.replica.blocked_writes
+        mw1.write("should be blocked")
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert mw1.replica.blocked_writes >= blocked_before
+        # After the round finishes writes are accepted again.
+        assert mw1.write("accepted after resolution") is not None
+
+    def test_history_records_rounds(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01"])
+        manager = deployment.middleware("obj", "n00").resolution
+        manager.start_active_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert len(manager.history) == 1
+        assert manager.history[0].succeeded
+
+
+class TestPolicyEffects:
+    def test_invalidate_both_discards_conflicting_updates(self):
+        deployment = build_deployment(strategy=ResolutionStrategy.INVALIDATE_BOTH)
+        diverge(deployment, ["n00", "n01"])
+        process = deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert len(process.result.invalidated) == 2
+        # Both conflicting strokes disappeared from every replica's content.
+        for writer in ("n00", "n01"):
+            assert deployment.stores[writer].read("obj") == []
+
+    def test_user_id_policy_preserves_progress(self):
+        deployment = build_deployment(strategy=ResolutionStrategy.USER_ID_BASED)
+        diverge(deployment, ["n00", "n01"])
+        deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        # All updates survive (the policy only orders them).
+        for writer in ("n00", "n01"):
+            assert len(deployment.stores[writer].read("obj")) == 2
+
+    def test_already_consistent_round_is_cheap_noop(self):
+        deployment = build_deployment()
+        diverge(deployment, ["n00", "n01"])
+        deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        second = deployment.middleware("obj", "n00").resolution.start_background_resolution()
+        deployment.run(until=deployment.sim.now + 10.0)
+        assert not second.result.aborted
+        assert second.result.invalidated == ()

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Event, EventQueue, SimulationError, Simulator
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_time_order(self):
+        q = EventQueue()
+        order = []
+        q.push(2.0, lambda: order.append("b"))
+        q.push(1.0, lambda: order.append("a"))
+        q.push(3.0, lambda: order.append("c"))
+        while (event := q.pop()) is not None:
+            event.callback()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        second = q.push(1.0, lambda: None)
+        assert q.pop() is first
+        assert q.pop() is second
+
+    def test_priority_orders_events_at_same_time(self):
+        q = EventQueue()
+        timer = q.push(1.0, lambda: None, priority=0)
+        network = q.push(1.0, lambda: None, priority=-1)
+        assert q.pop() is network
+        assert q.pop() is timer
+
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        event.cancel()
+        assert q.pop() is None
+
+    def test_len_counts_only_live_events(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        e1.cancel()
+        assert len(q) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        e1 = q.push(1.0, lambda: None)
+        q.push(5.0, lambda: None)
+        e1.cancel()
+        assert q.peek_time() == 5.0
+
+    def test_nan_time_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.push(float("nan"), lambda: None)
+
+
+class TestSimulator:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_call_at_runs_callback_at_time(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_call_after_is_relative(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(3.0, lambda: sim.call_after(2.0, lambda: seen.append(sim.now)))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.call_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-1.0, lambda: None)
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: seen.append(1))
+        sim.call_at(10.0, lambda: seen.append(10))
+        end = sim.run(until=5.0)
+        assert seen == [1]
+        assert end == 5.0
+        sim.run()
+        assert seen == [1, 10]
+
+    def test_run_until_executes_events_at_boundary(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(5.0, lambda: seen.append(5))
+        sim.run(until=5.0)
+        assert seen == [5]
+
+    def test_stop_halts_run(self):
+        sim = Simulator()
+        seen = []
+        sim.call_at(1.0, lambda: (seen.append(1), sim.stop()))
+        sim.call_at(2.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1]
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        count = {"n": 0}
+
+        def reschedule():
+            count["n"] += 1
+            sim.call_after(1.0, reschedule)
+
+        sim.call_after(1.0, reschedule)
+        sim.run(max_events=10)
+        assert count["n"] == 10
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.call_at(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_same_seed_gives_same_random_streams(self):
+        a = Simulator(seed=9).random.stream("x").random(5)
+        b = Simulator(seed=9).random.stream("x").random(5)
+        assert list(a) == list(b)
+
+    def test_nested_run_rejected(self):
+        sim = Simulator()
+
+        def inner():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.call_at(1.0, inner)
+        sim.run()

@@ -1,0 +1,237 @@
+"""Unit tests for the message-passing network and the node framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockModel
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatencyModel
+from repro.sim.network import Network
+from repro.sim.node import Node, RPCError, unwrap_response
+
+
+class Receiver(Node):
+    """Test node that records every delivered payload."""
+
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id,
+                         clock_model=ClockModel().perfect(), processing_delay=0.0)
+        self.received = []
+        self.register_handler("ping", lambda m: self.received.append(m.payload))
+        self.register_rpc("echo", lambda args: {"echo": args})
+        self.register_rpc("boom", self._boom)
+
+    @staticmethod
+    def _boom(args):
+        raise RuntimeError("intentional failure")
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator(seed=1)
+    network = Network(sim, FixedLatencyModel(0.02))
+    a = Receiver(sim, network, "a")
+    b = Receiver(sim, network, "b")
+    return sim, network, a, b
+
+
+class TestNetwork:
+    def test_message_delivered_after_latency(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="test", msg_type="ping", payload="hello")
+        sim.run()
+        assert b.received == ["hello"]
+        assert sim.now == pytest.approx(0.02)
+
+    def test_stats_count_sent_and_delivered(self, pair):
+        sim, network, a, b = pair
+        for _ in range(3):
+            a.send("b", protocol="test.x", msg_type="ping")
+        sim.run()
+        assert network.stats.sent["test.x"] == 3
+        assert network.stats.delivered["test.x"] == 3
+
+    def test_bytes_accounting_uses_default_size(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="test", msg_type="ping")
+        assert network.bytes_sent("test") == Network.DEFAULT_MESSAGE_BYTES
+
+    def test_total_sent_prefix_filter(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="idea.detection", msg_type="ping")
+        a.send("b", protocol="idea.resolution.active", msg_type="ping")
+        a.send("b", protocol="overlay.gossip", msg_type="ping")
+        assert network.messages_sent("idea.") == 2
+        assert network.messages_sent("overlay.") == 1
+        assert network.messages_sent() == 3
+
+    def test_unknown_destination_raises(self, pair):
+        sim, network, a, b = pair
+        with pytest.raises(KeyError):
+            network.send("a", "ghost", protocol="test", msg_type="ping")
+
+    def test_unregistered_source_raises(self, pair):
+        sim, network, a, b = pair
+        with pytest.raises(KeyError):
+            network.send("ghost", "a", protocol="test", msg_type="ping")
+
+    def test_loss_probability_drops_messages(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.01), loss_probability=0.99)
+        a = Receiver(sim, network, "a")
+        b = Receiver(sim, network, "b")
+        for _ in range(50):
+            a.send("b", protocol="test", msg_type="ping")
+        sim.run()
+        assert len(b.received) < 50
+        assert network.stats.dropped.get("test", 0) > 0
+
+    def test_invalid_loss_probability_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, FixedLatencyModel(0.01), loss_probability=1.5)
+
+    def test_delivery_hooks_called(self, pair):
+        sim, network, a, b = pair
+        seen = []
+        network.delivery_hooks.append(lambda m: seen.append(m.msg_type))
+        a.send("b", protocol="test", msg_type="ping")
+        sim.run()
+        assert seen == ["ping"]
+
+    def test_message_to_departed_node_is_dropped(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="test", msg_type="ping")
+        b.fail()
+        sim.run()
+        assert b.received == []
+        assert network.stats.dropped.get("test", 0) == 1
+
+    def test_duplicate_registration_rejected(self, pair):
+        sim, network, a, b = pair
+        with pytest.raises(ValueError):
+            network.register(a)
+
+    def test_snapshot_returns_copy(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="test", msg_type="ping")
+        snap = network.stats.snapshot()
+        a.send("b", protocol="test", msg_type="ping")
+        assert snap["sent"]["test"] == 1
+
+
+class TestNodeRPC:
+    def test_rpc_round_trip(self, pair):
+        sim, network, a, b = pair
+        waiter = a.request("b", "echo", {"x": 1}, protocol="test")
+        sim.run()
+        assert unwrap_response(waiter.value) == {"echo": {"x": 1}}
+
+    def test_rpc_round_trip_takes_two_latencies(self, pair):
+        sim, network, a, b = pair
+        done = []
+
+        def proc():
+            waiter = a.request("b", "echo", "hi", protocol="test")
+            result = yield waiter
+            done.append((sim.now, unwrap_response(result)))
+
+        sim.spawn(proc())
+        sim.run()
+        assert done[0][0] == pytest.approx(0.04, abs=1e-6)
+
+    def test_rpc_error_propagates(self, pair):
+        sim, network, a, b = pair
+        waiter = a.request("b", "boom", None, protocol="test")
+        sim.run()
+        with pytest.raises(RPCError):
+            unwrap_response(waiter.value)
+
+    def test_rpc_unknown_method_is_error(self, pair):
+        sim, network, a, b = pair
+        waiter = a.request("b", "nope", None, protocol="test")
+        sim.run()
+        with pytest.raises(RPCError):
+            unwrap_response(waiter.value)
+
+    def test_rpc_to_failed_node_errors_immediately(self, pair):
+        sim, network, a, b = pair
+        b.fail()
+        waiter = a.request("b", "echo", None, protocol="test", timeout=1.0)
+        sim.run()
+        with pytest.raises(RPCError):
+            unwrap_response(waiter.value)
+
+    def test_rpc_timeout_fires_when_no_response(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.02), loss_probability=0.0)
+        a = Receiver(sim, network, "a")
+        b = Receiver(sim, network, "b")
+        # Remove b's handler so the request is never answered.
+        b._handlers.pop("__rpc_request__")
+
+        class Swallow:
+            pass
+
+        b.register_handler("__rpc_request__", lambda m: None)
+        waiter = a.request("b", "echo", None, protocol="test", timeout=0.5)
+        sim.run()
+        assert waiter.value == ("timeout", None)
+
+    def test_processing_delay_applied_to_rpc(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.01))
+        a = Receiver(sim, network, "a")
+        b = Node(sim, network, "b", clock_model=ClockModel().perfect(),
+                 processing_delay=0.1)
+        b.register_rpc("echo", lambda args: args)
+        times = []
+
+        def proc():
+            result = yield a.request("b", "echo", 1, protocol="test")
+            times.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert times[0] == pytest.approx(0.01 + 0.1 + 0.01, abs=1e-6)
+
+
+class TestNodeLifecycle:
+    def test_failed_node_does_not_send(self, pair):
+        sim, network, a, b = pair
+        a.fail()
+        assert a.send("b", protocol="test", msg_type="ping") is None
+
+    def test_recover_reregisters(self, pair):
+        sim, network, a, b = pair
+        b.fail()
+        b.recover()
+        a.send("b", protocol="test", msg_type="ping", payload="back")
+        sim.run()
+        assert b.received == ["back"]
+
+    def test_unknown_message_type_raises(self, pair):
+        sim, network, a, b = pair
+        a.send("b", protocol="test", msg_type="mystery")
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_call_every_repeats_until_cancelled(self, pair):
+        sim, network, a, b = pair
+        ticks = []
+        cancel = a.call_every(1.0, lambda: ticks.append(sim.now), label="tick")
+        sim.call_at(3.5, cancel)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_call_every_rejects_nonpositive_period(self, pair):
+        sim, network, a, b = pair
+        with pytest.raises(ValueError):
+            a.call_every(0.0, lambda: None)
+
+    def test_local_time_is_true_time_with_perfect_clock(self, pair):
+        sim, network, a, b = pair
+        sim.call_at(5.0, lambda: None)
+        sim.run()
+        assert a.local_time() == pytest.approx(5.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the synthetic topology and latency models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import FixedLatencyModel, PlanetLabLatencyModel, UniformLatencyModel
+from repro.sim.topology import DEFAULT_SITES, Site, Topology, planetlab_topology
+
+
+class TestTopology:
+    def test_default_has_requested_node_count(self):
+        topo = planetlab_topology(40)
+        assert len(topo.node_ids) == 40
+
+    def test_self_delay_is_zero(self):
+        topo = planetlab_topology(10)
+        assert topo.one_way_delay("n00", "n00") == 0.0
+
+    def test_delays_are_symmetric(self):
+        topo = planetlab_topology(12)
+        for a in topo.node_ids[:6]:
+            for b in topo.node_ids[:6]:
+                assert topo.one_way_delay(a, b) == pytest.approx(topo.one_way_delay(b, a))
+
+    def test_cross_continent_delay_in_wan_range(self):
+        """One-way delays should be in the few-to-tens-of-ms wide-area range."""
+        topo = planetlab_topology(10)
+        delays = [topo.one_way_delay(a, b) for a in topo.node_ids for b in topo.node_ids
+                  if a != b]
+        assert min(delays) >= 0.001
+        assert max(delays) <= 0.1
+
+    def test_unknown_pair_raises(self):
+        topo = planetlab_topology(4)
+        with pytest.raises(KeyError):
+            topo.one_way_delay("n00", "does-not-exist")
+
+    def test_spread_writers_land_on_distinct_sites(self):
+        topo = planetlab_topology(40, spread_writers=4)
+        sites = {topo.node_site[f"n{i:02d}"] for i in range(4)}
+        assert len(sites) == 4
+
+    def test_first_writers_are_far_apart(self):
+        """The paper picks writers 'far apart from each other'."""
+        topo = planetlab_topology(40, spread_writers=4)
+        writers = topo.node_ids[:4]
+        rtts = [topo.rtt(a, b) for i, a in enumerate(writers) for b in writers[i + 1:]]
+        assert min(rtts) > 0.02   # every writer pair is a genuine WAN hop
+
+    def test_mean_rtt_positive(self):
+        assert planetlab_topology(8).mean_rtt() > 0
+
+    def test_rng_assignment_is_reproducible(self):
+        a = planetlab_topology(20, rng=np.random.default_rng(1))
+        b = planetlab_topology(20, rng=np.random.default_rng(1))
+        assert a.node_site == b.node_site
+
+    def test_nodes_at_site_partition_nodes(self):
+        topo = planetlab_topology(25)
+        total = sum(len(topo.nodes_at_site(s)) for s in topo.sites)
+        assert total == 25
+
+    def test_requires_at_least_one_node_and_site(self):
+        with pytest.raises(ValueError):
+            planetlab_topology(0)
+        with pytest.raises(ValueError):
+            planetlab_topology(5, sites=())
+
+
+class TestLatencyModels:
+    def test_fixed_model_constant(self):
+        model = FixedLatencyModel(0.03)
+        assert model.delay("a", "b") == 0.03
+        assert model.delay("a", "a") == 0.0
+
+    def test_fixed_model_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatencyModel(-0.1)
+
+    def test_uniform_model_within_bounds(self):
+        model = UniformLatencyModel(0.01, 0.02, rng=np.random.default_rng(0))
+        for _ in range(100):
+            assert 0.01 <= model.delay("a", "b") <= 0.02
+
+    def test_uniform_model_expected_delay_is_midpoint(self):
+        model = UniformLatencyModel(0.01, 0.03)
+        assert model.expected_delay("a", "b") == pytest.approx(0.02)
+
+    def test_uniform_model_validates_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatencyModel(0.05, 0.01)
+
+    def test_planetlab_model_zero_for_self(self):
+        topo = planetlab_topology(6)
+        model = PlanetLabLatencyModel(topo, np.random.default_rng(0))
+        assert model.delay("n00", "n00") == 0.0
+
+    def test_planetlab_model_jitter_stays_near_base(self):
+        topo = planetlab_topology(6)
+        model = PlanetLabLatencyModel(topo, np.random.default_rng(0), jitter_sigma=0.25)
+        base = topo.one_way_delay("n00", "n01")
+        samples = [model.delay("n00", "n01") for _ in range(200)]
+        assert 0.5 * base < np.mean(samples) < 1.5 * base
+
+    def test_planetlab_model_zero_jitter_is_deterministic(self):
+        topo = planetlab_topology(6)
+        model = PlanetLabLatencyModel(topo, np.random.default_rng(0), jitter_sigma=0.0)
+        assert model.delay("n00", "n01") == model.delay("n00", "n01")
+
+    def test_planetlab_model_respects_floor(self):
+        topo = planetlab_topology(6)
+        model = PlanetLabLatencyModel(topo, np.random.default_rng(0), floor=0.5)
+        assert model.delay("n00", "n01") >= 0.5
+
+    def test_expected_delay_matches_topology_base(self):
+        topo = planetlab_topology(6)
+        model = PlanetLabLatencyModel(topo, np.random.default_rng(0))
+        assert model.expected_delay("n00", "n01") == pytest.approx(
+            topo.one_way_delay("n00", "n01"))

@@ -1,0 +1,182 @@
+"""Unit tests for the replicated-store substrate (log, replica, store)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.filesystem import ReplicatedStore
+from repro.store.replica import Replica
+from repro.store.update_log import UpdateLog
+from repro.versioning.extended_vector import UpdateRecord
+
+
+def rec(writer, seq, ts, delta=1.0, payload=None):
+    return UpdateRecord(writer=writer, seq=seq, timestamp=ts, metadata_delta=delta,
+                        payload=payload)
+
+
+class TestUpdateLog:
+    def test_append_and_contains(self):
+        log = UpdateLog()
+        assert log.append(rec("A", 1, 1.0), applied_at=1.0)
+        assert ("A", 1) in log
+        assert len(log) == 1
+
+    def test_duplicate_append_ignored(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        assert not log.append(rec("A", 1, 1.0), applied_at=2.0)
+        assert len(log) == 1
+
+    def test_extend_counts_new_records(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        added = log.extend([rec("A", 1, 1.0), rec("B", 1, 2.0)], applied_at=2.0)
+        assert added == 1
+
+    def test_missing_from(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        log.append(rec("B", 1, 2.0), applied_at=2.0)
+        missing = log.missing_from({("A", 1)})
+        assert [r.key() for r in missing] == [("B", 1)]
+
+    def test_invalidate_tombstones_entries(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        assert log.invalidate([("A", 1)]) == 1
+        assert log.records() == []
+        assert len(log.records(include_dead=True)) == 1
+        # idempotent
+        assert log.invalidate([("A", 1)]) == 0
+
+    def test_roll_back_after(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        log.append(rec("A", 2, 5.0), applied_at=5.0)
+        rolled = log.roll_back_after(2.0)
+        assert [r.key() for r in rolled] == [("A", 2)]
+        assert [r.key() for r in log.records()] == [("A", 1)]
+
+    def test_live_metadata_excludes_dead_entries(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0, delta=2.0), applied_at=1.0)
+        log.append(rec("B", 1, 2.0, delta=3.0), applied_at=2.0)
+        log.invalidate([("B", 1)])
+        assert log.live_metadata() == pytest.approx(2.0)
+
+    def test_applied_since(self):
+        log = UpdateLog()
+        log.append(rec("A", 1, 1.0), applied_at=1.0)
+        log.append(rec("A", 2, 3.0), applied_at=3.0)
+        assert len(log.applied_since(2.0)) == 1
+
+
+class TestReplica:
+    def test_local_write_applies_and_logs(self):
+        replica = Replica("n0", "obj")
+        record = replica.local_write("n0", 1.0, metadata_delta=2.0, payload="x")
+        assert record is not None
+        assert replica.vector.count("n0") == 1
+        assert replica.metadata == pytest.approx(2.0)
+        assert replica.content() == ["x"]
+
+    def test_next_seq_increases(self):
+        replica = Replica("n0", "obj")
+        assert replica.next_seq("n0") == 1
+        replica.local_write("n0", 1.0)
+        assert replica.next_seq("n0") == 2
+
+    def test_blocked_writes_return_none_and_count(self):
+        replica = Replica("n0", "obj")
+        replica.block_writes()
+        assert replica.local_write("n0", 1.0) is None
+        assert replica.blocked_writes == 1
+        replica.unblock_writes()
+        assert replica.local_write("n0", 2.0) is not None
+
+    def test_apply_remote_update_idempotent(self):
+        replica = Replica("n0", "obj")
+        record = rec("n1", 1, 1.0)
+        assert replica.apply_update(record, applied_at=1.0)
+        assert not replica.apply_update(record, applied_at=2.0)
+
+    def test_vector_and_log_stay_in_step(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0, metadata_delta=1.0)
+        replica.apply_update(rec("n1", 1, 2.0, delta=4.0), applied_at=2.0)
+        assert replica.vector.total_updates() == len(replica.log)
+        assert replica.metadata == pytest.approx(sum(
+            r.metadata_delta for r in replica.log.records()))
+
+    def test_install_merged_pulls_missing_updates(self):
+        a = Replica("n0", "obj")
+        b = Replica("n1", "obj")
+        a.local_write("n0", 1.0, payload="from-a")
+        b.local_write("n1", 1.0, payload="from-b")
+        merged = a.vector.merge(b.vector, consistent_time=2.0)
+        pulled = a.install_merged(merged, now=2.0)
+        assert pulled == 1
+        assert a.vector.count("n1") == 1
+        assert a.vector.last_consistent_time == 2.0
+
+    def test_mark_consistent_updates_time(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0)
+        replica.mark_consistent(9.0)
+        assert replica.vector.last_consistent_time == 9.0
+
+    def test_snapshot_is_frozen_view(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0)
+        snap = replica.snapshot(now=1.0)
+        replica.local_write("n0", 2.0)
+        assert snap.vector.count("n0") == 1
+        assert snap.counts.count("n0") == 1
+
+    def test_invalidate_updates_removes_content(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0, payload="keep")
+        replica.apply_update(rec("n1", 1, 2.0, payload="drop"), applied_at=2.0)
+        replica.invalidate_updates([("n1", 1)])
+        assert replica.content() == ["keep"]
+
+    def test_roll_back_after(self):
+        replica = Replica("n0", "obj")
+        replica.local_write("n0", 1.0, payload="early", applied_at=1.0)
+        replica.local_write("n0", 5.0, payload="late", applied_at=5.0)
+        rolled = replica.roll_back_after(2.0)
+        assert len(rolled) == 1
+        assert replica.content() == ["early"]
+
+
+class TestReplicatedStore:
+    def test_create_is_idempotent(self):
+        store = ReplicatedStore("n0")
+        a = store.create("obj")
+        b = store.create("obj")
+        assert a is b
+
+    def test_missing_replica_raises(self):
+        store = ReplicatedStore("n0")
+        with pytest.raises(KeyError):
+            store.replica("nope")
+
+    def test_write_and_read(self):
+        store = ReplicatedStore("n0")
+        store.create("obj")
+        store.write("obj", "n0", 1.0, payload="hello", metadata_delta=1.0)
+        assert store.read("obj") == ["hello"]
+        assert store.metadata("obj") == pytest.approx(1.0)
+
+    def test_object_ids_sorted(self):
+        store = ReplicatedStore("n0")
+        store.create("b")
+        store.create("a")
+        assert store.object_ids() == ["a", "b"]
+
+    def test_has_replica(self):
+        store = ReplicatedStore("n0")
+        assert not store.has_replica("obj")
+        store.create("obj")
+        assert store.has_replica("obj")
