@@ -1,0 +1,94 @@
+"""Ablation: multi-object node runtime vs the seed per-object architecture.
+
+The seed reproduction instantiated an independent middleware stack per
+(node, object) pair and rebuilt the local version digest from the full
+update log on every consistency evaluation.  The node runtime shares a
+revision-keyed digest cache across all objects a node hosts, so evaluations
+triggered by peer digests cost O(1) instead of O(update log).
+
+This benchmark does two things and persists both to ``BENCH_multiobject.json``
+so later PRs have a perf trajectory to compare against:
+
+* **sweep** — 8 nodes hosting 1..64 concurrently written objects through the
+  ``DeploymentBuilder`` / ``NodeRuntime`` path, recording wall-clock and
+  simulator events processed per point;
+* **ablation** — the same workload with the shared digest cache disabled
+  (the seed architecture's behaviour), asserting the runtime path is at
+  least 1.5× faster per object once update logs reach realistic lengths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.fig9_scalability import (
+    format_multiobject_report,
+    run_multiobject_experiment,
+)
+
+#: minimum per-object speedup of the shared-cache runtime over the seed
+#: architecture (acceptance floor; measured ~2× on the reference machine)
+MIN_SPEEDUP = 1.5
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_multiobject.json"
+
+
+def bench_abl_multiobject(benchmark):
+    # Sweep the objects-per-node axis through the builder/runtime path,
+    # including the 8 nodes × 64 objects point.
+    sweep = benchmark.pedantic(
+        lambda: run_multiobject_experiment(
+            num_nodes=8, object_counts=(1, 8, 64),
+            duration=40.0, write_period=2.0, seed=11),
+        rounds=1, iterations=1)
+
+    # Head-to-head at a fixed object count with long update logs, where the
+    # seed architecture's per-evaluation digest rebuild dominates.
+    runtime_arch = run_multiobject_experiment(
+        num_nodes=8, object_counts=(8,), duration=300.0, write_period=0.4,
+        seed=11, shared_cache=True)
+    seed_arch = run_multiobject_experiment(
+        num_nodes=8, object_counts=(8,), duration=300.0, write_period=0.4,
+        seed=11, shared_cache=False)
+    speedup = (seed_arch.per_object_seconds()[0]
+               / runtime_arch.per_object_seconds()[0])
+
+    print()
+    print(format_multiobject_report(sweep))
+    print()
+    print(format_multiobject_report(runtime_arch, seed_arch))
+
+    def as_dict(result):
+        return {
+            "num_nodes": result.num_nodes,
+            "writers_per_object": result.writers_per_object,
+            "duration_simulated_s": result.duration,
+            "shared_cache": result.shared_cache,
+            "object_counts": result.object_counts,
+            "wall_clock_seconds": result.wall_clock_seconds,
+            "per_object_seconds": result.per_object_seconds(),
+            "events_processed": result.events_processed,
+            "writes_applied": result.writes_applied,
+        }
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "sweep": as_dict(sweep),
+        "ablation": {
+            "runtime_architecture": as_dict(runtime_arch),
+            "seed_architecture": as_dict(seed_arch),
+            "per_object_speedup": speedup,
+        },
+    }, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {OUTPUT_PATH.name}; per-object speedup {speedup:.2f}×")
+
+    # Both architectures simulate the identical workload.
+    assert seed_arch.events_processed == runtime_arch.events_processed
+    assert seed_arch.writes_applied == runtime_arch.writes_applied
+
+    # The sweep covers the 8×64 deployment and work scales with the load.
+    assert sweep.object_counts[-1] == 64
+    assert sweep.events_processed[-1] > sweep.events_processed[0]
+
+    # The shared-cache runtime beats the seed architecture per object.
+    assert speedup >= MIN_SPEEDUP

@@ -12,6 +12,8 @@ The package layout mirrors the system inventory in ``DESIGN.md``:
 * :mod:`repro.versioning` — classic and extended version vectors
 * :mod:`repro.store` — the replicated object store IDEA sits on top of
 * :mod:`repro.overlay` — RanSub, temperature overlay, gossip
+* :mod:`repro.runtime` — per-node runtime hosting many objects, shared
+  digest cache, instrumentation event bus
 * :mod:`repro.core` — IDEA itself (detection, quantification, resolution,
   adaptation, developer API)
 * :mod:`repro.baselines` — optimistic / strong / TACT-style comparators
@@ -45,13 +47,17 @@ from repro.core.config import (
     MetricWeights,
     ResolutionStrategy,
 )
-from repro.core.deployment import IdeaDeployment
+from repro.core.deployment import DeploymentBuilder, IdeaDeployment
+from repro.runtime import EventBus, NodeRuntime
 
 __all__ = [
     "__version__",
     "IdeaAPI",
     "IdeaConfig",
     "IdeaDeployment",
+    "DeploymentBuilder",
+    "NodeRuntime",
+    "EventBus",
     "AdaptationMode",
     "ConsistencyMetricSpec",
     "MetricWeights",

@@ -36,7 +36,7 @@ from repro.core.adaptive import (
 )
 from repro.core.rollback import RollbackManager, RollbackDecision
 from repro.core.middleware import IdeaMiddleware
-from repro.core.deployment import IdeaDeployment
+from repro.core.deployment import DeploymentBuilder, IdeaDeployment, ManagedObject
 from repro.core.api import IdeaAPI
 
 __all__ = [
@@ -63,5 +63,7 @@ __all__ = [
     "RollbackDecision",
     "IdeaMiddleware",
     "IdeaDeployment",
+    "DeploymentBuilder",
+    "ManagedObject",
     "IdeaAPI",
 ]

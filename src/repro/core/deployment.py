@@ -1,19 +1,29 @@
-"""Deployment helper: wire a complete IDEA installation on the simulator.
+"""Deployment wiring: build a complete IDEA installation on the simulator.
 
 The experiments all follow the same shape — N nodes on a wide-area topology,
-a handful of concurrent writers of a shared object, IDEA in a given
-adaptation mode — so :class:`IdeaDeployment` packages the wiring:
+a handful of concurrent writers of shared objects, IDEA in a given adaptation
+mode — so this module packages the wiring as a :class:`DeploymentBuilder`
+that runs explicit, composable build passes:
 
-* builds the simulator, topology, latency model and network,
-* creates one :class:`~repro.sim.node.Node` and one
-  :class:`~repro.store.filesystem.ReplicatedStore` per host,
-* runs RanSub and the two-layer overlay across the deployment,
-* creates an :class:`~repro.core.middleware.IdeaMiddleware` per (node,
-  object) when an object is registered,
-* schedules background resolution per object (reading the period from the
-  automatic controller each round, so frequency adaptation takes effect), and
-* offers the sampling helpers the benchmarks use (per-writer perceived
-  levels, ground-truth group evaluation, message accounting).
+1. **topology** — simulator, random streams, the synthetic wide-area topology;
+2. **network** — latency model, message-passing network, per-host
+   :class:`~repro.sim.node.Node` / :class:`~repro.store.filesystem
+   .ReplicatedStore` / :class:`~repro.runtime.NodeRuntime`;
+3. **overlay services** — RanSub, the two-layer temperature overlay, and
+   (optionally) background gossip;
+4. **instrumentation** — the shared :class:`~repro.runtime.EventBus` and the
+   subscriptions that feed the trace recorder and per-object reporting;
+5. **object placement** — one middleware facade per (participant, object)
+   attached through the node runtimes;
+6. **background scheduling** — slotted periodic timers for background
+   resolution, re-reading the period each round so frequency adaptation
+   takes effect.
+
+:class:`IdeaDeployment` is the built artefact; constructing it directly runs
+the same passes with default placement, so existing call sites keep working.
+Reporting is event-driven: middleware publishes write/detection/resolution
+events on the bus and the deployment subscribes — no monkey-patching of
+private callbacks anywhere.
 """
 
 from __future__ import annotations
@@ -30,11 +40,19 @@ from repro.core.resolution import ResolutionResult
 from repro.overlay.gossip import GossipConfig, GossipDigest, GossipService
 from repro.overlay.ransub import RanSubService
 from repro.overlay.two_layer import OverlayConfig, TwoLayerOverlay
+from repro.runtime.events import (
+    BackgroundRoundStarted,
+    EventBus,
+    ResolutionCompleted,
+    WriteRecorded,
+)
+from repro.runtime.node_runtime import NodeRuntime
 from repro.sim.clock import ClockModel
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel, PlanetLabLatencyModel
 from repro.sim.network import Network
 from repro.sim.node import Node
+from repro.sim.timers import PeriodicTimer
 from repro.sim.topology import Topology, planetlab_topology
 from repro.sim.trace import TraceRecorder
 from repro.store.filesystem import ReplicatedStore
@@ -48,13 +66,41 @@ class ManagedObject:
     object_id: str
     config: IdeaConfig
     middlewares: Dict[str, IdeaMiddleware] = field(default_factory=dict)
+    #: the slotted timer driving background rounds (None when not scheduled)
+    background_timer: Optional[PeriodicTimer] = None
     background_cancel: Optional[Callable[[], None]] = None
+    #: background rounds *completed* (counted via ResolutionCompleted events)
     background_rounds: int = 0
+    #: background rounds initiated by the scheduler (superset of completed)
+    background_rounds_started: int = 0
+    #: every successful resolution round, from any initiating node
     resolutions: List[ResolutionResult] = field(default_factory=list)
 
 
-class IdeaDeployment:
-    """A fully wired IDEA installation over the simulated wide-area network."""
+@dataclass
+class _ObjectSpec:
+    """A queued object placement the builder applies in its placement pass."""
+
+    object_id: str
+    config: IdeaConfig
+    participants: Optional[Sequence[str]]
+    policy: Optional[ResolutionPolicy]
+    start_background: bool
+
+
+class DeploymentBuilder:
+    """Builds an :class:`IdeaDeployment` through explicit passes.
+
+    The builder carries the same knobs the old monolithic constructor took,
+    plus object placements queued with :meth:`add_object` and applied in the
+    placement pass, so a whole experiment topology can be described before
+    anything is wired::
+
+        deployment = (DeploymentBuilder(num_nodes=8, seed=3)
+                      .add_object("board", config)
+                      .start_overlay_services()
+                      .build())
+    """
 
     def __init__(self, *, num_nodes: int = 40, seed: int = 7,
                  topology: Optional[Topology] = None,
@@ -65,41 +111,165 @@ class IdeaDeployment:
                  ransub_period: float = 5.0,
                  processing_delay: float = 0.035,
                  use_ransub: bool = True,
-                 use_gossip: bool = False) -> None:
-        self.sim = Simulator(seed=seed)
-        self.topology = topology if topology is not None else planetlab_topology(num_nodes)
-        self.node_ids: List[str] = list(self.topology.node_ids)
-        self.latency = latency if latency is not None else PlanetLabLatencyModel(
-            self.topology, self.sim.random.stream("latency"))
-        self.network = Network(self.sim, self.latency)
-        self.clock_model = clock_model if clock_model is not None else ClockModel()
-        self.trace = TraceRecorder()
+                 use_gossip: bool = False,
+                 shared_digest_cache: bool = True,
+                 bus: Optional[EventBus] = None) -> None:
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.topology = topology
+        self.latency = latency
+        self.clock_model = clock_model
+        self.overlay_config = overlay_config
+        self.gossip_config = gossip_config
+        self.ransub_period = ransub_period
+        self.processing_delay = processing_delay
+        self.use_ransub = use_ransub
+        self.use_gossip = use_gossip
+        self.shared_digest_cache = shared_digest_cache
+        self.bus = bus
+        self._object_specs: List[_ObjectSpec] = []
+        self._start_services = False
 
-        self.nodes: Dict[str, Node] = {}
-        self.stores: Dict[str, ReplicatedStore] = {}
-        for node_id in self.node_ids:
-            self.nodes[node_id] = Node(self.sim, self.network, node_id,
-                                       clock_model=self.clock_model,
-                                       processing_delay=processing_delay)
-            self.stores[node_id] = ReplicatedStore(node_id)
+    # ------------------------------------------------------------- fluent API
+    def add_object(self, object_id: str, config: IdeaConfig, *,
+                   participants: Optional[Sequence[str]] = None,
+                   policy: Optional[ResolutionPolicy] = None,
+                   start_background: bool = True) -> "DeploymentBuilder":
+        """Queue an object placement for the placement pass."""
+        self._object_specs.append(_ObjectSpec(
+            object_id=object_id, config=config, participants=participants,
+            policy=policy, start_background=start_background))
+        return self
 
-        self.ransub: Optional[RanSubService] = None
-        if use_ransub:
-            self.ransub = RanSubService(self.sim, self.network, self.node_ids,
-                                        round_period=ransub_period)
-        self.overlay = TwoLayerOverlay(self.node_ids, config=overlay_config,
-                                       ransub=self.ransub)
-        self.gossip: Optional[GossipService] = None
-        if use_gossip:
+    def start_overlay_services(self) -> "DeploymentBuilder":
+        """Have the scheduling pass start RanSub (and gossip when enabled)."""
+        self._start_services = True
+        return self
+
+    # ----------------------------------------------------------------- build
+    def build(self) -> "IdeaDeployment":
+        deployment = IdeaDeployment.__new__(IdeaDeployment)
+        self.populate(deployment)
+        return deployment
+
+    def populate(self, deployment: "IdeaDeployment") -> "IdeaDeployment":
+        """Run every pass, in order, against ``deployment``."""
+        self._topology_pass(deployment)
+        self._network_pass(deployment)
+        self._overlay_pass(deployment)
+        self._instrumentation_pass(deployment)
+        self._placement_pass(deployment)
+        self._scheduling_pass(deployment)
+        return deployment
+
+    # ---------------------------------------------------------------- passes
+    def _topology_pass(self, d: "IdeaDeployment") -> None:
+        """Simulator, random streams and the wide-area topology."""
+        d.sim = Simulator(seed=self.seed)
+        d.topology = (self.topology if self.topology is not None
+                      else planetlab_topology(self.num_nodes))
+        d.node_ids = list(d.topology.node_ids)
+
+    def _network_pass(self, d: "IdeaDeployment") -> None:
+        """Latency model, network, and per-host node/store/runtime."""
+        d.latency = (self.latency if self.latency is not None
+                     else PlanetLabLatencyModel(
+                         d.topology, d.sim.random.stream("latency")))
+        d.network = Network(d.sim, d.latency)
+        d.clock_model = (self.clock_model if self.clock_model is not None
+                         else ClockModel())
+        d.bus = self.bus if self.bus is not None else EventBus()
+        d.nodes = {}
+        d.stores = {}
+        d.runtimes = {}
+        for node_id in d.node_ids:
+            node = Node(d.sim, d.network, node_id, clock_model=d.clock_model,
+                        processing_delay=self.processing_delay)
+            store = ReplicatedStore(node_id)
+            d.nodes[node_id] = node
+            d.stores[node_id] = store
+            d.runtimes[node_id] = NodeRuntime(
+                node, store, bus=d.bus,
+                cache_digests=self.shared_digest_cache)
+
+    def _overlay_pass(self, d: "IdeaDeployment") -> None:
+        """RanSub, the two-layer temperature overlay, optional gossip."""
+        d.ransub = None
+        if self.use_ransub:
+            d.ransub = RanSubService(d.sim, d.network, d.node_ids,
+                                     round_period=self.ransub_period)
+        d.overlay = TwoLayerOverlay(d.node_ids, config=self.overlay_config,
+                                    ransub=d.ransub)
+        d.gossip = None
+        if self.use_gossip:
             # The background sweep "covers all the nodes in the network"
             # (§4.1); membership is therefore every node, not only the
             # current bottom layer, so divergence involving a (possibly
             # cooled-down) writer is still caught.
-            self.gossip = GossipService(
-                self.sim, self.network, config=gossip_config,
-                membership=lambda obj: list(self.node_ids),
-                local_digest=self._gossip_digest)
-        self.objects: Dict[str, ManagedObject] = {}
+            d.gossip = GossipService(
+                d.sim, d.network, config=self.gossip_config,
+                membership=lambda obj: list(d.node_ids),
+                local_digest=d._gossip_digest)
+
+    def _instrumentation_pass(self, d: "IdeaDeployment") -> None:
+        """Trace recorder plus the bus subscriptions that feed reporting."""
+        d.trace = TraceRecorder()
+        d.objects = {}
+        d.bus.subscribe(WriteRecorded, d._on_write_recorded)
+        d.bus.subscribe(ResolutionCompleted, d._on_resolution_completed)
+
+    def _placement_pass(self, d: "IdeaDeployment") -> None:
+        """Attach every queued object to its participants' runtimes."""
+        for spec in self._object_specs:
+            d.register_object(spec.object_id, spec.config,
+                              participants=spec.participants,
+                              policy=spec.policy,
+                              start_background=spec.start_background)
+
+    def _scheduling_pass(self, d: "IdeaDeployment") -> None:
+        """Start the periodic overlay services when requested."""
+        if self._start_services:
+            d.start_overlay_services()
+
+
+class IdeaDeployment:
+    """A fully wired IDEA installation over the simulated wide-area network."""
+
+    # Populated by the builder passes (declared for introspection/tooling).
+    sim: Simulator
+    topology: Topology
+    node_ids: List[str]
+    latency: LatencyModel
+    network: Network
+    clock_model: ClockModel
+    bus: EventBus
+    trace: TraceRecorder
+    nodes: Dict[str, Node]
+    stores: Dict[str, ReplicatedStore]
+    runtimes: Dict[str, NodeRuntime]
+    ransub: Optional[RanSubService]
+    overlay: TwoLayerOverlay
+    gossip: Optional[GossipService]
+    objects: Dict[str, ManagedObject]
+
+    def __init__(self, *, num_nodes: int = 40, seed: int = 7,
+                 topology: Optional[Topology] = None,
+                 latency: Optional[LatencyModel] = None,
+                 clock_model: Optional[ClockModel] = None,
+                 overlay_config: Optional[OverlayConfig] = None,
+                 gossip_config: Optional[GossipConfig] = None,
+                 ransub_period: float = 5.0,
+                 processing_delay: float = 0.035,
+                 use_ransub: bool = True,
+                 use_gossip: bool = False,
+                 shared_digest_cache: bool = True) -> None:
+        DeploymentBuilder(
+            num_nodes=num_nodes, seed=seed, topology=topology, latency=latency,
+            clock_model=clock_model, overlay_config=overlay_config,
+            gossip_config=gossip_config, ransub_period=ransub_period,
+            processing_delay=processing_delay, use_ransub=use_ransub,
+            use_gossip=use_gossip,
+            shared_digest_cache=shared_digest_cache).populate(self)
 
     # ----------------------------------------------------------- object mgmt
     def register_object(self, object_id: str, config: IdeaConfig, *,
@@ -109,29 +279,18 @@ class IdeaDeployment:
         """Create replicas and middleware for a shared object.
 
         ``participants`` restricts which nodes run IDEA middleware for the
-        object (defaults to every node).  All participants get a replica.
+        object (defaults to every node).  All participants get a replica;
+        each middleware is attached through its node's shared runtime.
         """
         if object_id in self.objects:
             raise ValueError(f"object {object_id!r} already registered")
         participants = list(participants) if participants is not None else list(self.node_ids)
         managed = ManagedObject(object_id=object_id, config=config)
         for node_id in participants:
-            middleware = IdeaMiddleware(
-                self.nodes[node_id], self.stores[node_id], object_id,
-                config=config,
+            managed.middlewares[node_id] = self.runtimes[node_id].attach(
+                object_id, config,
                 top_layer_provider=lambda oid=object_id: self.top_layer(oid),
-                on_update_recorded=self._record_update,
                 policy=policy)
-            # Aggregate resolution history at deployment level for reporting.
-            original = middleware.resolution._on_resolved
-
-            def _chain(result: ResolutionResult, _orig=original, _managed=managed) -> None:
-                _managed.resolutions.append(result)
-                if _orig is not None:
-                    _orig(result)
-
-            middleware.resolution._on_resolved = _chain
-            managed.middlewares[node_id] = middleware
         self.objects[object_id] = managed
         if self.gossip is not None:
             self.gossip.watch_object(object_id)
@@ -142,9 +301,21 @@ class IdeaDeployment:
     def middleware(self, object_id: str, node_id: str) -> IdeaMiddleware:
         return self.objects[object_id].middlewares[node_id]
 
-    def _record_update(self, object_id: str, node_id: str, time: float) -> None:
-        self.overlay.record_update(object_id, node_id, time)
-        self.trace.increment(f"writes.{object_id}")
+    # ------------------------------------------------------ bus subscriptions
+    def _on_write_recorded(self, event: WriteRecorded) -> None:
+        """A middleware applied a write: heat the overlay, bump the trace."""
+        self.overlay.record_update(event.object_id, event.node_id, event.time)
+        self.trace.increment(f"writes.{event.object_id}")
+
+    def _on_resolution_completed(self, event: ResolutionCompleted) -> None:
+        """Aggregate resolution history from every node's manager."""
+        managed = self.objects.get(event.object_id)
+        if managed is None:
+            return
+        managed.resolutions.append(event.result)
+        if event.kind == "background":
+            managed.background_rounds += 1
+        self.trace.increment(f"resolutions.{event.kind}.{event.object_id}")
 
     def _gossip_digest(self, node_id: str, object_id: str) -> Optional[GossipDigest]:
         store = self.stores.get(node_id)
@@ -166,28 +337,36 @@ class IdeaDeployment:
 
     # ------------------------------------------------------ background rounds
     def _schedule_background(self, managed: ManagedObject) -> None:
-        """Schedule periodic background resolution, honouring period changes."""
+        """Schedule periodic background resolution, honouring period changes.
+
+        Cancellation goes through the timer, which cancels the pending engine
+        event — a cancelled schedule stops immediately rather than letting an
+        already-queued tick keep rescheduling itself.
+        """
 
         def next_period() -> Optional[float]:
             # An automatic controller may adapt the period over time; the
-            # scheduler re-reads it before every round.
+            # timer re-reads it before every round.
             for middleware in managed.middlewares.values():
                 controller = middleware.controller
                 if isinstance(controller, AutomaticController):
                     return controller.period
             return managed.config.background_period
 
-        def tick() -> None:
-            period = next_period()
-            if period is None:
-                return
-            self.run_background_round(managed.object_id)
-            self.sim.call_after(period, tick, label=f"bg:{managed.object_id}")
+        timer = PeriodicTimer(
+            self.sim, lambda: self.run_background_round(managed.object_id),
+            period_fn=next_period, label=f"bg:{managed.object_id}")
+        if timer.current_period() is None:
+            return
+        timer.start()
+        managed.background_timer = timer
 
-        period = next_period()
-        if period is not None:
-            self.sim.call_after(period, tick, label=f"bg:{managed.object_id}")
-            managed.background_cancel = lambda: setattr(managed, "background_cancel", None)
+        def cancel() -> None:
+            timer.cancel()
+            managed.background_timer = None
+            managed.background_cancel = None
+
+        managed.background_cancel = cancel
 
     def run_background_round(self, object_id: str) -> Optional[ResolutionResult]:
         """Run one background-resolution round now; returns its result handle.
@@ -204,7 +383,10 @@ class IdeaDeployment:
         middleware = managed.middlewares.get(initiator)
         if middleware is None:
             return None
-        managed.background_rounds += 1
+        managed.background_rounds_started += 1
+        if self.bus.wants(BackgroundRoundStarted):
+            self.bus.publish(BackgroundRoundStarted(
+                object_id=object_id, initiator=initiator, time=self.sim.now))
         process = middleware.resolution.start_background_resolution()
         return process  # a Process; result available once the sim advances
 

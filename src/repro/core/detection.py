@@ -18,8 +18,18 @@ Figure 4 measures replica ``a`` against reference ``b``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.config import ConsistencyMetricSpec, MetricWeights
 from repro.core.quantify import consistency_level
@@ -27,6 +37,9 @@ from repro.sim.network import Message
 from repro.store.replica import Replica
 from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector
 from repro.versioning.version_vector import Ordering, VersionVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.runtime.digest_cache import DigestCache
 
 
 PROTOCOL = "idea.detection"
@@ -53,7 +66,13 @@ class VersionDigest:
     last_consistent_time: float
 
     def counts(self) -> VersionVector:
-        return VersionVector({w: s.count for w, s in self.writers})
+        # Digests are immutable and compared often (conflict checks, triple
+        # computation); memoise the projection in the instance dict.
+        cached = self.__dict__.get("_counts")
+        if cached is None:
+            cached = VersionVector({w: s.count for w, s in self.writers})
+            self.__dict__["_counts"] = cached
+        return cached
 
     def writer_map(self) -> Dict[str, WriterSummary]:
         return dict(self.writers)
@@ -152,7 +171,8 @@ class DetectionService:
                  weights: MetricWeights,
                  top_layer_provider: Callable[[], Sequence[str]],
                  replica_provider: Callable[[], Replica],
-                 on_remote_digest: Optional[Callable[[VersionDigest], None]] = None) -> None:
+                 on_remote_digest: Optional[Callable[[VersionDigest], None]] = None,
+                 digest_cache: Optional["DigestCache"] = None) -> None:
         """
         Parameters
         ----------
@@ -166,6 +186,12 @@ class DetectionService:
             Invoked whenever a digest arrives from a peer (after the cache is
             updated); the middleware uses it to re-evaluate consistency and
             consult the adaptation controller.
+        digest_cache:
+            Node-level shared cache (from the :class:`~repro.runtime
+            .NodeRuntime`).  When given, the local digest is memoised by
+            replica revision and the peer-digest table lives in the shared
+            cache; without it every evaluation rebuilds the digest from the
+            full update log (the seed behaviour).
         """
         self.node = node
         self.object_id = object_id
@@ -174,9 +200,16 @@ class DetectionService:
         self._top_layer_provider = top_layer_provider
         self._replica_provider = replica_provider
         self._on_remote_digest = on_remote_digest
-        self._peer_digests: Dict[str, VersionDigest] = {}
+        self._digest_cache = digest_cache
+        self._peer_digests: Dict[str, VersionDigest] = (
+            digest_cache.peer_digests(object_id) if digest_cache is not None else {})
         self._detections_run = 0
         node.register_handler(f"idea_digest:{object_id}", self._handle_digest)
+
+    def _local_digest(self, replica: Replica, now: float) -> VersionDigest:
+        if self._digest_cache is not None:
+            return self._digest_cache.local_digest(self.object_id, replica, now)
+        return VersionDigest.from_replica(replica, issued_at=now)
 
     # ---------------------------------------------------------------- state
     @property
@@ -202,7 +235,12 @@ class DetectionService:
         manner" in the top layer.
         """
         replica = self._replica_provider()
-        digest = VersionDigest.from_replica(replica, issued_at=self.node.sim.now)
+        now = self.node.sim.now
+        digest = self._local_digest(replica, now)
+        if digest.issued_at != now:
+            # A cache hit may carry an old issue time; peers order digests by
+            # it, so stamp the current time before shipping.
+            digest = dataclass_replace(digest, issued_at=now)
         peers = [p for p in self._top_layer_provider() if p != self.node.node_id]
         for peer in peers:
             self.node.send(peer, protocol=PROTOCOL,
@@ -239,7 +277,7 @@ class DetectionService:
         self._detections_run += 1
         replica = self._replica_provider()
         now = self.node.sim.now
-        local_digest = VersionDigest.from_replica(replica, issued_at=now)
+        local_digest = self._local_digest(replica, now)
         known = [local_digest] + list(self._peer_digests.values())
         reference = build_reference(known)
 
@@ -260,7 +298,7 @@ class DetectionService:
         """Consistency level without counting as a detection run."""
         replica = self._replica_provider()
         now = self.node.sim.now
-        local_digest = VersionDigest.from_replica(replica, issued_at=now)
+        local_digest = self._local_digest(replica, now)
         known = [local_digest] + list(self._peer_digests.values())
         reference = build_reference(known)
         triple = reference.triple_for(local_digest)

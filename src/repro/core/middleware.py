@@ -33,6 +33,8 @@ from repro.core.detection import DetectionOutcome, DetectionService, VersionDige
 from repro.core.policies import ResolutionPolicy, make_policy
 from repro.core.resolution import ResolutionManager, ResolutionResult
 from repro.core.rollback import RollbackManager
+from repro.runtime.events import DetectionEvaluated, ResolutionCompleted, WriteRecorded
+from repro.runtime.node_runtime import NodeRuntime
 from repro.sim.node import Node
 from repro.store.filesystem import ReplicatedStore
 from repro.store.replica import Replica
@@ -53,7 +55,14 @@ class ReadResult:
 
 
 class IdeaMiddleware:
-    """IDEA's middleware instance for one (node, object) pair."""
+    """IDEA's per-object facade over the node's shared runtime.
+
+    One instance still manages one shared object on one node, but the
+    node-scoped resources — digest cache, backoff stream, instrumentation
+    bus — come from the hosting :class:`~repro.runtime.NodeRuntime`.
+    Constructing a middleware without a runtime creates a private
+    single-object runtime, so standalone use keeps working.
+    """
 
     #: minimum simulated seconds between two automatically triggered active
     #: resolutions from the same node, preventing a storm while one is in
@@ -64,11 +73,14 @@ class IdeaMiddleware:
                  config: IdeaConfig,
                  top_layer_provider: Callable[[], Sequence[str]],
                  on_update_recorded: Optional[Callable[[str, str, float], None]] = None,
-                 policy: Optional[ResolutionPolicy] = None) -> None:
+                 policy: Optional[ResolutionPolicy] = None,
+                 runtime: Optional[NodeRuntime] = None) -> None:
         self.node = node
         self.store = store
         self.object_id = object_id
         self.config = config
+        self.runtime = runtime if runtime is not None else NodeRuntime(node, store)
+        self.bus = self.runtime.bus
         self._on_update_recorded = on_update_recorded
         self.replica: Replica = store.create(object_id)
         self.policy: ResolutionPolicy = policy or make_policy(config.resolution_strategy)
@@ -79,16 +91,19 @@ class IdeaMiddleware:
             node, object_id=object_id, metric=config.metric, weights=config.weights,
             top_layer_provider=top_layer_provider,
             replica_provider=lambda: self.replica,
-            on_remote_digest=self._on_remote_digest)
+            on_remote_digest=self._on_remote_digest,
+            digest_cache=self.runtime.digests)
         self.resolution = ResolutionManager(
             node, object_id=object_id, config=config, policy=self.policy,
             top_layer_provider=top_layer_provider,
             replica_provider=lambda: self.replica,
-            on_resolved=self._on_resolved)
+            on_resolved=self._dispatch_resolved,
+            backoff_rng=self.runtime.backoff_rng)
 
         self._last_auto_resolution = -float("inf")
         self.resolutions_triggered = 0
         self.detection_outcomes: List[DetectionOutcome] = []
+        self.runtime.adopt(object_id, self)
 
     # --------------------------------------------------------------- set-up
     @staticmethod
@@ -115,11 +130,15 @@ class IdeaMiddleware:
                                   applied_at=self.node.sim.now)
         if record is None:
             return None
+        now = self.node.sim.now
         if self._on_update_recorded is not None:
-            self._on_update_recorded(self.object_id, self.node.node_id, self.node.sim.now)
+            self._on_update_recorded(self.object_id, self.node.node_id, now)
+        if self.bus.wants(WriteRecorded):
+            self.bus.publish(WriteRecorded(object_id=self.object_id,
+                                           node_id=self.node.node_id, time=now))
         self.detection.announce_write()
         outcome = self.detection.detect()
-        self.detection_outcomes.append(outcome)
+        self._record_outcome(outcome)
         self._consult_controller(outcome.level)
         return outcome
 
@@ -140,7 +159,7 @@ class IdeaMiddleware:
 
         if trigger:
             outcome = self.detection.detect()
-            self.detection_outcomes.append(outcome)
+            self._record_outcome(outcome)
             level = outcome.level
             self._consult_controller(level)
         else:
@@ -158,6 +177,14 @@ class IdeaMiddleware:
         """A top-layer peer announced a write: re-evaluate and maybe resolve."""
         level = self.detection.current_level()
         self._consult_controller(level)
+
+    def _record_outcome(self, outcome: DetectionOutcome) -> None:
+        self.detection_outcomes.append(outcome)
+        if self.bus.wants(DetectionEvaluated):
+            self.bus.publish(DetectionEvaluated(
+                object_id=self.object_id, node_id=self.node.node_id,
+                success=outcome.success, level=outcome.level,
+                time=outcome.evaluated_at))
 
     # ------------------------------------------------------------ controller
     def _current_threshold(self) -> float:
@@ -193,6 +220,13 @@ class IdeaMiddleware:
         jitter = self.config.backoff_window if auto else 0.0
         self.resolution.start_active_resolution(suppression_jitter=jitter)
         return True
+
+    def _dispatch_resolved(self, result: ResolutionResult) -> None:
+        """A round this node initiated completed: publish and run the hook."""
+        self.bus.publish(ResolutionCompleted(
+            object_id=self.object_id, initiator=result.initiator,
+            kind=result.kind, result=result, time=result.finished_at))
+        self._on_resolved(result)
 
     def _on_resolved(self, result: ResolutionResult) -> None:
         # Resolution completed: our replica is consistent as of now; peer

@@ -81,7 +81,8 @@ class ResolutionManager:
                  policy: ResolutionPolicy,
                  top_layer_provider: Callable[[], Sequence[str]],
                  replica_provider: Callable[[], Replica],
-                 on_resolved: Optional[Callable[[ResolutionResult], None]] = None) -> None:
+                 on_resolved: Optional[Callable[[ResolutionResult], None]] = None,
+                 backoff_rng=None) -> None:
         self.node = node
         self.object_id = object_id
         self.config = config
@@ -97,8 +98,11 @@ class ResolutionManager:
         #: when the most recent resolved image was installed here (another
         #: initiator's round completing counts as "their notice" for back-off)
         self._last_install_at: float = -float("inf")
-        self._backoff_rng = node.sim.random.stream(
-            f"resolution.backoff.{node.node_id}.{object_id}")
+        #: a NodeRuntime shares one backoff stream across all its objects;
+        #: standalone managers spawn a private per-object stream
+        self._backoff_rng = backoff_rng if backoff_rng is not None else (
+            node.sim.random.stream(
+                f"resolution.backoff.{node.node_id}.{object_id}"))
         self.history: List[ResolutionResult] = []
 
         node.register_rpc(f"idea_attention:{object_id}", self._rpc_attention)

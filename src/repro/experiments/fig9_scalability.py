@@ -1,4 +1,4 @@
-"""Figure 9: scalability of active resolution with the top-layer size.
+"""Figure 9: scalability of active resolution — and of the node runtime.
 
 The paper extrapolates the Table 2 measurement with Formula 2
 (``Delay(n) = 0.468 ms + 104.747 ms · (n − 1)``) and plots the predicted cost
@@ -13,16 +13,28 @@ This harness does both things:
   (:func:`repro.analysis.formulas.fit_delay_model`) so the slope/intercept can
   be compared against the paper's coefficients and against Formula 3 for
   background resolution.
+
+Beyond the paper's figure, :func:`run_multiobject_experiment` sweeps the
+*objects-per-node* axis the paper never measured: a fixed deployment (8 nodes
+by default) hosts 1..256 concurrently written objects through the
+:class:`~repro.core.deployment.DeploymentBuilder` / :class:`~repro.runtime
+.NodeRuntime` path, recording wall-clock cost and simulator events processed
+per sweep point.  Passing ``shared_cache=False`` reproduces the seed
+architecture's rebuild-every-digest behaviour for comparison.
 """
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.formulas import DelayModel, fit_delay_model, paper_delay_model
+from repro.core.config import AdaptationMode, IdeaConfig
+from repro.core.deployment import DeploymentBuilder
 from repro.experiments.report import format_table
 from repro.experiments.tab2_phases import _build_whiteboard
+from repro.sim.timers import PeriodicTimer
 
 
 @dataclass
@@ -100,3 +112,124 @@ def format_report(result: ScalabilityResult) -> str:
              f"{result.fitted.per_member * 1e3:.3f} ms × (n − 1)"
              f"\npaper:  delay(n) = 0.468 ms + 104.747 ms × (n − 1)")
     return table + extra
+
+
+# --------------------------------------------------------------------------
+# Multi-object scalability: many objects per node through the NodeRuntime.
+# --------------------------------------------------------------------------
+
+@dataclass
+class MultiObjectResult:
+    """Wall-clock and event cost of hosting many objects per deployment."""
+
+    num_nodes: int
+    writers_per_object: int
+    duration: float
+    shared_cache: bool
+    object_counts: List[int]
+    wall_clock_seconds: List[float]
+    events_processed: List[int]
+    writes_applied: List[int]
+
+    def per_object_seconds(self) -> List[float]:
+        return [w / max(c, 1) for w, c in
+                zip(self.wall_clock_seconds, self.object_counts)]
+
+    def as_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for count, wall, events, writes, per_obj in zip(
+                self.object_counts, self.wall_clock_seconds,
+                self.events_processed, self.writes_applied,
+                self.per_object_seconds()):
+            rows.append([count, f"{wall:.3f} s", f"{per_obj * 1e3:.2f} ms",
+                         events, writes])
+        return rows
+
+
+def _run_multiobject_point(*, num_nodes: int, num_objects: int,
+                           writers_per_object: int, write_period: float,
+                           duration: float, seed: int,
+                           shared_cache: bool) -> Tuple[float, int, int]:
+    """(wall-clock s, events processed, writes applied) for one sweep point."""
+    started = _time.perf_counter()
+    deployment = DeploymentBuilder(num_nodes=num_nodes, seed=seed,
+                                   shared_digest_cache=shared_cache).build()
+    # Hint level 0 keeps the workload purely in the detection path (no
+    # automatic resolutions), so the sweep measures runtime overhead rather
+    # than resolution-backoff randomness.
+    config = IdeaConfig(mode=AdaptationMode.HINT_BASED, hint_level=0.0,
+                        background_period=None)
+    node_ids = deployment.node_ids
+    for i in range(num_objects):
+        object_id = f"obj{i:04d}"
+        deployment.register_object(object_id, config, start_background=False)
+        for w in range(writers_per_object):
+            middleware = deployment.middleware(
+                object_id, node_ids[(i + w) % len(node_ids)])
+            timer = PeriodicTimer(
+                deployment.sim,
+                (lambda m=middleware: m.write(metadata_delta=1.0)),
+                period=write_period, label=f"wl:{object_id}")
+            # Stagger writers so digest exchanges do not all collide.
+            offset = 0.05 + write_period * (w / writers_per_object) \
+                + 0.003 * (i % 32)
+            deployment.sim.call_at(offset, timer.start)
+    deployment.run(until=duration)
+    wall = _time.perf_counter() - started
+    writes = sum(deployment.trace.count(f"writes.obj{i:04d}")
+                 for i in range(num_objects))
+    return wall, deployment.sim.events_processed, writes
+
+
+def run_multiobject_experiment(*, num_nodes: int = 8,
+                               object_counts: Sequence[int] = (1, 4, 16, 64),
+                               writers_per_object: int = 4,
+                               write_period: float = 2.0,
+                               duration: float = 40.0, seed: int = 11,
+                               shared_cache: bool = True) -> MultiObjectResult:
+    """Sweep objects-per-deployment and record wall-clock + events.
+
+    Every object is replicated on all ``num_nodes`` hosts and concurrently
+    written by ``writers_per_object`` of them every ``write_period`` simulated
+    seconds, exercising digest exchange and level evaluation — the per-event
+    hot path the shared digest cache accelerates.
+    """
+    counts = sorted(set(int(c) for c in object_counts))
+    if not counts or counts[0] < 1:
+        raise ValueError("object_counts must contain positive integers")
+    writers_per_object = min(writers_per_object, num_nodes)
+    walls: List[float] = []
+    events: List[int] = []
+    writes: List[int] = []
+    for count in counts:
+        wall, processed, applied = _run_multiobject_point(
+            num_nodes=num_nodes, num_objects=count,
+            writers_per_object=writers_per_object, write_period=write_period,
+            duration=duration, seed=seed, shared_cache=shared_cache)
+        walls.append(wall)
+        events.append(processed)
+        writes.append(applied)
+    return MultiObjectResult(
+        num_nodes=num_nodes, writers_per_object=writers_per_object,
+        duration=duration, shared_cache=shared_cache, object_counts=counts,
+        wall_clock_seconds=walls, events_processed=events,
+        writes_applied=writes)
+
+
+def format_multiobject_report(result: MultiObjectResult,
+                              baseline: Optional[MultiObjectResult] = None) -> str:
+    title = (f"Multi-object scalability — {result.num_nodes} nodes, "
+             f"{result.writers_per_object} writers/object, "
+             f"{result.duration:.0f} s simulated, "
+             f"{'shared digest cache' if result.shared_cache else 'seed architecture'}")
+    table = format_table(
+        ["objects", "wall clock", "per object", "events", "writes"],
+        result.as_rows(), title=title)
+    if baseline is not None and baseline.object_counts == result.object_counts:
+        speedups = [b / max(r, 1e-12) for b, r in
+                    zip(baseline.per_object_seconds(),
+                        result.per_object_seconds())]
+        table += ("\nper-object speedup vs seed architecture: "
+                  + ", ".join(f"{c}×obj: {s:.2f}×" for c, s in
+                              zip(result.object_counts, speedups)))
+    return table

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Message, Network
+from repro.sim.timers import PeriodicTimer
 from repro.versioning.version_vector import Ordering, VersionVector
 
 
@@ -99,7 +100,7 @@ class GossipService:
         self._on_inconsistency = on_inconsistency
         self._rng = sim.random.stream("overlay.gossip")
         self._objects: List[str] = []
-        self._timer_started = False
+        self._timer: Optional[PeriodicTimer] = None
         self._rounds = 0
         self._detections: List[Tuple[float, str, str]] = []
         self._seen: Dict[str, set] = {}
@@ -113,16 +114,17 @@ class GossipService:
             self._objects.append(object_id)
 
     def start(self) -> None:
-        if self._timer_started:
+        if self._timer is not None:
             return
-        self._timer_started = True
-        self.sim.call_after(self.config.round_period, self._round_timer,
-                            label="gossip-round")
+        self._timer = PeriodicTimer(self.sim, self.run_round,
+                                    period=self.config.round_period,
+                                    label="gossip-round").start()
 
-    def _round_timer(self) -> None:
-        self.run_round()
-        self.sim.call_after(self.config.round_period, self._round_timer,
-                            label="gossip-round")
+    def stop(self) -> None:
+        """Cancel the periodic rounds (idempotent)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     # ---------------------------------------------------------------- rounds
     def run_round(self) -> int:

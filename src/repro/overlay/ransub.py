@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 from repro.sim.network import Message, Network
+from repro.sim.timers import PeriodicTimer
 
 
 PROTOCOL = "overlay.ransub"
@@ -74,7 +75,7 @@ class RanSubService:
         self._round = 0
         self._views: Dict[str, RanSubView] = {}
         self._subscribers: Dict[str, List[Callable[[RanSubView], None]]] = {}
-        self._timer_started = False
+        self._timer: Optional[PeriodicTimer] = None
         # Build a static distribution tree rooted at the first node.
         self._children: Dict[str, List[str]] = {n: [] for n in self.node_ids}
         self._parent: Dict[str, Optional[str]] = {}
@@ -123,18 +124,17 @@ class RanSubService:
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
         """Begin periodic rounds (the first runs after one period)."""
-        if self._timer_started:
+        if self._timer is not None:
             return
-        self._timer_started = True
-        self._schedule_next_round()
+        self._timer = PeriodicTimer(self.sim, self.run_round,
+                                    period=self.round_period,
+                                    label="ransub-round").start()
 
-    def _schedule_next_round(self) -> None:
-        self.sim.call_after(self.round_period, self._run_round_timer,
-                            label="ransub-round")
-
-    def _run_round_timer(self) -> None:
-        self.run_round()
-        self._schedule_next_round()
+    def stop(self) -> None:
+        """Cancel the periodic rounds (idempotent)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
 
     # --------------------------------------------------------------- rounds
     def run_round(self) -> int:

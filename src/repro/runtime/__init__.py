@@ -1,0 +1,34 @@
+"""repro.runtime — shared per-node runtime and instrumentation bus.
+
+This package restructures the middleware layer around *nodes* rather than
+(node, object) pairs:
+
+* :class:`NodeRuntime` — one per simulated node; hosts every IDEA-managed
+  object the node participates in behind an :class:`ObjectRegistry`, and owns
+  the node-scoped shared resources (digest cache, backoff stream, bus).
+* :class:`DigestCache` — memoises version digests by replica revision so
+  consistency evaluations stop paying O(update-log) per event.
+* :class:`EventBus` and its event types — explicit publish/subscribe for
+  deployment-level reporting, replacing private-callback chaining.
+"""
+
+from repro.runtime.digest_cache import DigestCache
+from repro.runtime.events import (
+    BackgroundRoundStarted,
+    DetectionEvaluated,
+    EventBus,
+    ResolutionCompleted,
+    WriteRecorded,
+)
+from repro.runtime.node_runtime import NodeRuntime, ObjectRegistry
+
+__all__ = [
+    "NodeRuntime",
+    "ObjectRegistry",
+    "DigestCache",
+    "EventBus",
+    "WriteRecorded",
+    "DetectionEvaluated",
+    "ResolutionCompleted",
+    "BackgroundRoundStarted",
+]

@@ -1,0 +1,116 @@
+"""Shared per-node detection digest cache.
+
+A node hosting hundreds of IDEA-managed objects evaluates consistency levels
+constantly: every local write *and* every digest received from a top-layer
+peer recomputes the local replica's :class:`~repro.core.detection
+.VersionDigest`, which costs O(updates applied so far).  The seed
+architecture paid that cost on every evaluation; at 256 objects per node the
+digest rebuild dominated the whole simulation.
+
+:class:`DigestCache` is owned by the :class:`~repro.runtime.NodeRuntime` and
+shared by every object's detection service on that node.  It memoises the
+local digest keyed by the replica's mutation ``revision`` — a digest is
+rebuilt only when the replica actually changed — and it is the single home
+for the peer-digest tables, so the runtime can inspect or drop per-object
+detection state in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.detection import VersionDigest, WriterSummary
+from repro.store.replica import Replica
+
+
+class DigestCache:
+    """Node-level digest memoisation shared across all hosted objects."""
+
+    __slots__ = ("_local", "_summaries", "_peers", "hits", "misses")
+
+    def __init__(self) -> None:
+        #: object_id -> (replica revision the digest was built from, digest)
+        self._local: Dict[str, Tuple[int, VersionDigest]] = {}
+        #: object_id -> {writer -> (count, cumulative metadata, last ts)};
+        #: per-writer folds reused across rebuilds (records are append-only)
+        self._summaries: Dict[str, Dict[str, Tuple[int, float, float]]] = {}
+        #: object_id -> {peer node_id -> freshest digest received}
+        self._peers: Dict[str, Dict[str, VersionDigest]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------ local side
+    def local_digest(self, object_id: str, replica: Replica,
+                     now: float) -> VersionDigest:
+        """The replica's digest, rebuilt only when the replica changed.
+
+        Rebuilds are *incremental*: per-writer summaries are folded forward
+        from the cached state, so a single new write costs O(1) instead of
+        re-walking the whole update log.  A cache hit may carry a stale
+        ``issued_at``; that field only matters when a digest is shipped to
+        peers, and every write bumps the replica revision first, so announced
+        digests are always freshly built.
+        """
+        entry = self._local.get(object_id)
+        if entry is not None and entry[0] == replica.revision:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        digest = self._rebuild(object_id, replica, now)
+        self._local[object_id] = (replica.revision, digest)
+        return digest
+
+    def _rebuild(self, object_id: str, replica: Replica,
+                 now: float) -> VersionDigest:
+        vector = replica.vector
+        summaries = self._summaries.setdefault(object_id, {})
+        writers = []
+        for writer in vector.writers():
+            records = vector.updates_from(writer)
+            count = len(records)
+            cached = summaries.get(writer)
+            if cached is not None and cached[0] == count:
+                folded = cached
+            else:
+                if cached is not None and cached[0] < count:
+                    # Per-writer records are append-only in seq order; fold
+                    # only the suffix the cache has not seen yet.
+                    seen, cum, last = cached
+                    for record in records[seen:]:
+                        cum += record.metadata_delta
+                        if record.timestamp > last:
+                            last = record.timestamp
+                else:
+                    cum = sum(r.metadata_delta for r in records)
+                    last = max(r.timestamp for r in records)
+                folded = (count, cum, last)
+                summaries[writer] = folded
+            writers.append((writer, WriterSummary(
+                count=folded[0], cumulative_metadata=folded[1],
+                last_timestamp=folded[2])))
+        return VersionDigest(
+            object_id=object_id, node_id=replica.node_id, issued_at=now,
+            writers=tuple(writers), metadata=vector.metadata,
+            last_consistent_time=vector.last_consistent_time)
+
+    # ------------------------------------------------------------- peer side
+    def peer_digests(self, object_id: str) -> Dict[str, VersionDigest]:
+        """The live peer-digest table for one object (shared, not a copy)."""
+        table = self._peers.get(object_id)
+        if table is None:
+            table = self._peers[object_id] = {}
+        return table
+
+    # ------------------------------------------------------------- lifecycle
+    def forget_object(self, object_id: str) -> None:
+        self._local.pop(object_id, None)
+        self._summaries.pop(object_id, None)
+        self._peers.pop(object_id, None)
+
+    def objects(self) -> Tuple[str, ...]:
+        return tuple(sorted(set(self._local) | set(self._peers)))
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        return None if total == 0 else self.hits / total

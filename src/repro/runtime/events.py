@@ -1,0 +1,107 @@
+"""Instrumentation event bus.
+
+The seed reproduction wired deployment-level reporting by monkey-patching
+private callbacks on each object's resolution manager.  The bus replaces that
+with explicit publish/subscribe: middleware and runtime components *publish*
+typed events, and deployment-level reporting, the trace recorder, and tests
+*subscribe* — no component writes to another's private attributes.
+
+Events are small frozen dataclasses.  Publishing is deliberately cheap: a
+single dict lookup when nobody subscribed to the event type.  Hot-path
+publishers that would otherwise allocate an event per call should guard with
+:meth:`EventBus.wants` first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+
+@dataclass(frozen=True)
+class WriteRecorded:
+    """A local write was applied through IDEA on one node."""
+
+    object_id: str
+    node_id: str
+    time: float
+
+
+@dataclass(frozen=True)
+class DetectionEvaluated:
+    """One ``detect(update)`` evaluation completed on a node."""
+
+    object_id: str
+    node_id: str
+    success: bool
+    level: float
+    time: float
+
+
+@dataclass(frozen=True)
+class ResolutionCompleted:
+    """A resolution round finished (successfully) with ``initiator`` leading.
+
+    ``result`` is the full :class:`~repro.core.resolution.ResolutionResult`.
+    """
+
+    object_id: str
+    initiator: str
+    kind: str                   # "active" | "background"
+    result: Any
+    time: float
+
+
+@dataclass(frozen=True)
+class BackgroundRoundStarted:
+    """A scheduled background-resolution round was initiated."""
+
+    object_id: str
+    initiator: str
+    time: float
+
+
+Handler = Callable[[Any], None]
+
+
+class EventBus:
+    """Synchronous, in-process publish/subscribe keyed by event type."""
+
+    __slots__ = ("_subscribers",)
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type, List[Handler]] = {}
+
+    def subscribe(self, event_type: Type, handler: Handler) -> Callable[[], None]:
+        """Register ``handler`` for events of ``event_type``; returns an
+        unsubscribe function."""
+        handlers = self._subscribers.setdefault(event_type, [])
+        handlers.append(handler)
+
+        def unsubscribe() -> None:
+            try:
+                handlers.remove(handler)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def wants(self, event_type: Type) -> bool:
+        """True when at least one subscriber listens for ``event_type``.
+
+        Publishers on hot paths check this before allocating an event.
+        """
+        return bool(self._subscribers.get(event_type))
+
+    def publish(self, event: Any) -> int:
+        """Deliver ``event`` to its type's subscribers; returns the count."""
+        handlers = self._subscribers.get(type(event))
+        if not handlers:
+            return 0
+        for handler in tuple(handlers):
+            handler(event)
+        return len(handlers)
+
+    def subscriptions(self) -> List[Tuple[Type, int]]:
+        """(event type, subscriber count) pairs, for introspection."""
+        return [(t, len(hs)) for t, hs in self._subscribers.items() if hs]

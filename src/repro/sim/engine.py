@@ -39,21 +39,44 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: owning queue while the event is pending; cleared once executed so a
+    #: late ``cancel()`` on an already-run event is a no-op
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Cancel the event; it will be skipped when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancelled()
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Cancellation is lazy (cancelled events stay in the heap until popped),
+    but the live count is maintained eagerly so ``len(queue)`` is O(1), and
+    the heap is compacted whenever cancelled entries outnumber live ones, so
+    long runs with many cancelled timers do not leak memory.
+    """
+
+    #: below this heap size compaction is not worth the heapify cost
+    COMPACTION_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
+        self._live = 0
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled events still occupying heap slots (for introspection)."""
+        return self._cancelled
 
     def push(self, time: float, callback: Callable[[], None], *, priority: int = 0,
              label: str = "") -> Event:
@@ -61,22 +84,41 @@ class EventQueue:
         if math.isnan(time):
             raise SimulationError("cannot schedule an event at NaN time")
         event = Event(time=time, priority=priority, seq=next(self._counter),
-                      callback=callback, label=label)
+                      callback=callback, label=label, queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled += 1
+        if (self._cancelled > self._live
+                and len(self._heap) >= self.COMPACTION_MIN_SIZE):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify the survivors."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
-            if not event.cancelled:
-                return event
+            if event.cancelled:
+                self._cancelled -= 1
+                continue
+            self._live -= 1
+            event.queue = None
+            return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next pending event without popping it."""
         while self._heap and self._heap[0].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
         if self._heap:
             return self._heap[0].time
         return None

@@ -92,25 +92,24 @@ class Node:
     def call_every(self, period: float, callback: Callable[[], None], *,
                    label: str = "", jitter: float = 0.0) -> Callable[[], None]:
         """Run ``callback`` every ``period`` seconds until the returned
-        cancel function is invoked."""
+        cancel function is invoked (or the node fails)."""
+        from repro.sim.timers import PeriodicTimer
+
         if period <= 0:
             raise ValueError("period must be positive")
-        cancelled = {"flag": False}
-        rng = self.sim.random.stream(f"timer.{self.node_id}.{label}")
+        rng = (self.sim.random.stream(f"timer.{self.node_id}.{label}")
+               if jitter > 0 else None)
 
-        def tick() -> None:
-            if cancelled["flag"] or not self._alive:
+        def guarded() -> None:
+            if not self._alive:
+                timer.cancel()
                 return
             callback()
-            delay = period + (float(rng.uniform(-jitter, jitter)) if jitter > 0 else 0.0)
-            self.sim.call_after(max(delay, 1e-9), tick, label=f"{self.node_id}:{label}")
 
-        self.sim.call_after(period, tick, label=f"{self.node_id}:{label}")
-
-        def cancel() -> None:
-            cancelled["flag"] = True
-
-        return cancel
+        timer = PeriodicTimer(self.sim, guarded, period=period, jitter=jitter,
+                              rng=rng, label=f"{self.node_id}:{label}")
+        timer.start()
+        return timer.cancel
 
     # ------------------------------------------------------------- messaging
     def register_handler(self, msg_type: str, handler: Callable[[Message], Any]) -> None:

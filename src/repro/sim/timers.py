@@ -1,0 +1,112 @@
+"""Slotted periodic timers for recurring protocol rounds.
+
+Background resolution, RanSub rounds, gossip sweeps and application-level
+samplers all share the same shape: fire a callback every *period* seconds
+until cancelled, where the period may change between rounds (frequency
+adaptation) and cancellation must actually remove the pending event from the
+engine's queue.
+
+:class:`PeriodicTimer` packages that shape once.  It is slotted and reuses
+its bound ``_tick`` method as the scheduled callback, so a deployment with
+thousands of recurring rounds allocates no per-tick closures — only the
+engine's own :class:`~repro.sim.engine.Event` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class PeriodicTimer:
+    """Run a callback every period until cancelled.
+
+    The period is re-read before every round, either from the fixed
+    ``period`` or from ``period_fn`` when given, so adaptive schedules (an
+    :class:`~repro.core.adaptive.AutomaticController` changing its
+    background-resolution frequency mid-run) take effect at the next round
+    without rescheduling machinery in the caller.  A ``period_fn`` returning
+    ``None`` stops the timer.
+    """
+
+    __slots__ = ("sim", "callback", "label", "jitter", "rounds_fired",
+                 "_period", "_period_fn", "_rng", "_event", "_cancelled")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None], *,
+                 period: Optional[float] = None,
+                 period_fn: Optional[Callable[[], Optional[float]]] = None,
+                 label: str = "", jitter: float = 0.0, rng=None) -> None:
+        if (period is None) == (period_fn is None):
+            raise ValueError("exactly one of period / period_fn is required")
+        if period is not None and period <= 0:
+            raise ValueError("period must be positive")
+        if jitter > 0 and rng is None:
+            raise ValueError("jitter requires an rng")
+        self.sim = sim
+        self.callback = callback
+        self.label = label
+        self.jitter = jitter
+        self.rounds_fired = 0
+        self._period = period
+        self._period_fn = period_fn
+        self._rng = rng
+        self._event: Optional[Event] = None
+        self._cancelled = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "PeriodicTimer":
+        """Schedule the first round one period from now."""
+        if self._cancelled:
+            raise SimulationError("cannot restart a cancelled timer")
+        if self._event is None:
+            self._schedule_next()
+        return self
+
+    def cancel(self) -> None:
+        """Stop the timer and cancel the pending engine event."""
+        self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        """True while a next round is scheduled."""
+        return self._event is not None and not self._cancelled
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    # -------------------------------------------------------------- schedule
+    def current_period(self) -> Optional[float]:
+        return self._period if self._period_fn is None else self._period_fn()
+
+    def set_period(self, period: float) -> None:
+        """Change a fixed period; takes effect from the next round."""
+        if self._period_fn is not None:
+            raise ValueError("timer period is provided by period_fn")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._period = period
+
+    def _schedule_next(self) -> None:
+        period = self.current_period()
+        if period is None:
+            self._event = None
+            return
+        delay = period
+        if self.jitter > 0:
+            delay += float(self._rng.uniform(-self.jitter, self.jitter))
+        self._event = self.sim.call_after(max(delay, 1e-9), self._tick,
+                                          label=self.label)
+
+    def _tick(self) -> None:
+        self._event = None
+        if self._cancelled:
+            return
+        self.rounds_fired += 1
+        self.callback()
+        if not self._cancelled:
+            self._schedule_next()

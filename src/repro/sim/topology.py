@@ -61,39 +61,50 @@ INTRA_SITE_DELAY_S = 0.002
 
 @dataclass
 class Topology:
-    """Assignment of node identifiers to sites plus the base delay matrix."""
+    """Assignment of node identifiers to sites plus the base delay matrix.
+
+    The pairwise delay table is *cached lazily*: pairs are computed on first
+    use and memoised, and because delays only depend on the two endpoints'
+    sites, each computed value is shared between every node pair at the same
+    site pair.  Building a 1000-node topology therefore costs O(sites²)
+    distance computations rather than O(nodes²) at construction time.
+    """
 
     node_ids: List[str]
     sites: Dict[str, Site]
     node_site: Dict[str, str]
-    base_delay: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    # Lazily filled caches: query history must not affect equality.
+    base_delay: Dict[Tuple[str, str], float] = field(default_factory=dict,
+                                                     compare=False)
+    _site_delay: Dict[Tuple[str, str], float] = field(default_factory=dict,
+                                                      repr=False, compare=False)
 
-    def __post_init__(self) -> None:
-        if not self.base_delay:
-            self.base_delay = self._compute_base_delays()
-
-    def _compute_base_delays(self) -> Dict[Tuple[str, str], float]:
-        delays: Dict[Tuple[str, str], float] = {}
-        for a in self.node_ids:
-            for b in self.node_ids:
-                if a == b:
-                    delays[(a, b)] = 0.0
-                    continue
-                sa, sb = self.sites[self.node_site[a]], self.sites[self.node_site[b]]
-                if sa.name == sb.name:
-                    delays[(a, b)] = INTRA_SITE_DELAY_S
-                else:
-                    dist = float(np.hypot(sa.x - sb.x, sa.y - sb.y))
-                    delays[(a, b)] = PER_HOP_OVERHEAD_S + dist / PROPAGATION_KM_PER_S
-        return delays
+    def _site_pair_delay(self, site_a: str, site_b: str) -> float:
+        key = (site_a, site_b)
+        cached = self._site_delay.get(key)
+        if cached is None:
+            if site_a == site_b:
+                cached = INTRA_SITE_DELAY_S
+            else:
+                sa, sb = self.sites[site_a], self.sites[site_b]
+                dist = float(np.hypot(sa.x - sb.x, sa.y - sb.y))
+                cached = PER_HOP_OVERHEAD_S + dist / PROPAGATION_KM_PER_S
+            self._site_delay[key] = cached
+        return cached
 
     # ------------------------------------------------------------------ api
     def one_way_delay(self, src: str, dst: str) -> float:
         """Deterministic base one-way delay (seconds) between two nodes."""
+        cached = self.base_delay.get((src, dst))
+        if cached is not None:
+            return cached
         try:
-            return self.base_delay[(src, dst)]
+            site_src, site_dst = self.node_site[src], self.node_site[dst]
         except KeyError as exc:
             raise KeyError(f"unknown node pair ({src!r}, {dst!r})") from exc
+        delay = 0.0 if src == dst else self._site_pair_delay(site_src, site_dst)
+        self.base_delay[(src, dst)] = delay
+        return delay
 
     def rtt(self, src: str, dst: str) -> float:
         """Base round-trip time (seconds)."""

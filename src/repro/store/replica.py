@@ -55,6 +55,9 @@ class Replica:
         self.blocked_writes = 0
         #: whether writes are currently blocked (during a resolution round)
         self.write_blocked = False
+        #: monotonically increasing mutation counter; bumped on every change
+        #: to the vector, so digest caches can key on it
+        self.revision = 0
 
     # -------------------------------------------------------------- access
     @property
@@ -112,6 +115,7 @@ class Replica:
             return False
         self._vector = self._vector.apply(record)
         self.log.append(record, applied_at=applied_at)
+        self.revision += 1
         return True
 
     def apply_updates(self, records: List[UpdateRecord], applied_at: float) -> int:
@@ -132,9 +136,11 @@ class Replica:
     def mark_consistent(self, time: float) -> None:
         """Record that the replica was brought to a consistent state at ``time``."""
         self._vector = self._vector.with_consistent_time(time)
+        self.revision += 1
 
     def attach_triple(self, triple: ErrorTriple) -> None:
         self._vector = self._vector.with_triple(triple)
+        self.revision += 1
 
     def install_merged(self, merged: ExtendedVersionVector, *, now: float) -> int:
         """Install the resolved consistent image: apply every missing update.
@@ -150,10 +156,12 @@ class Replica:
 
     def invalidate_updates(self, keys: List[Tuple[str, int]]) -> int:
         """Tombstone updates chosen by the invalidate-both policy."""
+        self.revision += 1
         return self.log.invalidate(keys)
 
     def roll_back_after(self, time: float) -> List[UpdateRecord]:
         """Roll back updates applied after ``time`` (bottom-layer discrepancy)."""
+        self.revision += 1
         return self.log.roll_back_after(time)
 
     # -------------------------------------------------------------- dunder

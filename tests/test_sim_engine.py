@@ -57,6 +57,49 @@ class TestEventQueue:
         with pytest.raises(SimulationError):
             q.push(float("nan"), lambda: None)
 
+    def test_len_is_maintained_not_scanned(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(10)]
+        assert len(q) == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert len(q) == 8
+        q.pop()
+        assert len(q) == 7
+        events[3].cancel()  # double-cancel must not double-count
+        assert len(q) == 7
+
+    def test_cancel_after_pop_is_noop(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        assert q.pop() is event
+        event.cancel()
+        assert len(q) == 1
+
+    def test_heap_compacts_when_mostly_cancelled(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # More cancelled than live entries: the heap must have been compacted
+        # rather than retaining all 200 slots.
+        assert len(q) == 50
+        assert len(q._heap) < 200
+        assert len(q._heap) == 50 + q.cancelled_pending
+
+    def test_compaction_preserves_order(self):
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None, label=str(i)) for i in range(100)]
+        for event in events:
+            if event.time % 2 == 0:
+                event.cancel()
+        popped = []
+        while (event := q.pop()) is not None:
+            popped.append(event.time)
+        assert popped == sorted(popped)
+        assert len(popped) == 50
+
 
 class TestSimulator:
     def test_time_starts_at_zero(self):
