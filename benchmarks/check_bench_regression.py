@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Benchmark regression gate for CI.
+
+Reruns the multi-object ablation workload committed in
+``BENCH_multiobject.json`` (8 nodes × 8 objects × 300 simulated seconds,
+shared digest cache) and fails when the measured per-object wall-clock
+regresses more than ``--threshold`` (default 25 %) against the committed
+baseline.  Determinism is gated too: the rerun must process exactly the
+baseline's event and write counts, so a "speedup" that silently drops
+simulation work cannot pass.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_bench_regression.py [--threshold 0.25]
+
+Exit status 0 = within budget, 1 = regression or determinism mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.fig9_scalability import run_multiobject_experiment
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_multiobject.json"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional per-object wall-clock regression "
+                             "vs the committed baseline (default 0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    baseline = committed["ablation"]["runtime_architecture"]
+    base_per_object = baseline["per_object_seconds"][0]
+    base_events = baseline["events_processed"][0]
+    base_writes = baseline["writes_applied"][0]
+
+    result = run_multiobject_experiment(
+        num_nodes=baseline["num_nodes"], object_counts=(8,),
+        duration=baseline["duration_simulated_s"], write_period=0.4,
+        seed=11, shared_cache=True)
+    per_object = result.per_object_seconds()[0]
+    ratio = per_object / base_per_object
+
+    print(f"committed baseline: {base_per_object * 1e3:.1f} ms/object "
+          f"({base_events} events, {base_writes} writes)")
+    print(f"this run:           {per_object * 1e3:.1f} ms/object "
+          f"({result.events_processed[0]} events, {result.writes_applied[0]} writes)")
+    print(f"ratio: {ratio:.2f}× (budget ≤ {1 + args.threshold:.2f}×)")
+
+    failed = False
+    if result.events_processed[0] != base_events:
+        print("FAIL: events processed diverged from the committed baseline "
+              "(determinism broken)")
+        failed = True
+    if result.writes_applied[0] != base_writes:
+        print("FAIL: writes applied diverged from the committed baseline "
+              "(determinism broken)")
+        failed = True
+    if ratio > 1 + args.threshold:
+        print(f"FAIL: per-object wall-clock regressed {ratio:.2f}× "
+              f"> {1 + args.threshold:.2f}× budget")
+        failed = True
+    if not failed:
+        print("OK: within regression budget")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,16 +24,18 @@ from repro.core.config import ConsistencyMetricSpec, MetricWeights
 from repro.versioning.extended_vector import ErrorTriple
 
 
+def _norm(error: float, maximum: float) -> float:
+    if error <= 0:
+        return 0.0
+    scaled = error / maximum
+    return scaled if scaled < 1.0 else 1.0
+
+
 def normalized_errors(triple: ErrorTriple, metric: ConsistencyMetricSpec) -> Tuple[float, float, float]:
     """Each error divided by its maximum, clamped to [0, 1]."""
-    def norm(error: float, maximum: float) -> float:
-        if error <= 0:
-            return 0.0
-        return min(error / maximum, 1.0)
-
-    return (norm(triple.numerical, metric.max_numerical),
-            norm(triple.order, metric.max_order),
-            norm(triple.staleness, metric.max_staleness))
+    return (_norm(triple.numerical, metric.max_numerical),
+            _norm(triple.order, metric.max_order),
+            _norm(triple.staleness, metric.max_staleness))
 
 
 def consistency_level(triple: ErrorTriple, metric: ConsistencyMetricSpec,
@@ -43,10 +45,18 @@ def consistency_level(triple: ErrorTriple, metric: ConsistencyMetricSpec,
     Computed as ``1 − Σ wᵢ·errorᵢ/maxᵢ`` (algebraically identical to the
     paper's form with normalised weights) so that a zero error triple yields
     exactly 1.0 regardless of floating-point weight normalisation.
+
+    This runs once per digest delivery and once per detect() — the
+    normalisation is inlined (no intermediate ``MetricWeights`` or closure
+    allocation) but numerically identical to ``weights.normalized()``.
     """
-    w = weights.normalized()
-    n, o, s = normalized_errors(triple, metric)
-    level = 1.0 - (n * w.numerical + o * w.order + s * w.staleness)
+    total = weights.numerical + weights.order + weights.staleness
+    n = _norm(triple.numerical, metric.max_numerical)
+    o = _norm(triple.order, metric.max_order)
+    s = _norm(triple.staleness, metric.max_staleness)
+    level = 1.0 - (n * (weights.numerical / total)
+                   + o * (weights.order / total)
+                   + s * (weights.staleness / total))
     # Guard against floating-point drift at the boundaries.
     return min(1.0, max(0.0, level))
 

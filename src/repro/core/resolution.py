@@ -345,7 +345,7 @@ class ResolutionManager:
         if not vectors:
             return []
         key_sets = [v.update_keys() for v in vectors]
-        universally_known: Set[Tuple[str, int]] = set.intersection(*key_sets)
+        universally_known: Set[Tuple[str, int]] = key_sets[0].intersection(*key_sets[1:])
         seen: Dict[Tuple[str, int], UpdateRecord] = {}
         for vector in vectors:
             for record in vector.all_updates():

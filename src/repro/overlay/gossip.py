@@ -151,16 +151,17 @@ class GossipService:
             return 0
         fanout = min(self.config.fanout, len(peers))
         chosen_idx = self._rng.choice(len(peers), size=fanout, replace=False)
-        count = 0
-        for idx in sorted(chosen_idx):
-            peer = peers[idx]
+        chosen = [peers[idx] for idx in sorted(chosen_idx)]
+        for peer in chosen:
             self._ensure_handler(peer)
-            self.network.send(sender, peer, protocol=PROTOCOL,
-                              msg_type="gossip_digest",
-                              payload={"digest": digest, "members": list(members)},
-                              size_bytes=self.config.digest_bytes)
-            count += 1
-        return count
+        # One shared payload for the whole fan-out; receivers treat both the
+        # digest and the member list as read-only.
+        self.network.send_many(sender, chosen, protocol=PROTOCOL,
+                               msg_type="gossip_digest",
+                               payload={"digest": digest,
+                                        "members": list(members)},
+                               size_bytes=self.config.digest_bytes)
+        return len(chosen)
 
     def _ensure_handler(self, node_id: str) -> None:
         if node_id in self._registered_nodes:

@@ -60,6 +60,10 @@ class TemperatureTracker:
         self._decay_rate = math.log(2.0) / self.config.half_life
         self._scores: Dict[str, float] = {}
         self._last_update: Dict[str, float] = {}
+        #: bumped on every recorded update; selection results are pure
+        #: functions of (version, query time, candidate pool), so callers can
+        #: memoise on it
+        self.version = 0
 
     # ------------------------------------------------------------- updates
     def record_update(self, node_id: str, time: float, weight: float = 1.0) -> None:
@@ -69,6 +73,7 @@ class TemperatureTracker:
         current = self.temperature(node_id, time)
         self._scores[node_id] = current + weight
         self._last_update[node_id] = time
+        self.version += 1
 
     def temperature(self, node_id: str, time: float) -> float:
         """Current (decayed) temperature of a node."""

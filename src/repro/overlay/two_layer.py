@@ -46,6 +46,12 @@ class TwoLayerOverlay:
         self._trackers: Dict[str, TemperatureTracker] = {}
         self._top_cache: Dict[str, List[str]] = {}
         self._candidate_views: Dict[str, RanSubView] = {}
+        #: memo of the last selection per object, keyed by everything the
+        #: selection depends on: (tracker version, pool version, query time)
+        self._select_memo: Dict[str, tuple] = {}
+        #: bumped whenever a RanSub view changes the candidate pool
+        self._pool_version = 0
+        self._pool_cache: Optional[List[str]] = None
         if ransub is not None:
             for node in self.node_ids:
                 ransub.subscribe(node, lambda view, n=node: self._on_view(n, view))
@@ -53,14 +59,22 @@ class TwoLayerOverlay:
     # --------------------------------------------------------------- ransub
     def _on_view(self, node_id: str, view: RanSubView) -> None:
         self._candidate_views[node_id] = view
+        self._pool_version += 1
+        self._pool_cache = None
 
     def _candidate_pool(self) -> Optional[List[str]]:
-        """Union of the freshest RanSub views (None when RanSub is unused)."""
+        """Union of the freshest RanSub views (None when RanSub is unused).
+
+        Rebuilt only when a view changed since the last call.
+        """
         if self.ransub is None:
             return None
-        members: List[str] = []
-        for view in self._candidate_views.values():
-            members.extend(view.members)
+        members = self._pool_cache
+        if members is None:
+            members = []
+            for view in self._candidate_views.values():
+                members.extend(view.members)
+            self._pool_cache = members
         return members or None
 
     # ------------------------------------------------------------- tracking
@@ -70,13 +84,30 @@ class TwoLayerOverlay:
                 object_id, self.config.temperature)
         return self._trackers[object_id]
 
+    def _select(self, object_id: str, tracker: TemperatureTracker,
+                time: float) -> List[str]:
+        """Memoised ``tracker.select_top``.
+
+        Selection is deterministic in (tracker state, candidate pool, query
+        time); within one simulated instant a write typically triggers
+        several membership queries (record + announce + per-peer digest
+        handling), and the memo collapses those to one ranking pass.
+        """
+        key = (tracker.version, self._pool_version, time)
+        memo = self._select_memo.get(object_id)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        top = tracker.select_top(time, self._candidate_pool())
+        self._select_memo[object_id] = (key, top)
+        return top
+
     def record_update(self, object_id: str, node_id: str, time: float) -> None:
         """Heat up ``node_id`` for ``object_id`` and refresh its top layer."""
         if node_id not in self.node_ids:
             raise KeyError(f"unknown node {node_id!r}")
-        self.tracker(object_id).record_update(node_id, time)
-        self._top_cache[object_id] = self.tracker(object_id).select_top(
-            time, self._candidate_pool())
+        tracker = self.tracker(object_id)
+        tracker.record_update(node_id, time)
+        self._top_cache[object_id] = self._select(object_id, tracker, time)
 
     # ------------------------------------------------------------ membership
     def top_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:
@@ -85,7 +116,7 @@ class TwoLayerOverlay:
         if tracker is None:
             return []
         if self.config.refresh_on_query and time is not None:
-            self._top_cache[object_id] = tracker.select_top(time, self._candidate_pool())
+            self._top_cache[object_id] = self._select(object_id, tracker, time)
         return list(self._top_cache.get(object_id, []))
 
     def bottom_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:

@@ -31,9 +31,12 @@ class DigestCache:
     def __init__(self) -> None:
         #: object_id -> (replica revision the digest was built from, digest)
         self._local: Dict[str, Tuple[int, VersionDigest]] = {}
-        #: object_id -> {writer -> (count, cumulative metadata, last ts)};
-        #: per-writer folds reused across rebuilds (records are append-only)
-        self._summaries: Dict[str, Dict[str, Tuple[int, float, float]]] = {}
+        #: object_id -> {writer -> (count, cumulative metadata, last ts,
+        #: interned (writer, WriterSummary) pair)}; per-writer folds reused
+        #: across rebuilds (records are append-only), and the interned pair
+        #: tuple means a rebuild after one write allocates one new summary —
+        #: every unchanged writer's pair is recycled by reference
+        self._summaries: Dict[str, Dict[str, Tuple[int, float, float, tuple]]] = {}
         #: object_id -> {peer node_id -> freshest digest received}
         self._peers: Dict[str, Dict[str, VersionDigest]] = {}
         self.hits = 0
@@ -70,12 +73,12 @@ class DigestCache:
             count = len(records)
             cached = summaries.get(writer)
             if cached is not None and cached[0] == count:
-                folded = cached
+                pair = cached[3]
             else:
                 if cached is not None and cached[0] < count:
                     # Per-writer records are append-only in seq order; fold
                     # only the suffix the cache has not seen yet.
-                    seen, cum, last = cached
+                    seen, cum, last = cached[0], cached[1], cached[2]
                     for record in records[seen:]:
                         cum += record.metadata_delta
                         if record.timestamp > last:
@@ -83,11 +86,10 @@ class DigestCache:
                 else:
                     cum = sum(r.metadata_delta for r in records)
                     last = max(r.timestamp for r in records)
-                folded = (count, cum, last)
-                summaries[writer] = folded
-            writers.append((writer, WriterSummary(
-                count=folded[0], cumulative_metadata=folded[1],
-                last_timestamp=folded[2])))
+                pair = (writer, WriterSummary(
+                    count=count, cumulative_metadata=cum, last_timestamp=last))
+                summaries[writer] = (count, cum, last, pair)
+            writers.append(pair)
         return VersionDigest(
             object_id=object_id, node_id=replica.node_id, issued_at=now,
             writers=tuple(writers), metadata=vector.metadata,

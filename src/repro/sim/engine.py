@@ -9,14 +9,26 @@ execution order is fully deterministic.
 Simulated time is a ``float`` measured in **seconds**, matching the paper's
 reporting units (update period of 5 s, background-resolution periods of
 20 s / 40 s, resolution delays reported in milliseconds).
+
+Hot-path design (see DESIGN.md "Hot path & event cost budget"):
+
+* :class:`Event` is a ``__slots__`` class ordered by a pre-built
+  ``(time, priority, seq)`` key, but the heap itself stores
+  ``(time, priority, seq, event)`` tuples so ``heapq`` compares plain
+  tuples in C — no Python ``__lt__`` call per sift step.
+* Events that provably never escape to callers (network deliveries, timer
+  ticks scheduled with ``recyclable=True``) are drawn from and returned to a
+  bounded free list, so steady-state simulation allocates no event objects.
+* An event may carry a single ``arg``; the run loop invokes
+  ``callback(arg)`` when set and ``callback()`` otherwise.  This lets the
+  network bind one ``_deliver`` method per network instead of allocating a
+  capturing lambda per message.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
+from heapq import heappop, heappush, heapify
 from typing import Any, Callable, Iterable, Optional
 
 
@@ -24,7 +36,10 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
 
 
-@dataclass(order=True)
+#: sentinel distinguishing "no argument" from an argument of ``None``
+_NO_ARG = object()
+
+
 class Event:
     """A single scheduled event.
 
@@ -33,15 +48,36 @@ class Event:
     application timers firing at the same instant; lower values run first.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: owning queue while the event is pending; cleared once executed so a
-    #: late ``cancel()`` on an already-run event is a no-op
-    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "priority", "seq", "callback", "arg", "label",
+                 "cancelled", "recyclable", "queue")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., None], label: str = "",
+                 cancelled: bool = False,
+                 queue: Optional["EventQueue"] = None) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        #: optional single argument passed to ``callback`` (``_NO_ARG`` = none)
+        self.arg: Any = _NO_ARG
+        self.label = label
+        self.cancelled = cancelled
+        #: event may be returned to the queue's free list once executed or
+        #: skipped; only set for events whose handle never escapes the caller
+        self.recyclable = False
+        #: owning queue while the event is pending; cleared once executed so a
+        #: late ``cancel()`` on an already-run event is a no-op
+        self.queue = queue
+
+    def __lt__(self, other: "Event") -> bool:
+        return ((self.time, self.priority, self.seq)
+                < (other.time, other.priority, other.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return (f"<Event t={self.time:g} prio={self.priority} seq={self.seq} "
+                f"label={self.label!r} {state}>")
 
     def cancel(self) -> None:
         """Cancel the event; it will be skipped when popped."""
@@ -59,16 +95,22 @@ class EventQueue:
     but the live count is maintained eagerly so ``len(queue)`` is O(1), and
     the heap is compacted whenever cancelled entries outnumber live ones, so
     long runs with many cancelled timers do not leak memory.
+
+    The heap stores ``(time, priority, seq, event)`` tuples; ``seq`` is
+    unique, so comparisons never reach the event object and stay in C.
     """
 
     #: below this heap size compaction is not worth the heapify cost
     COMPACTION_MIN_SIZE = 64
+    #: upper bound on the recycled-event free list
+    POOL_MAX_SIZE = 4096
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple] = []
+        self._next_seq = 0
         self._live = 0
         self._cancelled = 0
+        self._pool: list[Event] = []
 
     def __len__(self) -> int:
         return self._live
@@ -78,36 +120,89 @@ class EventQueue:
         """Cancelled events still occupying heap slots (for introspection)."""
         return self._cancelled
 
-    def push(self, time: float, callback: Callable[[], None], *, priority: int = 0,
-             label: str = "") -> Event:
-        """Schedule ``callback`` at ``time`` and return the event handle."""
+    @property
+    def pool_size(self) -> int:
+        """Events currently parked on the free list (for introspection)."""
+        return len(self._pool)
+
+    def push(self, time: float, callback: Callable[..., None], *,
+             priority: int = 0, label: str = "", arg: Any = _NO_ARG,
+             recyclable: bool = False) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle.
+
+        ``recyclable=True`` promises the caller will not retain the handle
+        after it has fired or been cancelled; such events are drawn from and
+        returned to a free list, so the steady state allocates nothing.
+        """
         if math.isnan(time):
             raise SimulationError("cannot schedule an event at NaN time")
-        event = Event(time=time, priority=priority, seq=next(self._counter),
-                      callback=callback, label=label, queue=self)
-        heapq.heappush(self._heap, event)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        pool = self._pool
+        if recyclable and pool:
+            event = pool.pop()
+            event.time = time
+            event.priority = priority
+            event.seq = seq
+            event.callback = callback
+            event.label = label
+            event.cancelled = False
+            event.queue = self
+        else:
+            event = Event(time=time, priority=priority, seq=seq,
+                          callback=callback, label=label, queue=self)
+        event.arg = arg
+        event.recyclable = recyclable
+        heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
+
+    def _recycle(self, event: Event) -> None:
+        """Return an executed/skipped recyclable event to the free list."""
+        if len(self._pool) < self.POOL_MAX_SIZE:
+            event.callback = None
+            event.arg = _NO_ARG
+            event.queue = None
+            self._pool.append(event)
 
     def _note_cancelled(self) -> None:
         self._live -= 1
         self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
         if (self._cancelled > self._live
                 and len(self._heap) >= self.COMPACTION_MIN_SIZE):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify the survivors."""
-        self._heap = [e for e in self._heap if not e.cancelled]
-        heapq.heapify(self._heap)
+        """Drop cancelled entries and re-heapify the survivors.
+
+        Mutates the heap list in place: ``Simulator.run`` holds a direct
+        reference to it across callbacks, and a callback may trigger
+        compaction (via a cancellation) mid-run.
+        """
+        survivors = []
+        for entry in self._heap:
+            event = entry[3]
+            if event.cancelled:
+                if event.recyclable:
+                    self._recycle(event)
+            else:
+                survivors.append(entry)
+        self._heap[:] = survivors
+        heapify(self._heap)
         self._cancelled = 0
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heappop(heap)[3]
             if event.cancelled:
                 self._cancelled -= 1
+                if event.recyclable:
+                    self._recycle(event)
                 continue
             self._live -= 1
             event.queue = None
@@ -115,12 +210,25 @@ class EventQueue:
         return None
 
     def peek_time(self) -> Optional[float]:
-        """Return the timestamp of the next pending event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        """Return the timestamp of the next pending event without popping it.
+
+        Draining cancelled heads updates the same bookkeeping as
+        :meth:`_note_cancelled` and triggers compaction through the same
+        threshold, so cancellation-heavy idle polling (peek without pop)
+        cannot defer compaction indefinitely.
+        """
+        heap = self._heap
+        drained = False
+        while heap and heap[0][3].cancelled:
+            event = heappop(heap)[3]
             self._cancelled -= 1
-        if self._heap:
-            return self._heap[0].time
+            if event.recyclable:
+                self._recycle(event)
+            drained = True
+        if drained:
+            self._maybe_compact()
+        if heap:
+            return heap[0][0]
         return None
 
 
@@ -166,20 +274,24 @@ class Simulator:
         return self._event_count
 
     # ------------------------------------------------------------- scheduling
-    def call_at(self, time: float, callback: Callable[[], None], *,
-                priority: int = PRIORITY_TIMER, label: str = "") -> Event:
+    def call_at(self, time: float, callback: Callable[..., None], *,
+                priority: int = PRIORITY_TIMER, label: str = "",
+                arg: Any = _NO_ARG, recyclable: bool = False) -> Event:
         """Schedule ``callback`` to run at absolute simulated time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event in the past (now={self._now}, requested={time})")
-        return self._queue.push(time, callback, priority=priority, label=label)
+        return self._queue.push(time, callback, priority=priority, label=label,
+                                arg=arg, recyclable=recyclable)
 
-    def call_after(self, delay: float, callback: Callable[[], None], *,
-                   priority: int = PRIORITY_TIMER, label: str = "") -> Event:
+    def call_after(self, delay: float, callback: Callable[..., None], *,
+                   priority: int = PRIORITY_TIMER, label: str = "",
+                   arg: Any = _NO_ARG, recyclable: bool = False) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self._now + delay, callback, priority=priority, label=label)
+        return self._queue.push(self._now + delay, callback, priority=priority,
+                                label=label, arg=arg, recyclable=recyclable)
 
     def spawn(self, generator: Iterable[Any], *, label: str = "") -> "Process":
         """Run a generator-based process (see :mod:`repro.sim.process`)."""
@@ -212,26 +324,45 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         self._stopped = False
+        # Inner-loop locals: one attribute lookup each instead of one per event.
+        queue = self._queue
+        heap = queue._heap
+        pop_head = heappop
+        no_arg = _NO_ARG
+        recycle = queue._recycle
         try:
             while not self._stopped:
                 if max_events is not None and self._event_count >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                # Inline peek: skip cancelled heads with pop's bookkeeping.
+                while heap and heap[0][3].cancelled:
+                    skipped = pop_head(heap)[3]
+                    queue._cancelled -= 1
+                    if skipped.recyclable:
+                        recycle(skipped)
+                if not heap:
                     # Nothing left to execute: advance the clock to the
                     # requested horizon so callers see time pass even in an
                     # idle system.
                     if until is not None and until > self._now:
                         self._now = until
                     break
+                next_time = heap[0][0]
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                event = self._queue.pop()
-                assert event is not None
-                self._now = event.time
+                event = pop_head(heap)[3]
+                queue._live -= 1
+                event.queue = None
+                self._now = next_time
                 self._event_count += 1
-                event.callback()
+                arg = event.arg
+                if arg is no_arg:
+                    event.callback()
+                else:
+                    event.callback(arg)
+                if event.recyclable:
+                    recycle(event)
             return self._now
         finally:
             self._running = False

@@ -34,6 +34,18 @@ class LatencyModel(abc.ABC):
         """Expected (mean) one-way delay; defaults to a single sample."""
         return self.delay(src, dst)
 
+    def homogeneous_delay(self, src: str, dsts) -> Optional[float]:
+        """One delay covering every destination, or ``None`` if per-pair.
+
+        A model may return a single sample when every destination in ``dsts``
+        would receive the same delay (and sampling it consumes no per-pair
+        randomness); :meth:`Network.send_many` then collapses the whole
+        fan-out into one latency sample and one scheduled event.  Models with
+        per-pair delays return ``None`` and the fan-out falls back to
+        per-destination sends with unchanged RNG stream order.
+        """
+        return None
+
 
 class UniformLatencyModel(LatencyModel):
     """One-way delays drawn uniformly from ``[low, high]`` for every pair."""
@@ -70,6 +82,12 @@ class FixedLatencyModel(LatencyModel):
 
     def expected_delay(self, src: str, dst: str) -> float:
         return self.delay(src, dst)
+
+    def homogeneous_delay(self, src: str, dsts) -> Optional[float]:
+        """All pairs share the constant, so any fan-out is homogeneous."""
+        if any(dst == src for dst in dsts):
+            return None  # self-delivery is instant; keep per-dst semantics
+        return self._delay
 
 
 class PlanetLabLatencyModel(LatencyModel):

@@ -15,51 +15,81 @@ network
 
 Message "size" is an abstract byte count supplied by the sender (the paper
 assumes ~1 KB per message when converting counts to bandwidth).
+
+Hot-path notes: delivery events are scheduled by binding the network's own
+``_deliver`` method with the message as the event argument — no capturing
+lambda per send — and the engine recycles those events through its free
+list.  Broadcast-style senders (detection digests, gossip fan-out) should
+use :meth:`send_many`, which shares one payload across the fan-out and, when
+the latency model reports a homogeneous delay for the whole destination set,
+collapses the broadcast into a single latency sample and a single heap push.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 
 
-@dataclass
 class Message:
     """A protocol message in flight."""
 
-    msg_id: int
-    src: str
-    dst: str
-    protocol: str
-    msg_type: str
-    payload: Any
-    size_bytes: int
-    sent_at: float
-    deliver_at: float
+    __slots__ = ("msg_id", "src", "dst", "protocol", "msg_type", "payload",
+                 "size_bytes", "sent_at", "deliver_at")
+
+    def __init__(self, msg_id: int, src: str, dst: str, protocol: str,
+                 msg_type: str, payload: Any, size_bytes: int,
+                 sent_at: float, deliver_at: float) -> None:
+        self.msg_id = msg_id
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.msg_type = msg_type
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.sent_at = sent_at
+        self.deliver_at = deliver_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Message(msg_id={self.msg_id!r}, src={self.src!r}, "
+                f"dst={self.dst!r}, protocol={self.protocol!r}, "
+                f"msg_type={self.msg_type!r}, payload={self.payload!r}, "
+                f"size_bytes={self.size_bytes!r}, sent_at={self.sent_at!r}, "
+                f"deliver_at={self.deliver_at!r})")
 
 
-@dataclass
 class NetworkStats:
-    """Aggregated message accounting, grouped by protocol label."""
+    """Aggregated message accounting, grouped by protocol label.
 
-    sent: Dict[str, int] = field(default_factory=dict)
-    delivered: Dict[str, int] = field(default_factory=dict)
-    dropped: Dict[str, int] = field(default_factory=dict)
-    bytes_sent: Dict[str, int] = field(default_factory=dict)
+    Backed by :class:`collections.Counter` so the per-message increments run
+    in C; the public attributes remain mappings from protocol label to count.
+    """
 
+    __slots__ = ("sent", "delivered", "dropped", "bytes_sent")
+
+    def __init__(self, sent: Optional[Dict[str, int]] = None,
+                 delivered: Optional[Dict[str, int]] = None,
+                 dropped: Optional[Dict[str, int]] = None,
+                 bytes_sent: Optional[Dict[str, int]] = None) -> None:
+        self.sent: Counter = Counter(sent or {})
+        self.delivered: Counter = Counter(delivered or {})
+        self.dropped: Counter = Counter(dropped or {})
+        self.bytes_sent: Counter = Counter(bytes_sent or {})
+
+    # Convenience recorders for external instrumentation; Network's own send
+    # and delivery paths update the counters directly to skip the call.
     def record_sent(self, protocol: str, size_bytes: int) -> None:
-        self.sent[protocol] = self.sent.get(protocol, 0) + 1
-        self.bytes_sent[protocol] = self.bytes_sent.get(protocol, 0) + size_bytes
+        self.sent[protocol] += 1
+        self.bytes_sent[protocol] += size_bytes
 
     def record_delivered(self, protocol: str) -> None:
-        self.delivered[protocol] = self.delivered.get(protocol, 0) + 1
+        self.delivered[protocol] += 1
 
     def record_dropped(self, protocol: str) -> None:
-        self.dropped[protocol] = self.dropped.get(protocol, 0) + 1
+        self.dropped[protocol] += 1
 
     def total_sent(self, prefix: str = "") -> int:
         """Total messages sent whose protocol label starts with ``prefix``."""
@@ -94,9 +124,11 @@ class Network:
         self.loss_probability = loss_probability
         self.stats = NetworkStats()
         self._nodes: Dict[str, Any] = {}
-        self._msg_counter = itertools.count()
+        self._next_msg_id = 0
         self._loss_rng = sim.random.stream("network.loss")
-        self._in_flight: List[Message] = []
+        #: (protocol, msg_type) -> interned delivery-event label; the pairs
+        #: form a small fixed set, so labels are built once, not per send
+        self._labels: Dict[tuple, str] = {}
         #: observers called with every delivered message (used by tests)
         self.delivery_hooks: List[Callable[[Message], None]] = []
 
@@ -122,38 +154,103 @@ class Network:
     def send(self, src: str, dst: str, *, protocol: str, msg_type: str,
              payload: Any = None, size_bytes: Optional[int] = None) -> Optional[Message]:
         """Send a message; returns the in-flight message or ``None`` if dropped."""
-        if dst not in self._nodes:
+        nodes = self._nodes
+        if dst not in nodes:
             raise KeyError(f"destination node {dst!r} is not registered")
-        if src not in self._nodes:
+        if src not in nodes:
             raise KeyError(f"source node {src!r} is not registered")
         size = self.DEFAULT_MESSAGE_BYTES if size_bytes is None else int(size_bytes)
-        self.stats.record_sent(protocol, size)
+        stats = self.stats
+        stats.sent[protocol] += 1
+        stats.bytes_sent[protocol] += size
 
         if self.loss_probability > 0 and self._loss_rng.random() < self.loss_probability:
-            self.stats.record_dropped(protocol)
+            stats.dropped[protocol] += 1
             return None
 
         delay = self.latency.delay(src, dst)
         now = self.sim.now
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
         message = Message(
-            msg_id=next(self._msg_counter), src=src, dst=dst, protocol=protocol,
+            msg_id=msg_id, src=src, dst=dst, protocol=protocol,
             msg_type=msg_type, payload=payload, size_bytes=size,
             sent_at=now, deliver_at=now + delay)
-        self.sim.call_after(delay, lambda: self._deliver(message),
+        self.sim.call_after(delay, self._deliver, arg=message, recyclable=True,
                             priority=Simulator.PRIORITY_NETWORK,
-                            label=f"deliver:{protocol}:{msg_type}")
+                            label=self._label(protocol, msg_type))
         return message
+
+    def _label(self, protocol: str, msg_type: str) -> str:
+        key = (protocol, msg_type)
+        label = self._labels.get(key)
+        if label is None:
+            label = self._labels[key] = f"deliver:{protocol}:{msg_type}"
+        return label
+
+    def send_many(self, src: str, dsts: Sequence[str], *, protocol: str,
+                  msg_type: str, payload: Any = None,
+                  size_bytes: Optional[int] = None) -> List[Message]:
+        """Fan one payload out to many destinations; returns in-flight messages.
+
+        The payload object is shared across the fan-out (receivers treat
+        payloads as read-only), so a top-layer broadcast allocates one payload
+        instead of one per peer.  When the latency model reports a single
+        homogeneous delay for the whole destination set, the broadcast costs
+        one latency sample and one heap push; otherwise each destination is
+        sent to in order with exactly the per-destination latency samples a
+        sequence of :meth:`send` calls would have drawn, preserving RNG
+        stream order and event-for-event determinism.
+        """
+        if not dsts:
+            return []
+        nodes = self._nodes
+        if src not in nodes:
+            raise KeyError(f"source node {src!r} is not registered")
+        for dst in dsts:
+            if dst not in nodes:
+                raise KeyError(f"destination node {dst!r} is not registered")
+        delay = (None if self.loss_probability > 0
+                 else self.latency.homogeneous_delay(src, dsts))
+        if delay is None:
+            return [m for dst in dsts
+                    if (m := self.send(src, dst, protocol=protocol,
+                                       msg_type=msg_type, payload=payload,
+                                       size_bytes=size_bytes)) is not None]
+
+        size = self.DEFAULT_MESSAGE_BYTES if size_bytes is None else int(size_bytes)
+        stats = self.stats
+        count = len(dsts)
+        stats.sent[protocol] += count
+        stats.bytes_sent[protocol] += size * count
+        now = self.sim.now
+        deliver_at = now + delay
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + count
+        batch = [Message(msg_id=msg_id + i, src=src, dst=dst, protocol=protocol,
+                         msg_type=msg_type, payload=payload, size_bytes=size,
+                         sent_at=now, deliver_at=deliver_at)
+                 for i, dst in enumerate(dsts)]
+        self.sim.call_after(delay, self._deliver_batch, arg=batch,
+                            recyclable=True, priority=Simulator.PRIORITY_NETWORK,
+                            label=self._label(protocol, msg_type))
+        return batch
 
     def _deliver(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
         if node is None:
             # Destination departed while the message was in flight; drop it.
-            self.stats.record_dropped(message.protocol)
+            self.stats.dropped[message.protocol] += 1
             return
-        self.stats.record_delivered(message.protocol)
-        for hook in self.delivery_hooks:
-            hook(message)
+        self.stats.delivered[message.protocol] += 1
+        if self.delivery_hooks:
+            for hook in self.delivery_hooks:
+                hook(message)
         node.deliver(message)
+
+    def _deliver_batch(self, batch: List[Message]) -> None:
+        for message in batch:
+            self._deliver(message)
 
     # ------------------------------------------------------------- accounting
     def messages_sent(self, protocol_prefix: str = "") -> int:

@@ -129,6 +129,15 @@ class Node:
                                  msg_type=msg_type, payload=payload,
                                  size_bytes=size_bytes)
 
+    def send_many(self, dsts, *, protocol: str, msg_type: str,
+                  payload: Any = None, size_bytes: Optional[int] = None) -> list:
+        """Fan one payload out to many destinations (see Network.send_many)."""
+        if not self._alive:
+            return []
+        return self.network.send_many(self.node_id, dsts, protocol=protocol,
+                                      msg_type=msg_type, payload=payload,
+                                      size_bytes=size_bytes)
+
     def deliver(self, message: Message) -> None:
         """Entry point used by the network to hand over a message."""
         if not self._alive:

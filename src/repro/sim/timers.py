@@ -99,8 +99,11 @@ class PeriodicTimer:
         delay = period
         if self.jitter > 0:
             delay += float(self._rng.uniform(-self.jitter, self.jitter))
+        # Tick events never escape this timer: the handle is dropped before
+        # the callback runs (in _tick) or at cancel(), so the engine may
+        # recycle the event object through its free list.
         self._event = self.sim.call_after(max(delay, 1e-9), self._tick,
-                                          label=self.label)
+                                          label=self.label, recyclable=True)
 
     def _tick(self) -> None:
         self._event = None

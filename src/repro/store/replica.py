@@ -111,7 +111,10 @@ class Replica:
         per-writer sequence order; resolution pushes satisfy this because the
         initiator sends each writer's missing updates sorted by sequence.
         """
-        if record.key() in self._vector.update_keys():
+        # Per-writer seqs are contiguous from 1, so "already applied" is
+        # exactly "seq not beyond the writer's current count" — an O(1)
+        # check instead of materialising the full update-key set.
+        if 1 <= record.seq <= self._vector.count(record.writer):
             return False
         self._vector = self._vector.apply(record)
         self.log.append(record, applied_at=applied_at)

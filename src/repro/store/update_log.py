@@ -10,12 +10,18 @@ protocols need:
   (Section 4.5.1), and
 * replaying the surviving updates to rebuild application state after a
   rollback (Section 4.4.2).
+
+The derived views the hot path consumes — key set, live-entry list, live
+metadata sum — are maintained incrementally: appends extend them in O(1),
+and the rare death of an entry (invalidation / rollback) adjusts the
+metadata sum directly and marks the live-entry cache dirty so the next query
+rebuilds it once.  No query rebuilds state per call.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, KeysView, List, Optional, Set, Tuple
 
 from repro.versioning.extended_vector import UpdateRecord
 
@@ -40,6 +46,14 @@ class UpdateLog:
     def __init__(self) -> None:
         self._entries: List[LogEntry] = []
         self._index: Dict[Tuple[str, int], int] = {}
+        #: live entries in application order; None when dirty (an entry died
+        #: since the cache was built) — rebuilt lazily on the next query
+        self._live_entries: Optional[List[LogEntry]] = []
+        #: running sum of metadata deltas over live entries
+        self._live_metadata = 0.0
+        #: count of dead entries, so ``entries()`` can skip filtering when
+        #: everything is live (the common case on the hot path)
+        self._dead = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,28 +64,55 @@ class UpdateLog:
     # -------------------------------------------------------------- appends
     def append(self, record: UpdateRecord, applied_at: float) -> bool:
         """Append a record; returns False if it was already present."""
-        key = record.key()
-        if key in self._index:
+        key = (record.writer, record.seq)
+        index = self._index
+        if key in index:
             return False
-        self._index[key] = len(self._entries)
-        self._entries.append(LogEntry(record=record, applied_at=applied_at))
+        entry = LogEntry(record=record, applied_at=applied_at)
+        index[key] = len(self._entries)
+        self._entries.append(entry)
+        if self._live_entries is not None:
+            self._live_entries.append(entry)
+        self._live_metadata += record.metadata_delta
         return True
 
     def extend(self, records: Iterable[UpdateRecord], applied_at: float) -> int:
         """Append many records; returns how many were new."""
         return sum(1 for r in records if self.append(r, applied_at))
 
+    # --------------------------------------------------------- cache upkeep
+    def _live_view(self) -> List[LogEntry]:
+        """The incrementally maintained live-entry list (do not mutate)."""
+        live = self._live_entries
+        if live is None:
+            live = self._live_entries = [e for e in self._entries if e.live]
+        return live
+
+    def _mark_dead(self, entry: LogEntry) -> None:
+        """Bookkeeping for a live entry that was just tombstoned."""
+        self._live_metadata -= entry.record.metadata_delta
+        self._live_entries = None
+        self._dead += 1
+
     # ------------------------------------------------------------- queries
     def entries(self, include_dead: bool = False) -> List[LogEntry]:
         if include_dead:
             return list(self._entries)
-        return [e for e in self._entries if e.live]
+        if self._dead == 0:
+            return list(self._entries)
+        return list(self._live_view())
 
     def records(self, include_dead: bool = False) -> List[UpdateRecord]:
         return [e.record for e in self.entries(include_dead=include_dead)]
 
-    def record_keys(self) -> Set[Tuple[str, int]]:
-        return set(self._index)
+    def record_keys(self) -> KeysView[Tuple[str, int]]:
+        """All applied update keys, live or dead.
+
+        Returns the index's key view — a set-like, O(1)-membership object
+        maintained incrementally by :meth:`append`.  Treat it as read-only;
+        copy with ``set(...)`` if a mutable set is needed.
+        """
+        return self._index.keys()
 
     def get(self, key: Tuple[str, int]) -> Optional[LogEntry]:
         idx = self._index.get(key)
@@ -79,7 +120,9 @@ class UpdateLog:
 
     def missing_from(self, known_keys: Set[Tuple[str, int]]) -> List[UpdateRecord]:
         """Live records present here that the peer (with ``known_keys``) lacks."""
-        return [e.record for e in self._entries if e.live and e.record.key() not in known_keys]
+        entries = self._entries if self._dead == 0 else self._live_view()
+        return [e.record for e in entries
+                if (e.record.writer, e.record.seq) not in known_keys]
 
     def applied_since(self, time: float) -> List[LogEntry]:
         """Entries applied strictly after ``time`` (rollback candidates)."""
@@ -92,7 +135,10 @@ class UpdateLog:
         for key in keys:
             entry = self.get(key)
             if entry is not None and not entry.invalidated:
+                was_live = entry.live
                 entry.invalidated = True
+                if was_live:
+                    self._mark_dead(entry)
                 count += 1
         return count
 
@@ -106,10 +152,13 @@ class UpdateLog:
         rolled: List[UpdateRecord] = []
         for entry in self._entries:
             if entry.applied_at > time and not entry.rolled_back:
+                was_live = entry.live
                 entry.rolled_back = True
+                if was_live:
+                    self._mark_dead(entry)
                 rolled.append(entry.record)
         return rolled
 
     def live_metadata(self) -> float:
-        """Sum of metadata deltas over live updates."""
-        return sum(e.record.metadata_delta for e in self._entries if e.live)
+        """Sum of metadata deltas over live updates (maintained incrementally)."""
+        return self._live_metadata

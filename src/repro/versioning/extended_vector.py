@@ -91,7 +91,8 @@ class ExtendedVersionVector:
     :class:`repro.store.replica.Replica`.
     """
 
-    __slots__ = ("_updates", "_metadata", "_last_consistent_time", "_triple")
+    __slots__ = ("_updates", "_metadata", "_last_consistent_time", "_triple",
+                 "_counts_cache", "_keys_cache", "_latest_cache", "_hash_cache")
 
     def __init__(self, updates: Mapping[str, Tuple[UpdateRecord, ...]] | None = None,
                  metadata: float = 0.0, last_consistent_time: float = 0.0,
@@ -112,6 +113,32 @@ class ExtendedVersionVector:
         self._metadata = float(metadata)
         self._last_consistent_time = float(last_consistent_time)
         self._triple = triple
+        self._counts_cache: Optional[VersionVector] = None
+        self._keys_cache: Optional[frozenset] = None
+        self._latest_cache: Optional[float] = None
+        self._hash_cache: Optional[int] = None
+
+    @classmethod
+    def _from_trusted(cls, updates: Dict[str, Tuple[UpdateRecord, ...]],
+                      metadata: float, last_consistent_time: float,
+                      triple: ErrorTriple) -> "ExtendedVersionVector":
+        """Build from an already-validated updates map without re-sorting.
+
+        Internal fast path used by :meth:`apply` and the ``with_*`` copies:
+        per-writer tuples are known to be non-empty, seq-contiguous and
+        sorted, so the O(total updates) validation pass of ``__init__`` is
+        skipped.  The caller transfers ownership of ``updates``.
+        """
+        vector = cls.__new__(cls)
+        vector._updates = updates
+        vector._metadata = metadata
+        vector._last_consistent_time = last_consistent_time
+        vector._triple = triple
+        vector._counts_cache = None
+        vector._keys_cache = None
+        vector._latest_cache = None
+        vector._hash_cache = None
+        return vector
 
     # ----------------------------------------------------------- properties
     @property
@@ -130,8 +157,16 @@ class ExtendedVersionVector:
         return self._triple
 
     def counts(self) -> VersionVector:
-        """Project onto a classic version vector of per-writer counts."""
-        return VersionVector({w: len(records) for w, records in self._updates.items()})
+        """Project onto a classic version vector of per-writer counts.
+
+        Memoised per instance — vectors are immutable and the projection is
+        taken on every digest comparison.
+        """
+        cached = self._counts_cache
+        if cached is None:
+            cached = self._counts_cache = VersionVector._from_trusted(
+                {w: len(records) for w, records in self._updates.items()})
+        return cached
 
     def count(self, writer: str) -> int:
         return len(self._updates.get(writer, ()))
@@ -147,32 +182,47 @@ class ExtendedVersionVector:
         records = [r for recs in self._updates.values() for r in recs]
         return sorted(records, key=lambda r: (r.timestamp, r.writer, r.seq))
 
-    def update_keys(self) -> set:
-        return {r.key() for recs in self._updates.values() for r in recs}
+    def update_keys(self) -> frozenset:
+        """Every known ``(writer, seq)`` key (memoised; treat as read-only)."""
+        cached = self._keys_cache
+        if cached is None:
+            cached = self._keys_cache = frozenset(
+                (r.writer, r.seq) for recs in self._updates.values() for r in recs)
+        return cached
 
     def latest_update_time(self) -> float:
         """Timestamp of the most recent update known to this replica."""
-        times = [r.timestamp for recs in self._updates.values() for r in recs]
-        return max(times) if times else self._last_consistent_time
+        cached = self._latest_cache
+        if cached is None:
+            times = [r.timestamp for recs in self._updates.values() for r in recs]
+            cached = self._latest_cache = (max(times) if times
+                                           else self._last_consistent_time)
+        return cached
 
     def total_updates(self) -> int:
         return sum(len(recs) for recs in self._updates.values())
 
     # -------------------------------------------------------------- algebra
     def apply(self, record: UpdateRecord) -> "ExtendedVersionVector":
-        """Apply a local or remote update and return the resulting vector."""
+        """Apply a local or remote update and return the resulting vector.
+
+        O(writers) instead of O(total updates): the per-writer tuples are
+        seq-contiguous by invariant, so a duplicate is exactly a record whose
+        seq does not exceed the writer's current count, and the new map can
+        be built without re-validating every record.
+        """
         existing = self._updates.get(record.writer, ())
         expected_seq = len(existing) + 1
         if record.seq != expected_seq:
-            if record.key() in {r.key() for r in existing}:
+            if 1 <= record.seq <= len(existing):
                 return self  # duplicate delivery: idempotent
             raise ValueError(
                 f"out-of-order update from {record.writer!r}: got seq {record.seq}, "
                 f"expected {expected_seq}")
         updates = dict(self._updates)
         updates[record.writer] = existing + (record,)
-        return ExtendedVersionVector(
-            updates=updates,
+        return ExtendedVersionVector._from_trusted(
+            updates,
             metadata=self._metadata + record.metadata_delta,
             last_consistent_time=self._last_consistent_time,
             triple=self._triple)
@@ -185,12 +235,38 @@ class ExtendedVersionVector:
         stays consistent with the update history, and the error triple is
         reset to zero — after a resolution both replicas are consistent.
         """
+        new_time = consistent_time
+        if new_time is None:
+            new_time = max(self._last_consistent_time, other._last_consistent_time)
+        # Fast path: one side already contains every update of the other
+        # (per-writer tuples are seq-contiguous, so a >= length prefix-match
+        # is containment).  Reuse that side's updates map; the metadata is
+        # still recomputed from the union exactly like the general path, so
+        # the result is bit-identical either way.
+        mine = self._updates
+        theirs = other._updates
+        dominant: Optional[Dict[str, Tuple[UpdateRecord, ...]]] = None
+        contiguous = all(recs[-1].seq == len(recs)
+                         for recs in mine.values()) and all(
+                             recs[-1].seq == len(recs) for recs in theirs.values())
+        if contiguous:
+            if all(len(mine.get(w, ())) >= len(recs) for w, recs in theirs.items()):
+                dominant = mine
+            elif all(len(theirs.get(w, ())) >= len(recs) for w, recs in mine.items()):
+                dominant = theirs
+        if dominant is not None:
+            metadata = sum(r.metadata_delta
+                           for recs in dominant.values() for r in recs)
+            return ExtendedVersionVector._from_trusted(
+                dict(dominant), metadata=metadata,
+                last_consistent_time=new_time, triple=ErrorTriple.ZERO)
+
         updates: Dict[str, Tuple[UpdateRecord, ...]] = {}
-        for writer in set(self._updates) | set(other._updates):
-            mine = {r.seq: r for r in self._updates.get(writer, ())}
-            theirs = {r.seq: r for r in other._updates.get(writer, ())}
-            merged = dict(theirs)
-            merged.update(mine)  # identical keys should carry identical records
+        for writer in set(mine) | set(theirs):
+            my_recs = {r.seq: r for r in mine.get(writer, ())}
+            their_recs = {r.seq: r for r in theirs.get(writer, ())}
+            merged = dict(their_recs)
+            merged.update(my_recs)  # identical keys should carry identical records
             seqs = sorted(merged)
             if seqs != list(range(1, len(seqs) + 1)):
                 raise ValueError(
@@ -198,23 +274,21 @@ class ExtendedVersionVector:
             updates[writer] = tuple(merged[s] for s in seqs)
         metadata = sum(r.metadata_delta
                        for recs in updates.values() for r in recs)
-        new_time = consistent_time
-        if new_time is None:
-            new_time = max(self._last_consistent_time, other._last_consistent_time)
         return ExtendedVersionVector(updates=updates, metadata=metadata,
                                      last_consistent_time=new_time,
                                      triple=ErrorTriple.ZERO)
 
     def with_triple(self, triple: ErrorTriple) -> "ExtendedVersionVector":
         """Attach a freshly computed error triple (Figure 4(d))."""
-        return ExtendedVersionVector(updates=self._updates, metadata=self._metadata,
-                                     last_consistent_time=self._last_consistent_time,
-                                     triple=triple)
+        return ExtendedVersionVector._from_trusted(
+            self._updates, metadata=self._metadata,
+            last_consistent_time=self._last_consistent_time, triple=triple)
 
     def with_consistent_time(self, time: float) -> "ExtendedVersionVector":
         """Mark the replica as consistent as of ``time`` (post-resolution)."""
-        return ExtendedVersionVector(updates=self._updates, metadata=self._metadata,
-                                     last_consistent_time=time, triple=ErrorTriple.ZERO)
+        return ExtendedVersionVector._from_trusted(
+            self._updates, metadata=self._metadata,
+            last_consistent_time=float(time), triple=ErrorTriple.ZERO)
 
     # ------------------------------------------------------------ comparison
     def compare(self, other: "ExtendedVersionVector") -> Ordering:
@@ -250,9 +324,13 @@ class ExtendedVersionVector:
                 and self._metadata == other._metadata)
 
     def __hash__(self) -> int:
-        return hash((tuple(sorted((w, tuple(r.key() for r in recs))
-                                  for w, recs in self._updates.items())),
-                     self._metadata))
+        cached = self._hash_cache
+        if cached is None:
+            cached = self._hash_cache = hash(
+                (tuple(sorted((w, tuple(r.key() for r in recs))
+                              for w, recs in self._updates.items())),
+                 self._metadata))
+        return cached
 
     def __repr__(self) -> str:
         parts = []

@@ -36,7 +36,7 @@ class VersionVector:
     writers join over time.
     """
 
-    __slots__ = ("_counts",)
+    __slots__ = ("_counts", "_hash")
 
     def __init__(self, counts: Mapping[str, int] | None = None) -> None:
         cleaned: Dict[str, int] = {}
@@ -47,6 +47,19 @@ class VersionVector:
                 if count > 0:
                     cleaned[str(writer)] = int(count)
         self._counts: Dict[str, int] = cleaned
+        self._hash: int | None = None
+
+    @classmethod
+    def _from_trusted(cls, counts: Dict[str, int]) -> "VersionVector":
+        """Wrap an already-validated counts dict without copying or checks.
+
+        Internal fast path: the caller guarantees every count is a positive
+        int keyed by str and transfers ownership of the dict.
+        """
+        vector = cls.__new__(cls)
+        vector._counts = counts
+        vector._hash = None
+        return vector
 
     # ----------------------------------------------------------- inspection
     def count(self, writer: str) -> int:
@@ -80,30 +93,52 @@ class VersionVector:
         """Return a new vector with ``writer``'s count increased."""
         if amount < 0:
             raise ValueError("amount must be non-negative")
+        if amount == 0:
+            return self  # immutable: a zero increment is the same vector
         counts = dict(self._counts)
-        counts[writer] = counts.get(writer, 0) + amount
-        return VersionVector(counts)
+        counts[str(writer)] = counts.get(writer, 0) + int(amount)
+        return VersionVector._from_trusted(counts)
 
     def merge(self, other: "VersionVector") -> "VersionVector":
-        """Pointwise maximum — the least vector dominating both inputs."""
+        """Pointwise maximum — the least vector dominating both inputs.
+
+        When one vector already dominates the other, the dominating instance
+        is returned as-is (vectors are immutable, so sharing is safe).
+        """
+        ordering = self.compare(other)
+        if ordering is Ordering.EQUAL or ordering is Ordering.AFTER:
+            return self
+        if ordering is Ordering.BEFORE:
+            return other
         counts = dict(self._counts)
+        get = counts.get
         for writer, count in other._counts.items():
-            counts[writer] = max(counts.get(writer, 0), count)
-        return VersionVector(counts)
+            if count > get(writer, 0):
+                counts[writer] = count
+        return VersionVector._from_trusted(counts)
 
     # ------------------------------------------------------------ comparison
     def compare(self, other: "VersionVector") -> Ordering:
         """Classify the relationship between two vectors."""
-        writers = set(self._counts) | set(other._counts)
-        self_ge = all(self.count(w) >= other.count(w) for w in writers)
-        other_ge = all(other.count(w) >= self.count(w) for w in writers)
-        if self_ge and other_ge:
+        a = self._counts
+        b = other._counts
+        if a == b:
             return Ordering.EQUAL
+        # self >= other iff every count in b is matched in a (entries missing
+        # from b are trivially dominated because counts are positive).
+        a_get = a.get
+        self_ge = True
+        for writer, count in b.items():
+            if a_get(writer, 0) < count:
+                self_ge = False
+                break
         if self_ge:
             return Ordering.AFTER
-        if other_ge:
-            return Ordering.BEFORE
-        return Ordering.CONCURRENT
+        b_get = b.get
+        for writer, count in a.items():
+            if b_get(writer, 0) < count:
+                return Ordering.CONCURRENT
+        return Ordering.BEFORE
 
     def dominates(self, other: "VersionVector") -> bool:
         """True if this vector has seen every update the other has."""
@@ -128,9 +163,16 @@ class VersionVector:
         worked example of Figure 4, replica ``a`` "misses one update and has
         two extra ones, so the order error is 3".
         """
+        a = self._counts
+        b = other._counts
+        b_get = b.get
         distance = 0
-        for writer in set(self._counts) | set(other._counts):
-            distance += abs(self.count(writer) - other.count(writer))
+        for writer, count in a.items():
+            gap = count - b_get(writer, 0)
+            distance += gap if gap >= 0 else -gap
+        for writer, count in b.items():
+            if writer not in a:
+                distance += count
         return distance
 
     # ------------------------------------------------------------- dunder
@@ -140,7 +182,10 @@ class VersionVector:
         return self._counts == other._counts
 
     def __hash__(self) -> int:
-        return hash(tuple(sorted(self._counts.items())))
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(tuple(sorted(self._counts.items())))
+        return cached
 
     def __repr__(self) -> str:
         inner = " ".join(f"{w}:{c}" for w, c in sorted(self._counts.items()))

@@ -203,6 +203,44 @@ class TestUpdateLogProperties:
         assert all(r.timestamp > cutoff for r in rolled)
         assert all(e.record.timestamp <= cutoff for e in log.entries())
 
+    @given(update_sequences(max_updates=16),
+           st.data())
+    def test_incremental_indices_match_naive_rebuild(self, records, data):
+        """The incrementally maintained key set, live-entry list and live
+        metadata sum must equal a from-scratch rebuild after any interleaving
+        of appends, invalidations and rollbacks (the oracle is the naive
+        O(n) recomputation the seed code performed per call)."""
+        log = UpdateLog()
+        for r in records:
+            log.append(r, applied_at=r.timestamp)
+            # Occasionally tombstone a random known update or roll back.
+            action = data.draw(st.integers(min_value=0, max_value=5))
+            if action == 0 and len(log) > 0:
+                victim = data.draw(st.sampled_from(
+                    sorted(log.record_keys())))
+                log.invalidate([victim])
+            elif action == 1:
+                log.roll_back_after(data.draw(
+                    st.floats(min_value=0, max_value=16)))
+
+        all_entries = log.entries(include_dead=True)
+        naive_keys = {(e.record.writer, e.record.seq) for e in all_entries}
+        naive_live = [e for e in all_entries if e.live]
+        naive_metadata = sum(e.record.metadata_delta for e in naive_live)
+
+        assert set(log.record_keys()) == naive_keys
+        assert log.entries() == naive_live
+        assert [e.record for e in log.entries()] == [e.record for e in naive_live]
+        assert abs(log.live_metadata() - naive_metadata) < 1e-9
+        assert log.missing_from(set()) == [e.record for e in naive_live]
+        # Double-tombstoning must not double-adjust the metadata sum.
+        if naive_live:
+            key = (naive_live[0].record.writer, naive_live[0].record.seq)
+            log.invalidate([key])
+            log.invalidate([key])
+            expected = naive_metadata - naive_live[0].record.metadata_delta
+            assert abs(log.live_metadata() - expected) < 1e-9
+
 
 # ------------------------------------------------------------------ temperature
 class TestTemperatureProperties:

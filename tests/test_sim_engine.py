@@ -88,6 +88,48 @@ class TestEventQueue:
         assert len(q._heap) < 200
         assert len(q._heap) == 50 + q.cancelled_pending
 
+    def test_peek_time_drain_triggers_compaction(self):
+        # Cancellation-heavy idle polling: peek_time drains cancelled heads
+        # through the same threshold bookkeeping as _note_cancelled, so deep
+        # cancelled entries cannot pile up behind a pattern of peeks.
+        q = EventQueue()
+        events = [q.push(float(i), lambda: None) for i in range(200)]
+        # Cancel a majority, but interleave so compaction hasn't fired yet
+        # when the last head-drain happens.
+        live = events[150:]
+        for event in events[:150]:
+            event.cancel()
+        assert q.peek_time() == 150.0
+        # After the drain the heap holds no more cancelled entries than live.
+        assert q.cancelled_pending <= len(q)
+        assert len(q._heap) <= len(live) + q.cancelled_pending
+
+    def test_recyclable_events_are_pooled(self):
+        q = EventQueue()
+        fired = []
+        first = q.push(1.0, lambda: fired.append(1), recyclable=True)
+        assert q.pop() is first
+        q._recycle(first)
+        second = q.push(2.0, lambda: fired.append(2), recyclable=True)
+        assert second is first  # the pooled object was reused
+        assert second.time == 2.0 and not second.cancelled
+
+    def test_cancelled_recyclable_events_return_to_pool(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None, recyclable=True)
+        q.push(2.0, lambda: None)
+        event.cancel()
+        assert q.pop().time == 2.0  # skipping the head recycles it
+        assert q.pool_size == 1
+
+    def test_non_recyclable_handles_never_enter_pool(self):
+        q = EventQueue()
+        event = q.push(1.0, lambda: None)
+        q.pop()
+        assert q.pool_size == 0
+        event.cancel()  # late cancel on an executed event stays a no-op
+        assert len(q) == 0
+
     def test_compaction_preserves_order(self):
         q = EventQueue()
         events = [q.push(float(i), lambda: None, label=str(i)) for i in range(100)]
@@ -99,6 +141,40 @@ class TestEventQueue:
             popped.append(event.time)
         assert popped == sorted(popped)
         assert len(popped) == 50
+
+
+class TestSimulatorPooling:
+    def test_run_recycles_delivery_style_events(self):
+        sim = Simulator()
+        seen = []
+        for i in range(5):
+            sim.call_after(float(i + 1), seen.append, arg=i, recyclable=True)
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+        # All five recyclable events ended up back in the pool.
+        assert sim._queue.pool_size == 5
+
+    def test_arg_events_invoke_callback_with_payload(self):
+        sim = Simulator()
+        seen = []
+        sim.call_after(1.0, seen.append, arg=None)  # arg=None is a real arg
+        sim.call_after(2.0, lambda: seen.append("no-arg"))
+        sim.run()
+        assert seen == [None, "no-arg"]
+
+    def test_steady_state_timer_loop_allocates_no_new_events(self):
+        sim = Simulator()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            sim.call_after(1.0, tick, recyclable=True)
+
+        sim.call_after(1.0, tick, recyclable=True)
+        sim.run(max_events=50)
+        assert count["n"] == 50
+        # One event object cycles through the pool for the whole run.
+        assert sim._queue.pool_size <= 1
 
 
 class TestSimulator:

@@ -121,6 +121,76 @@ class TestNetwork:
         assert snap["sent"]["test"] == 1
 
 
+class TestSendMany:
+    def _trio(self, latency):
+        sim = Simulator(seed=1)
+        network = Network(sim, latency)
+        nodes = [Receiver(sim, network, n) for n in ("a", "b", "c", "d")]
+        return sim, network, nodes
+
+    def test_homogeneous_fanout_uses_one_event(self):
+        sim, network, (a, b, c, d) = self._trio(FixedLatencyModel(0.02))
+        messages = network.send_many("a", ["b", "c", "d"], protocol="test",
+                                     msg_type="ping", payload="hi")
+        assert len(messages) == 3
+        assert len(sim._queue) == 1  # one heap entry for the whole broadcast
+        sim.run()
+        assert b.received == ["hi"] and c.received == ["hi"] and d.received == ["hi"]
+        assert network.stats.sent["test"] == 3
+        assert network.stats.delivered["test"] == 3
+        assert network.bytes_sent("test") == 3 * Network.DEFAULT_MESSAGE_BYTES
+        assert sim.events_processed == 1
+
+    def test_heterogeneous_fanout_matches_sequential_sends(self):
+        from repro.sim.latency import UniformLatencyModel
+
+        def run(batched: bool):
+            sim = Simulator(seed=7)
+            network = Network(sim, UniformLatencyModel(
+                0.01, 0.05, rng=sim.random.stream("lat")))
+            nodes = [Receiver(sim, network, n) for n in ("a", "b", "c", "d")]
+            if batched:
+                network.send_many("a", ["b", "c", "d"], protocol="t",
+                                  msg_type="ping", payload="x")
+            else:
+                for dst in ("b", "c", "d"):
+                    network.send("a", dst, protocol="t", msg_type="ping",
+                                 payload="x")
+            sim.run()
+            return sim.events_processed, sim.now
+
+        # Per-pair latency models fall back to per-destination sends with
+        # identical RNG draws, so both spellings replay the same simulation.
+        events_a, now_a = run(batched=True)
+        events_b, now_b = run(batched=False)
+        assert events_a == events_b == 3
+        assert now_a == now_b
+
+    def test_send_many_with_loss_falls_back_per_destination(self):
+        sim = Simulator(seed=3)
+        network = Network(sim, FixedLatencyModel(0.02), loss_probability=0.5)
+        nodes = [Receiver(sim, network, n) for n in ("a", "b", "c", "d")]
+        sent = network.send_many("a", ["b", "c", "d"], protocol="t",
+                                 msg_type="ping")
+        sim.run()
+        assert network.stats.sent["t"] == 3
+        assert len(sent) + network.stats.dropped.get("t", 0) == 3
+
+    def test_send_many_unknown_destination_raises(self):
+        sim, network, nodes = self._trio(FixedLatencyModel(0.02))
+        with pytest.raises(KeyError):
+            network.send_many("a", ["b", "zz"], protocol="t", msg_type="ping")
+
+    def test_send_many_empty_destinations(self):
+        sim, network, nodes = self._trio(FixedLatencyModel(0.02))
+        assert network.send_many("a", [], protocol="t", msg_type="ping") == []
+
+    def test_dead_node_send_many_is_noop(self):
+        sim, network, (a, b, c, d) = self._trio(FixedLatencyModel(0.02))
+        a.fail()
+        assert a.send_many(["b", "c"], protocol="t", msg_type="ping") == []
+
+
 class TestNodeRPC:
     def test_rpc_round_trip(self, pair):
         sim, network, a, b = pair
