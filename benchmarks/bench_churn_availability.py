@@ -1,0 +1,83 @@
+"""Churn availability benchmark: fault injection end to end, persisted.
+
+Runs the ``fig_churn_availability`` scenario (kill and later recover 25 % of
+the nodes mid-run, under packet loss) at a CI-sized sweep, asserts the
+failure model's acceptance claims, and persists the metrics to
+``BENCH_churn.json``:
+
+* the run **completes without exceptions** — sends to crashed/partitioned
+  nodes are counted drops, pending RPCs fail promptly, resolution rounds
+  time crashed members out instead of hanging;
+* the run **replays bit-identically** under the same seed, fault events and
+  loss drops included;
+* **recovery is real** — every killed node is back online at the end, writes
+  resume after recovery, and background rounds keep completing under churn.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.experiments.fig_churn_availability import (
+    fingerprint,
+    format_churn_report,
+    run_churn_experiment,
+    run_churn_point,
+)
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
+
+#: CI-sized sweep: small but covering both axes (size and loss)
+NODE_COUNTS = (8, 16, 32)
+LOSS_PROBABILITIES = (0.0, 0.01, 0.05)
+DURATION = 90.0
+
+
+def bench_churn_availability(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_churn_experiment(node_counts=NODE_COUNTS,
+                                     loss_probabilities=LOSS_PROBABILITIES,
+                                     duration=DURATION, seed=29),
+        rounds=1, iterations=1)
+    print()
+    print(format_churn_report(result))
+
+    for point in result.points:
+        # Every crash got its recovery and the whole membership is back.
+        assert point.crashes == point.recoveries > 0
+        assert point.final_alive == point.num_nodes
+        # The workload survived the churn window.
+        assert point.writes_applied > 0
+        assert point.detection_failures > 0
+        # Crashed endpoints show up as counted drops, never as exceptions.
+        assert point.dropped_by_reason.get("dst-down", 0) > 0
+        # Background resolution kept completing despite the churn.
+        assert point.background_completed > 0
+        assert point.resolutions_succeeded > 0
+
+    # Replay determinism for the acceptance point: same seed, same trace.
+    first = result.points[0]
+    replay = run_churn_point(num_nodes=first.num_nodes,
+                             loss_probability=first.loss_probability,
+                             duration=DURATION, seed=first.seed)
+    assert fingerprint(replay) == fingerprint(first), \
+        "churn scenario did not replay bit-identically under the same seed"
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "experiment": "fig_churn_availability",
+        "scenario": {
+            "node_counts": list(NODE_COUNTS),
+            "loss_probabilities": list(LOSS_PROBABILITIES),
+            "kill_fraction": 0.25,
+            "duration_simulated_s": DURATION,
+        },
+        "points": [p.as_dict() for p in result.points],
+        "determinism": {
+            "replayed_point": {"num_nodes": first.num_nodes,
+                               "loss_probability": first.loss_probability},
+            "fingerprint": fingerprint(first),
+            "replay_identical": True,
+        },
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nwrote {OUTPUT_PATH}")

@@ -120,6 +120,15 @@ class IdeaConfig:
     wait_for_attention_acks: bool = False
     #: back-off window (seconds) when two initiators collide in phase 1
     backoff_window: float = 0.5
+    #: per-member timeout (seconds) on the initiator's phase-2 collect RPC;
+    #: a member that crashed or got partitioned away is skipped after this
+    #: long instead of hanging the round forever.  None disables the timeout
+    #: (pre-failure-model behaviour).
+    collect_timeout: Optional[float] = 10.0
+    #: how long (seconds) a visited member keeps its replica write-blocked
+    #: waiting for the initiator's install before presuming the initiator
+    #: crashed and unblocking itself.  None keeps the block indefinitely.
+    member_block_timeout: Optional[float] = 30.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.hint_level <= 1.0:
@@ -134,6 +143,10 @@ class IdeaConfig:
             raise ValueError("rollback_tolerance must be non-negative")
         if self.backoff_window <= 0:
             raise ValueError("backoff_window must be positive")
+        if self.collect_timeout is not None and self.collect_timeout <= 0:
+            raise ValueError("collect_timeout must be positive or None")
+        if self.member_block_timeout is not None and self.member_block_timeout <= 0:
+            raise ValueError("member_block_timeout must be positive or None")
 
     # Convenience copies -------------------------------------------------
     def with_hint(self, hint_level: float) -> "IdeaConfig":

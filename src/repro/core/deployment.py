@@ -113,6 +113,7 @@ class DeploymentBuilder:
                  use_ransub: bool = True,
                  use_gossip: bool = False,
                  shared_digest_cache: bool = True,
+                 loss_probability: float = 0.0,
                  bus: Optional[EventBus] = None) -> None:
         self.num_nodes = num_nodes
         self.seed = seed
@@ -126,6 +127,7 @@ class DeploymentBuilder:
         self.use_ransub = use_ransub
         self.use_gossip = use_gossip
         self.shared_digest_cache = shared_digest_cache
+        self.loss_probability = loss_probability
         self.bus = bus
         self._object_specs: List[_ObjectSpec] = []
         self._start_services = False
@@ -175,7 +177,8 @@ class DeploymentBuilder:
         d.latency = (self.latency if self.latency is not None
                      else PlanetLabLatencyModel(
                          d.topology, d.sim.random.stream("latency")))
-        d.network = Network(d.sim, d.latency)
+        d.network = Network(d.sim, d.latency,
+                            loss_probability=self.loss_probability)
         d.clock_model = (self.clock_model if self.clock_model is not None
                          else ClockModel())
         d.bus = self.bus if self.bus is not None else EventBus()
@@ -262,14 +265,16 @@ class IdeaDeployment:
                  processing_delay: float = 0.035,
                  use_ransub: bool = True,
                  use_gossip: bool = False,
-                 shared_digest_cache: bool = True) -> None:
+                 shared_digest_cache: bool = True,
+                 loss_probability: float = 0.0) -> None:
         DeploymentBuilder(
             num_nodes=num_nodes, seed=seed, topology=topology, latency=latency,
             clock_model=clock_model, overlay_config=overlay_config,
             gossip_config=gossip_config, ransub_period=ransub_period,
             processing_delay=processing_delay, use_ransub=use_ransub,
             use_gossip=use_gossip,
-            shared_digest_cache=shared_digest_cache).populate(self)
+            shared_digest_cache=shared_digest_cache,
+            loss_probability=loss_probability).populate(self)
 
     # ----------------------------------------------------------- object mgmt
     def register_object(self, object_id: str, config: IdeaConfig, *,
@@ -318,6 +323,9 @@ class IdeaDeployment:
         self.trace.increment(f"resolutions.{event.kind}.{event.object_id}")
 
     def _gossip_digest(self, node_id: str, object_id: str) -> Optional[GossipDigest]:
+        node = self.nodes.get(node_id)
+        if node is None or not node.alive:
+            return None  # crashed nodes gossip nothing
         store = self.stores.get(node_id)
         if store is None or not store.has_replica(object_id):
             return None
@@ -327,6 +335,46 @@ class IdeaDeployment:
                             metadata=replica.metadata,
                             last_consistent_time=replica.vector.last_consistent_time,
                             issued_at=self.sim.now, ttl=3)
+
+    # ------------------------------------------------------------ churn/faults
+    def crash_node(self, node_id: str) -> None:
+        """Crash-stop ``node_id`` and make the rest of the stack forget it.
+
+        The node fails (pending RPCs error out, its periodic timers pause),
+        the two-layer overlay evicts it from every object's layers, and every
+        *other* node's digest state drops the crashed member so its stale
+        writer summaries stop polluting detection.  Idempotent.
+        """
+        node = self.nodes[node_id]
+        if not node.alive:
+            return
+        node.fail()
+        self.overlay.evict_node(node_id)
+        for other_id, runtime in self.runtimes.items():
+            if other_id != node_id and runtime.digests is not None:
+                runtime.digests.forget_peer(node_id)
+        for managed in self.objects.values():
+            for other_id, middleware in managed.middlewares.items():
+                if other_id != node_id:
+                    middleware.detection.forget_peer(node_id)
+        self.trace.increment("faults.crash")
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a crashed node back; its protocols resume automatically.
+
+        The node re-registers with the network and restarts its adopted
+        periodic timers; the overlay readmits it to the bottom layer (it
+        re-enters top layers by writing, like any cold node).  Idempotent.
+        """
+        node = self.nodes[node_id]
+        if node.alive:
+            return
+        node.recover()
+        self.overlay.readmit_node(node_id)
+        self.trace.increment("faults.recover")
+
+    def alive_node_ids(self) -> List[str]:
+        return [n for n in self.node_ids if self.nodes[n].alive]
 
     # --------------------------------------------------------------- overlay
     def top_layer(self, object_id: str) -> List[str]:
@@ -381,7 +429,7 @@ class IdeaDeployment:
             return None
         initiator = sorted(top)[0]
         middleware = managed.middlewares.get(initiator)
-        if middleware is None:
+        if middleware is None or not middleware.node.alive:
             return None
         managed.background_rounds_started += 1
         if self.bus.wants(BackgroundRoundStarted):

@@ -319,3 +319,8 @@ class DetectionService:
         reference = build_reference(known)
         triple = reference.triple_for(local_digest)
         return consistency_level(triple, self.metric, self.weights)
+
+    def local_counts(self) -> VersionVector:
+        """The local replica's current per-writer counts (cached digest view)."""
+        replica = self._replica_provider()
+        return self._local_digest(replica, self.node.sim.now).counts()

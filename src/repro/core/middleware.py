@@ -39,6 +39,7 @@ from repro.sim.node import Node
 from repro.store.filesystem import ReplicatedStore
 from repro.store.replica import Replica
 from repro.versioning.extended_vector import UpdateRecord
+from repro.versioning.version_vector import Ordering
 
 
 Controller = Union[OnDemandController, HintBasedController, AutomaticController]
@@ -176,6 +177,16 @@ class IdeaMiddleware:
     def _on_remote_digest(self, digest: VersionDigest) -> None:
         """A top-layer peer announced a write: re-evaluate and maybe resolve."""
         level = self.detection.current_level()
+        if self.bus.wants(DetectionEvaluated):
+            # Remote evaluations are materialised as bus events only when an
+            # instrumentation probe subscribed (e.g. the churn experiment's
+            # detection-latency metric); publishing is synchronous and
+            # schedules nothing, so un-probed runs are bit-identical.
+            success = digest.counts().compare(
+                self.detection.local_counts()) is Ordering.EQUAL
+            self.bus.publish(DetectionEvaluated(
+                object_id=self.object_id, node_id=self.node.node_id,
+                success=success, level=level, time=self.node.sim.now))
         self._consult_controller(level)
 
     def _record_outcome(self, outcome: DetectionOutcome) -> None:

@@ -103,11 +103,15 @@ class ResolutionManager:
         self._backoff_rng = backoff_rng if backoff_rng is not None else (
             node.sim.random.stream(
                 f"resolution.backoff.{node.node_id}.{object_id}"))
+        #: bumped whenever the member-side write block is released or renewed;
+        #: outstanding stale-block guard events check it and no-op when stale
+        self._block_guard_seq = 0
         self.history: List[ResolutionResult] = []
 
         node.register_rpc(f"idea_attention:{object_id}", self._rpc_attention)
         node.register_rpc(f"idea_collect:{object_id}", self._rpc_collect)
         node.register_handler(f"idea_install:{object_id}", self._handle_install)
+        node.fail_hooks.append(self._on_node_failed)
 
     # ------------------------------------------------------------ rpc hooks
     def _rpc_attention(self, args: dict) -> dict:
@@ -122,12 +126,16 @@ class ResolutionManager:
             return {"ack": False, "busy_with": self.node.node_id}
         self._yielded_to = initiator
         self._replica_provider().block_writes()
+        if initiator != self.node.node_id:
+            self._arm_block_guard()
         return {"ack": True}
 
     def _rpc_collect(self, args: dict) -> dict:
         """Phase-2 collection handler: return the full local vector."""
         replica = self._replica_provider()
         replica.block_writes()
+        if args.get("initiator") != self.node.node_id:
+            self._arm_block_guard()
         return {"vector": replica.vector, "node_id": self.node.node_id}
 
     def _handle_install(self, message: Message) -> None:
@@ -141,7 +149,48 @@ class ResolutionManager:
             replica.invalidate_updates(list(invalidated))
         replica.unblock_writes()
         self._yielded_to = None
+        self._block_guard_seq += 1
         self._last_install_at = self.node.sim.now
+
+    # --------------------------------------------------- failure cleanliness
+    def _arm_block_guard(self) -> None:
+        """Bound how long a remote initiator may keep this replica blocked.
+
+        A member visited by an initiator that then crashes (or lands on the
+        far side of a partition) would otherwise stay write-blocked forever;
+        after ``member_block_timeout`` with no install the member presumes
+        the initiator dead and unblocks itself.
+        """
+        timeout = self.config.member_block_timeout
+        if timeout is None:
+            return
+        self._block_guard_seq += 1
+        seq = self._block_guard_seq
+        self.node.sim.call_after(
+            timeout, lambda: self._release_stale_block(seq),
+            label=f"{self.node.node_id}:block-guard:{self.object_id}")
+
+    def _release_stale_block(self, seq: int) -> None:
+        if seq != self._block_guard_seq or not self.node.alive:
+            return  # an install arrived, a newer visit re-armed, or we died
+        if self._resolving:
+            # This node's *own* round now owns the write block (it may have
+            # started after the remote initiator died); that round unblocks
+            # the replica itself when it finishes.
+            return
+        self._yielded_to = None
+        replica = self._replica_provider()
+        if replica.write_blocked:
+            replica.unblock_writes()
+
+    def _on_node_failed(self) -> None:
+        """Crash-stop reset: a dead node holds no round state or write block."""
+        self._resolving = False
+        self._yielded_to = None
+        self._block_guard_seq += 1
+        replica = self._replica_provider()
+        if replica.write_blocked:
+            replica.unblock_writes()
 
     # ------------------------------------------------------------ initiation
     @property
@@ -178,6 +227,9 @@ class ResolutionManager:
     def _background_round(self):
         started = self.node.sim.now
         members = self.members()
+        if not self.node.alive:
+            return self._aborted("background", started, members,
+                                 "initiator offline")
         if self._resolving:
             result = self._aborted("background", started, members,
                                    "already resolving")
@@ -187,6 +239,9 @@ class ResolutionManager:
             phase2 = yield from self._resolution_procedure(members, PROTOCOL_BACKGROUND)
         finally:
             self._resolving = False
+        if phase2["aborted"]:
+            return self._aborted("background", started, members,
+                                 "initiator crashed mid-round")
         result = ResolutionResult(
             object_id=self.object_id, initiator=self.node.node_id,
             kind="background", started_at=started, finished_at=self.node.sim.now,
@@ -211,6 +266,10 @@ class ResolutionManager:
                 # waiting; nothing left to resolve.
                 return self._aborted("active", started, self.members(),
                                      "resolved by another initiator during back-off")
+
+        if not self.node.alive:
+            return self._aborted("active", started, self.members(),
+                                 "initiator crashed before phase 1")
 
         members = self.members()
         peers = [m for m in members if m != self.node.node_id]
@@ -266,6 +325,9 @@ class ResolutionManager:
         finally:
             self._resolving = False
 
+        if phase2["aborted"]:
+            return self._aborted("active", started, members,
+                                 "initiator crashed mid-round")
         result = ResolutionResult(
             object_id=self.object_id, initiator=self.node.node_id,
             kind="active", started_at=started, finished_at=self.node.sim.now,
@@ -276,7 +338,14 @@ class ResolutionManager:
         return result
 
     def _resolution_procedure(self, members: Sequence[str], protocol: str):
-        """The shared phase-2 procedure; returns timing and merge statistics."""
+        """The shared phase-2 procedure; returns timing and merge statistics.
+
+        Failure-aware: each collect visit is bounded by
+        ``config.collect_timeout`` so a crashed/partitioned member is skipped
+        rather than hanging the round, and if the *initiator itself* crashes
+        mid-round the procedure reports an aborted phase instead of
+        installing an image from beyond the grave.
+        """
         phase2_start = self.node.sim.now
         local_replica = self._replica_provider()
         local_replica.block_writes()
@@ -288,15 +357,26 @@ class ResolutionManager:
         for member in members:
             if member == self.node.node_id:
                 continue
+            if not self.node.alive:
+                return {"delay": self.node.sim.now - phase2_start,
+                        "merged_updates": 0, "invalidated": [],
+                        "aborted": True}
             waiter = self.node.request(member, f"idea_collect:{self.object_id}",
                                        {"initiator": self.node.node_id},
-                                       protocol=protocol, size_bytes=256)
+                                       protocol=protocol, size_bytes=256,
+                                       timeout=self.config.collect_timeout)
             response = yield waiter
             try:
                 payload = unwrap_response(response)
             except RPCError:
-                continue  # member unreachable; resolve among the rest
+                # Member unreachable or the collect timed out (crash or
+                # partition mid-round); resolve among the rest.
+                continue
             collected[member] = payload["vector"]
+
+        if not self.node.alive:
+            return {"delay": self.node.sim.now - phase2_start,
+                    "merged_updates": 0, "invalidated": [], "aborted": True}
 
         merged, decision = self._merge_and_decide(list(collected.values()))
         invalidated = (list(decision.invalidated_keys)
@@ -320,6 +400,7 @@ class ResolutionManager:
             "delay": self.node.sim.now - phase2_start,
             "merged_updates": merged.total_updates(),
             "invalidated": invalidated,
+            "aborted": False,
         }
 
     # ------------------------------------------------------------- merging

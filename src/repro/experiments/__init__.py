@@ -17,6 +17,7 @@ Experiment index (see DESIGN.md §4 for the full mapping):
 ``fig9``       active-resolution scalability vs top-layer size
 ``tab3``       background-resolution message overhead (20 s vs 40 s)
 ``fig10``      consistency level under automatic background resolution
+``churn``      detection/resolution under churn + loss (beyond paper)
 =============  =====================================================
 """
 
@@ -28,6 +29,12 @@ from repro.experiments.fig9_scalability import ScalabilityResult, run_scalabilit
 from repro.experiments.tab3_overhead import OverheadResult, run_overhead_experiment
 from repro.experiments.fig10_automatic import AutomaticResult, run_automatic_experiment
 from repro.experiments.fig2_tradeoff import TradeoffResult, run_tradeoff_experiment
+from repro.experiments.fig_churn_availability import (
+    ChurnPointResult,
+    ChurnSweepResult,
+    run_churn_experiment,
+    run_churn_point,
+)
 
 __all__ = [
     "format_table",
@@ -46,4 +53,8 @@ __all__ = [
     "run_automatic_experiment",
     "TradeoffResult",
     "run_tradeoff_experiment",
+    "ChurnPointResult",
+    "ChurnSweepResult",
+    "run_churn_experiment",
+    "run_churn_point",
 ]

@@ -134,6 +134,8 @@ class GossipService:
         for object_id in self._objects:
             members = list(self._membership(object_id))
             for node_id in members:
+                if not self.network.has_node(node_id):
+                    continue  # crashed member gossips nothing this round
                 digest = self._local_digest(node_id, object_id)
                 if digest is None:
                     continue
@@ -165,6 +167,10 @@ class GossipService:
 
     def _ensure_handler(self, node_id: str) -> None:
         if node_id in self._registered_nodes:
+            return
+        if not self.network.has_node(node_id):
+            # Peer is down; the send will be a counted drop, and the handler
+            # is registered on its first post-recovery selection instead.
             return
         node = self.network.node(node_id)
         node.register_handler("gossip_digest", self._handle_digest)

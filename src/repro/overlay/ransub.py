@@ -151,17 +151,23 @@ class RanSubService:
 
         # Collect wave: each non-root node reports its id (and piggybacked
         # candidate sets) to its parent.  We model the traffic explicitly.
+        # Crashed nodes send nothing; sends *to* a crashed parent are counted
+        # drops (the tree is static, so a dead interior node silences its
+        # subtree's control traffic until it recovers — as on a real overlay).
+        has_node = self.network.has_node
         for node in self.node_ids:
             parent = self._parent.get(node)
-            if parent is not None:
+            if parent is not None and has_node(node):
                 self.network.send(node, parent, protocol=PROTOCOL,
                                   msg_type="ransub_collect",
                                   payload={"round": round_number, "member": node},
                                   size_bytes=64)
 
-        # Distribute wave: each node receives a fresh uniform sample.
+        # Distribute wave: each live node receives a fresh uniform sample.
         base_delay = self._distribution_delay()
         for node in self.node_ids:
+            if not has_node(node):
+                continue  # no view for a crashed node; it resamples on recovery
             sample = _uniform_sample(
                 [n for n in self.node_ids if n != node], self.subset_size, self._rng)
             parent = self._parent.get(node)

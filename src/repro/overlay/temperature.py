@@ -75,6 +75,17 @@ class TemperatureTracker:
         self._last_update[node_id] = time
         self.version += 1
 
+    def forget(self, node_id: str) -> None:
+        """Drop a node's temperature entirely (e.g. it crashed).
+
+        A forgotten node leaves the selection pool immediately; if it
+        recovers and writes again it re-heats from zero like any newcomer.
+        """
+        if node_id in self._scores:
+            self._scores.pop(node_id, None)
+            self._last_update.pop(node_id, None)
+            self.version += 1
+
     def temperature(self, node_id: str, time: float) -> float:
         """Current (decayed) temperature of a node."""
         score = self._scores.get(node_id, 0.0)

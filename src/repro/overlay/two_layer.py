@@ -43,6 +43,8 @@ class TwoLayerOverlay:
         self.node_ids = list(node_ids)
         self.config = config or OverlayConfig()
         self.ransub = ransub
+        #: crashed members: excluded from every layer until readmitted
+        self._dead: set = set()
         self._trackers: Dict[str, TemperatureTracker] = {}
         self._top_cache: Dict[str, List[str]] = {}
         self._candidate_views: Dict[str, RanSubView] = {}
@@ -105,9 +107,46 @@ class TwoLayerOverlay:
         """Heat up ``node_id`` for ``object_id`` and refresh its top layer."""
         if node_id not in self.node_ids:
             raise KeyError(f"unknown node {node_id!r}")
+        if node_id in self._dead:
+            return  # a stale write event from a crashed member must not re-heat it
         tracker = self.tracker(object_id)
         tracker.record_update(node_id, time)
         self._top_cache[object_id] = self._select(object_id, tracker, time)
+
+    # ----------------------------------------------------------- churn/faults
+    def evict_node(self, node_id: str) -> None:
+        """Remove a crashed member from every object's layers.
+
+        Its temperature entries are forgotten (so digests stop being routed
+        through a stale writer) and it stays excluded until
+        :meth:`readmit_node`.  Idempotent.
+        """
+        if node_id not in self.node_ids:
+            raise KeyError(f"unknown node {node_id!r}")
+        if node_id in self._dead:
+            return
+        self._dead.add(node_id)
+        for tracker in self._trackers.values():
+            tracker.forget(node_id)
+        # Top caches may be consulted without a query time; purge eagerly.
+        for object_id, top in self._top_cache.items():
+            if node_id in top:
+                self._top_cache[object_id] = [n for n in top if n != node_id]
+        self._select_memo.clear()
+        self._pool_version += 1
+
+    def readmit_node(self, node_id: str) -> None:
+        """Let a recovered member participate again (idempotent).
+
+        It rejoins the bottom layer immediately and climbs back into top
+        layers the usual way: by writing.
+        """
+        if node_id in self._dead:
+            self._dead.discard(node_id)
+            self._pool_version += 1
+
+    def dead_nodes(self) -> List[str]:
+        return sorted(self._dead)
 
     # ------------------------------------------------------------ membership
     def top_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:
@@ -120,9 +159,10 @@ class TwoLayerOverlay:
         return list(self._top_cache.get(object_id, []))
 
     def bottom_layer(self, object_id: str, time: Optional[float] = None) -> List[str]:
-        """All registered nodes not currently in the object's top layer."""
+        """All *live* registered nodes not currently in the object's top layer."""
         top = set(self.top_layer(object_id, time))
-        return [n for n in self.node_ids if n not in top]
+        dead = self._dead
+        return [n for n in self.node_ids if n not in top and n not in dead]
 
     def is_top(self, object_id: str, node_id: str, time: Optional[float] = None) -> bool:
         return node_id in self.top_layer(object_id, time)

@@ -109,6 +109,17 @@ class DigestCache:
         self._summaries.pop(object_id, None)
         self._peers.pop(object_id, None)
 
+    def forget_peer(self, node_id: str) -> None:
+        """Evict a crashed peer's digests from every object's table.
+
+        Tables are mutated in place — detection services hold live references
+        to them — so the eviction is visible to every hosted object at once.
+        Local writer summaries are *kept*: the dead peer's past updates are
+        still in the local log and their folds remain valid.
+        """
+        for table in self._peers.values():
+            table.pop(node_id, None)
+
     def objects(self) -> Tuple[str, ...]:
         return tuple(sorted(set(self._local) | set(self._peers)))
 

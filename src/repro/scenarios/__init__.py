@@ -1,0 +1,17 @@
+"""Fault-injection and churn scenarios for the simulated deployment.
+
+``repro.scenarios`` turns the failure model built into the simulation layer
+(crash-stop nodes with recovery, network partitions, transient loss bursts)
+into reproducible *scenarios*: a :class:`FaultPlan` describes what fails and
+when, and a :class:`FaultInjector` arms it on an
+:class:`~repro.core.deployment.IdeaDeployment`.
+
+Everything is deterministic given the plan arguments and the deployment
+seed, so churn experiments replay bit-identically — the property the
+``fig_churn_availability`` experiment and the scenario tests gate on.
+"""
+
+from repro.scenarios.injector import FaultInjector
+from repro.scenarios.plan import FaultAction, FaultPlan
+
+__all__ = ["FaultAction", "FaultInjector", "FaultPlan"]

@@ -1,0 +1,214 @@
+"""Deterministic fault plans: crash/recover schedules, partitions, loss bursts.
+
+A :class:`FaultPlan` is a *data* description of every fault a scenario will
+inject — nothing happens until a :class:`~repro.scenarios.injector
+.FaultInjector` arms it on a deployment.  Keeping the plan pure data buys
+three things:
+
+* **determinism** — the same (seed, plan) pair replays the identical
+  simulation, fault events included, which the churn experiment and the
+  golden-trace tests rely on;
+* **composability** — churn generators, hand-written schedules and sweep
+  harnesses all produce the same action list; and
+* **inspectability** — a report can print exactly which faults a run saw.
+
+Actions are ordered by ``(time, sequence-of-insertion)`` so two actions at
+the same instant apply in the order the plan author wrote them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+#: action kinds understood by the injector
+CRASH = "crash"
+RECOVER = "recover"
+PARTITION = "partition"
+HEAL = "heal"
+SET_LOSS = "set_loss"
+RESTORE_LOSS = "restore_loss"
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: what happens, to whom, and when."""
+
+    time: float
+    kind: str
+    node_id: Optional[str] = None
+    groups: Optional[Tuple[Tuple[str, ...], ...]] = None
+    loss_probability: Optional[float] = None
+
+    def describe(self) -> str:
+        if self.kind == CRASH:
+            return f"t={self.time:g}s crash {self.node_id}"
+        if self.kind == RECOVER:
+            return f"t={self.time:g}s recover {self.node_id}"
+        if self.kind == PARTITION:
+            sizes = "/".join(str(len(g)) for g in (self.groups or ()))
+            return f"t={self.time:g}s partition into groups of {sizes}"
+        if self.kind == HEAL:
+            return f"t={self.time:g}s heal partition"
+        if self.kind == RESTORE_LOSS:
+            return f"t={self.time:g}s restore pre-burst loss"
+        return f"t={self.time:g}s set loss={self.loss_probability:g}"
+
+
+class FaultPlan:
+    """An ordered, deterministic schedule of fault injections."""
+
+    def __init__(self) -> None:
+        self._actions: List[FaultAction] = []
+
+    # ------------------------------------------------------------- authoring
+    def _add(self, action: FaultAction) -> "FaultPlan":
+        if action.time < 0:
+            raise ValueError("fault actions cannot be scheduled before t=0")
+        self._actions.append(action)
+        return self
+
+    def crash(self, node_id: str, at: float) -> "FaultPlan":
+        """Crash-stop ``node_id`` at simulated time ``at``."""
+        return self._add(FaultAction(time=at, kind=CRASH, node_id=node_id))
+
+    def recover(self, node_id: str, at: float) -> "FaultPlan":
+        """Bring ``node_id`` back online at simulated time ``at``."""
+        return self._add(FaultAction(time=at, kind=RECOVER, node_id=node_id))
+
+    def partition(self, groups: Sequence[Sequence[str]], at: float) -> "FaultPlan":
+        """Split the network into ``groups`` at ``at`` (see Network.partition)."""
+        frozen = tuple(tuple(g) for g in groups)
+        if not frozen:
+            raise ValueError("a partition needs at least one group")
+        return self._add(FaultAction(time=at, kind=PARTITION, groups=frozen))
+
+    def heal(self, at: float) -> "FaultPlan":
+        """Remove any active partition at ``at``."""
+        return self._add(FaultAction(time=at, kind=HEAL))
+
+    def set_loss(self, loss_probability: float, at: float) -> "FaultPlan":
+        """Change the network's per-message loss probability at ``at``."""
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        return self._add(FaultAction(time=at, kind=SET_LOSS,
+                                     loss_probability=loss_probability))
+
+    def loss_burst(self, at: float, duration: float, loss_probability: float,
+                   *, baseline: Optional[float] = None) -> "FaultPlan":
+        """A transient lossy window: raise loss at ``at``, restore after it.
+
+        With ``baseline=None`` (default) the injector restores whatever loss
+        probability the network had when the burst began — a deployment
+        configured with 2 % baseline loss goes back to 2 %, not to zero.
+        Pass an explicit ``baseline`` to end the burst at a chosen value.
+        """
+        if duration <= 0:
+            raise ValueError("loss burst duration must be positive")
+        self.set_loss(loss_probability, at)
+        if baseline is None:
+            return self._add(FaultAction(time=at + duration, kind=RESTORE_LOSS))
+        return self.set_loss(baseline, at + duration)
+
+    # ------------------------------------------------------------ generators
+    @classmethod
+    def churn(cls, node_ids: Sequence[str], *, rate: float, duration: float,
+              seed: int, downtime: float = 20.0, start: float = 0.0,
+              spare: int = 1) -> "FaultPlan":
+        """Generate a deterministic churn schedule.
+
+        ``rate`` is expected crashes per simulated second (Poisson-ish via
+        exponential inter-crash gaps); each crashed node recovers
+        ``downtime`` seconds later.  At least ``spare`` nodes are always left
+        alive.  The schedule is a pure function of the arguments — no global
+        randomness — so a (seed, plan) pair replays bit-identically.
+        """
+        if rate <= 0:
+            raise ValueError("churn rate must be positive")
+        if downtime <= 0:
+            raise ValueError("downtime must be positive")
+        if spare < 1:
+            raise ValueError("churn must spare at least one node")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        down_until: dict = {}
+        t = start
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= start + duration:
+                break
+            alive = [n for n in node_ids
+                     if n not in down_until or down_until[n] <= t]
+            if len(alive) <= spare:
+                continue  # everyone else is already down; skip this crash
+            victim = alive[int(rng.integers(len(alive)))]
+            plan.crash(victim, t)
+            back = t + downtime
+            plan.recover(victim, back)
+            down_until[victim] = back
+        return plan
+
+    @classmethod
+    def kill_and_recover(cls, node_ids: Sequence[str], *, fraction: float,
+                         crash_at: float, recover_at: float,
+                         stagger: float = 0.5) -> "FaultPlan":
+        """Kill ``fraction`` of the given nodes, then recover them all.
+
+        Crashes (and later recoveries) are staggered ``stagger`` seconds
+        apart in ``node_ids`` order, so the plan is deterministic without any
+        randomness at all.  This is the ISSUE's acceptance scenario: kill 25%
+        of an 8-node deployment mid-run and bring them back.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        if recover_at <= crash_at:
+            raise ValueError("recover_at must come after crash_at")
+        count = max(1, int(round(len(node_ids) * fraction)))
+        if count >= len(node_ids):
+            raise ValueError("cannot kill every node")
+        plan = cls()
+        for i, node_id in enumerate(list(node_ids)[:count]):
+            plan.crash(node_id, crash_at + i * stagger)
+            plan.recover(node_id, recover_at + i * stagger)
+        return plan
+
+    # -------------------------------------------------------------- querying
+    def actions(self) -> List[FaultAction]:
+        """Actions in application order: by time, insertion order on ties."""
+        return sorted(self._actions, key=lambda a: a.time)
+
+    def __iter__(self) -> Iterator[FaultAction]:
+        return iter(self.actions())
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def crashes(self) -> List[FaultAction]:
+        return [a for a in self.actions() if a.kind == CRASH]
+
+    def recoveries(self) -> List[FaultAction]:
+        return [a for a in self.actions() if a.kind == RECOVER]
+
+    def end_time(self) -> float:
+        """Time of the last scheduled action (0.0 for an empty plan)."""
+        return max((a.time for a in self._actions), default=0.0)
+
+    def validate(self, node_ids: Sequence[str]) -> None:
+        """Raise if the plan references nodes outside ``node_ids``."""
+        known = set(node_ids)
+        for action in self._actions:
+            if action.node_id is not None and action.node_id not in known:
+                raise ValueError(
+                    f"fault plan references unknown node {action.node_id!r}")
+            if action.groups is not None:
+                for group in action.groups:
+                    unknown = set(group) - known
+                    if unknown:
+                        raise ValueError(
+                            f"partition group references unknown nodes {sorted(unknown)}")
+
+    def describe(self) -> str:
+        return "\n".join(a.describe() for a in self.actions())

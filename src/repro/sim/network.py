@@ -23,6 +23,14 @@ list.  Broadcast-style senders (detection digests, gossip fan-out) should
 use :meth:`send_many`, which shares one payload across the fan-out and, when
 the latency model reports a homogeneous delay for the whole destination set,
 collapses the broadcast into a single latency sample and a single heap push.
+
+Failure model (crash-stop with recovery): a send whose source or destination
+is a *previously registered* node that has since crashed, or whose endpoints
+sit in different network partitions (:meth:`Network.partition`), is counted
+as a drop — exactly like the in-flight "destination departed" path of
+``_deliver`` — and never raises.  Sending to an id that was *never*
+registered still raises ``KeyError`` while ``strict`` is set (the default),
+because that is a wiring bug, not a simulated fault.
 """
 
 from __future__ import annotations
@@ -68,7 +76,7 @@ class NetworkStats:
     in C; the public attributes remain mappings from protocol label to count.
     """
 
-    __slots__ = ("sent", "delivered", "dropped", "bytes_sent")
+    __slots__ = ("sent", "delivered", "dropped", "bytes_sent", "drop_reasons")
 
     def __init__(self, sent: Optional[Dict[str, int]] = None,
                  delivered: Optional[Dict[str, int]] = None,
@@ -78,6 +86,9 @@ class NetworkStats:
         self.delivered: Counter = Counter(delivered or {})
         self.dropped: Counter = Counter(dropped or {})
         self.bytes_sent: Counter = Counter(bytes_sent or {})
+        #: why messages were dropped: "loss", "partition", "dst-down",
+        #: "src-down", "departed" (destination crashed while in flight)
+        self.drop_reasons: Counter = Counter()
 
     # Convenience recorders for external instrumentation; Network's own send
     # and delivery paths update the counters directly to skip the call.
@@ -105,6 +116,7 @@ class NetworkStats:
             "delivered": dict(self.delivered),
             "dropped": dict(self.dropped),
             "bytes_sent": dict(self.bytes_sent),
+            "drop_reasons": dict(self.drop_reasons),
         }
 
 
@@ -116,14 +128,23 @@ class Network:
     DEFAULT_MESSAGE_BYTES = 1024
 
     def __init__(self, sim: Simulator, latency: LatencyModel, *,
-                 loss_probability: float = 0.0) -> None:
+                 loss_probability: float = 0.0, strict: bool = True) -> None:
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
         self.sim = sim
         self.latency = latency
         self.loss_probability = loss_probability
+        #: raise ``KeyError`` for endpoints that were never registered (a
+        #: wiring bug); sends involving *known-but-crashed* nodes are always
+        #: counted drops regardless of this flag
+        self.strict = strict
         self.stats = NetworkStats()
         self._nodes: Dict[str, Any] = {}
+        #: every id ever registered — crash-stop nodes unregister from
+        #: ``_nodes`` but remain known, so sends to them drop instead of raise
+        self._known: set = set()
+        #: node_id -> partition group index while partitioned, else None
+        self._partition_of: Optional[Dict[str, int]] = None
         self._next_msg_id = 0
         self._loss_rng = sim.random.stream("network.loss")
         #: (protocol, msg_type) -> interned delivery-event label; the pairs
@@ -139,6 +160,7 @@ class Network:
         if node_id in self._nodes:
             raise ValueError(f"node {node_id!r} already registered")
         self._nodes[node_id] = node
+        self._known.add(node_id)
 
     def unregister(self, node_id: str) -> None:
         self._nodes.pop(node_id, None)
@@ -150,15 +172,95 @@ class Network:
     def node(self, node_id: str) -> Any:
         return self._nodes[node_id]
 
+    def has_node(self, node_id: str) -> bool:
+        """True while ``node_id`` is registered (i.e. currently reachable)."""
+        return node_id in self._nodes
+
+    # ------------------------------------------------------------ partitions
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the network: messages only flow within the same group.
+
+        Every listed node belongs to exactly one group; nodes not listed in
+        any group form one implicit extra group together.  Messages in flight
+        are checked again at delivery time, so a partition takes effect
+        immediately even for already-scheduled deliveries.
+        """
+        partition_of: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node_id in group:
+                if node_id in partition_of:
+                    raise ValueError(f"node {node_id!r} listed in two groups")
+                if self.strict and node_id not in self._known:
+                    # A typo'd id would silently land the intended node in
+                    # the implicit group; wiring bugs raise (same rule as
+                    # sending to a never-registered id).
+                    raise KeyError(f"partition group names unknown node {node_id!r}")
+                partition_of[node_id] = index
+        self._partition_of = partition_of
+
+    def heal(self) -> None:
+        """Remove any active partition (idempotent)."""
+        self._partition_of = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition_of is not None
+
+    def reachable(self, src: str, dst: str) -> bool:
+        """True when no partition separates ``src`` and ``dst``."""
+        partition_of = self._partition_of
+        if partition_of is None:
+            return True
+        default = len(partition_of)  # implicit group for unlisted nodes
+        return partition_of.get(src, default) == partition_of.get(dst, default)
+
+    # ------------------------------------------------------------------ loss
+    def set_loss_probability(self, loss_probability: float) -> None:
+        """Change the per-message loss probability (e.g. for a loss burst)."""
+        if not 0.0 <= loss_probability < 1.0:
+            raise ValueError("loss_probability must be in [0, 1)")
+        self.loss_probability = loss_probability
+
     # ---------------------------------------------------------------- sending
+    def _unreachable_reason(self, src: str, dst: str) -> Optional[str]:
+        """Why a send src→dst cannot go through right now, or ``None``.
+
+        Raises ``KeyError`` for endpoints that were never registered while
+        ``strict`` is set; crashed (known but unregistered) endpoints and
+        partitioned pairs yield a drop reason instead.
+        """
+        nodes = self._nodes
+        if dst not in nodes:
+            if self.strict and dst not in self._known:
+                raise KeyError(f"destination node {dst!r} is not registered")
+            return "dst-down"
+        if src not in nodes:
+            if self.strict and src not in self._known:
+                raise KeyError(f"source node {src!r} is not registered")
+            return "src-down"
+        if self._partition_of is not None and not self.reachable(src, dst):
+            return "partition"
+        return None
+
+    def _drop(self, protocol: str, size: int, reason: str) -> None:
+        """Account one message as sent-then-dropped for ``reason``."""
+        stats = self.stats
+        stats.sent[protocol] += 1
+        stats.bytes_sent[protocol] += size
+        stats.dropped[protocol] += 1
+        stats.drop_reasons[reason] += 1
+
     def send(self, src: str, dst: str, *, protocol: str, msg_type: str,
              payload: Any = None, size_bytes: Optional[int] = None) -> Optional[Message]:
         """Send a message; returns the in-flight message or ``None`` if dropped."""
         nodes = self._nodes
-        if dst not in nodes:
-            raise KeyError(f"destination node {dst!r} is not registered")
-        if src not in nodes:
-            raise KeyError(f"source node {src!r} is not registered")
+        if dst not in nodes or src not in nodes or self._partition_of is not None:
+            reason = self._unreachable_reason(src, dst)
+            if reason is not None:
+                size = (self.DEFAULT_MESSAGE_BYTES if size_bytes is None
+                        else int(size_bytes))
+                self._drop(protocol, size, reason)
+                return None
         size = self.DEFAULT_MESSAGE_BYTES if size_bytes is None else int(size_bytes)
         stats = self.stats
         stats.sent[protocol] += 1
@@ -166,6 +268,7 @@ class Network:
 
         if self.loss_probability > 0 and self._loss_rng.random() < self.loss_probability:
             stats.dropped[protocol] += 1
+            stats.drop_reasons["loss"] += 1
             return None
 
         delay = self.latency.delay(src, dst)
@@ -205,11 +308,28 @@ class Network:
         if not dsts:
             return []
         nodes = self._nodes
-        if src not in nodes:
-            raise KeyError(f"source node {src!r} is not registered")
-        for dst in dsts:
-            if dst not in nodes:
-                raise KeyError(f"destination node {dst!r} is not registered")
+        if (src not in nodes or self._partition_of is not None
+                or any(dst not in nodes for dst in dsts)):
+            # Failure-aware slow path: drop per-destination (or everything
+            # when the source itself is down), keeping only reachable ones.
+            size = (self.DEFAULT_MESSAGE_BYTES if size_bytes is None
+                    else int(size_bytes))
+            if src not in nodes:
+                if self.strict and src not in self._known:
+                    raise KeyError(f"source node {src!r} is not registered")
+                for _ in dsts:
+                    self._drop(protocol, size, "src-down")
+                return []
+            live = []
+            for dst in dsts:
+                reason = self._unreachable_reason(src, dst)
+                if reason is None:
+                    live.append(dst)
+                else:
+                    self._drop(protocol, size, reason)
+            if not live:
+                return []
+            dsts = live
         delay = (None if self.loss_probability > 0
                  else self.latency.homogeneous_delay(src, dsts))
         if delay is None:
@@ -241,6 +361,13 @@ class Network:
         if node is None:
             # Destination departed while the message was in flight; drop it.
             self.stats.dropped[message.protocol] += 1
+            self.stats.drop_reasons["departed"] += 1
+            return
+        if (self._partition_of is not None
+                and not self.reachable(message.src, message.dst)):
+            # A partition formed while the message was in flight.
+            self.stats.dropped[message.protocol] += 1
+            self.stats.drop_reasons["partition"] += 1
             return
         self.stats.delivered[message.protocol] += 1
         if self.delivery_hooks:

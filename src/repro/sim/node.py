@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.sim.clock import ClockModel, DriftingClock
 from repro.sim.engine import Simulator
@@ -60,6 +60,13 @@ class Node:
         self._pending: Dict[int, _PendingRequest] = {}
         self._request_counter = itertools.count()
         self._alive = True
+        #: periodic protocol timers owned by this node; stopped on fail() and
+        #: restarted on recover() so a recovered node resumes its rounds
+        self._periodic_timers: List[Any] = []
+        #: observers of lifecycle transitions (e.g. a resolution manager
+        #: resetting its in-flight state when its host crashes)
+        self.fail_hooks: List[Callable[[], None]] = []
+        self.recover_hooks: List[Callable[[], None]] = []
         network.register(self)
         self.register_handler("__rpc_request__", self._handle_rpc_request)
         self.register_handler("__rpc_response__", self._handle_rpc_response)
@@ -70,15 +77,55 @@ class Node:
         return self._alive
 
     def fail(self) -> None:
-        """Take the node offline: stop receiving messages (crash-stop model)."""
+        """Take the node offline (crash-stop model).
+
+        Beyond unregistering from the network, a crash is made *clean*:
+        pending RPCs are failed promptly (their waiters fire with an error
+        instead of dangling forever), and every adopted periodic timer is
+        paused so no protocol round ticks on a dead node.
+        """
+        if not self._alive:
+            return
         self._alive = False
         self.network.unregister(self.node_id)
+        pending, self._pending = self._pending, {}
+        for request in pending.values():
+            if request.timeout_event is not None:
+                request.timeout_event.cancel()
+            request.waiter.trigger(("error", f"{self.node_id} crashed"))
+        for timer in self._periodic_timers:
+            timer.stop()
+        for hook in self.fail_hooks:
+            hook()
 
     def recover(self) -> None:
-        """Bring a failed node back online."""
-        if not self._alive:
-            self._alive = True
-            self.network.register(self)
+        """Bring a failed node back online and resume its periodic protocols."""
+        if self._alive:
+            return
+        self._alive = True
+        self.network.register(self)
+        # Any request state surviving the crash is stale; a late
+        # __rpc_response__ for a pre-crash request must not be mis-routed.
+        self._pending.clear()
+        for timer in self._periodic_timers:
+            if not timer.cancelled:
+                timer.start()
+        for hook in self.recover_hooks:
+            hook()
+
+    def adopt_timer(self, timer: Any) -> None:
+        """Tie a :class:`~repro.sim.timers.PeriodicTimer` to this node's life.
+
+        Adopted timers are paused by :meth:`fail` and resumed by
+        :meth:`recover`; :meth:`call_every` adopts its timer automatically.
+        """
+        self._periodic_timers.append(timer)
+
+    def disown_timer(self, timer: Any) -> None:
+        try:
+            self._periodic_timers.remove(timer)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------ time
     def local_time(self) -> float:
@@ -92,7 +139,12 @@ class Node:
     def call_every(self, period: float, callback: Callable[[], None], *,
                    label: str = "", jitter: float = 0.0) -> Callable[[], None]:
         """Run ``callback`` every ``period`` seconds until the returned
-        cancel function is invoked (or the node fails)."""
+        cancel function is invoked.
+
+        The timer is adopted by the node: a crash pauses it (restartably —
+        not the old permanent cancel, which left a recovered node silent) and
+        ``recover()`` resumes the schedule.
+        """
         from repro.sim.timers import PeriodicTimer
 
         if period <= 0:
@@ -102,14 +154,22 @@ class Node:
 
         def guarded() -> None:
             if not self._alive:
-                timer.cancel()
+                # Safety net for a tick already in flight when fail() ran;
+                # stop() keeps the timer restartable for recover().
+                timer.stop()
                 return
             callback()
 
         timer = PeriodicTimer(self.sim, guarded, period=period, jitter=jitter,
                               rng=rng, label=f"{self.node_id}:{label}")
+        self.adopt_timer(timer)
         timer.start()
-        return timer.cancel
+
+        def cancel() -> None:
+            timer.cancel()
+            self.disown_timer(timer)
+
+        return cancel
 
     # ------------------------------------------------------------- messaging
     def register_handler(self, msg_type: str, handler: Callable[[Message], Any]) -> None:
@@ -171,17 +231,28 @@ class Node:
                 label=f"{self.node_id}:rpc-timeout")
         self._pending[request_id] = _PendingRequest(waiter, timeout_event)
         try:
-            self.send(dst, protocol=protocol, msg_type="__rpc_request__",
-                      payload={"request_id": request_id, "method": method,
-                               "args": payload, "reply_to": self.node_id,
-                               "protocol": protocol},
-                      size_bytes=size_bytes)
+            message = self.send(dst, protocol=protocol,
+                                msg_type="__rpc_request__",
+                                payload={"request_id": request_id,
+                                         "method": method,
+                                         "args": payload,
+                                         "reply_to": self.node_id,
+                                         "protocol": protocol},
+                                size_bytes=size_bytes)
         except KeyError:
-            # Destination is offline/unregistered: fail the RPC rather than
-            # blowing up the caller (callers treat it like an unreachable peer).
+            # Destination id was never registered (strict network): fail the
+            # RPC rather than blowing up the caller.
             self._pending.pop(request_id, None)
             if timeout_event is not None:
                 timeout_event.cancel()
+            waiter.trigger(("error", f"destination {dst!r} is unreachable"))
+            return waiter
+        if message is None and timeout is None:
+            # The request was dropped at send time (crashed or partitioned
+            # destination, or a loss-model drop) and no timeout is armed.
+            # Without this the waiter would dangle forever; erring on the
+            # side of sender-side omniscience keeps the simulation hang-free.
+            self._pending.pop(request_id, None)
             waiter.trigger(("error", f"destination {dst!r} is unreachable"))
         return waiter
 

@@ -28,10 +28,20 @@ class PeriodicTimer:
     background-resolution frequency mid-run) take effect at the next round
     without rescheduling machinery in the caller.  A ``period_fn`` returning
     ``None`` stops the timer.
+
+    Two ways to halt a timer:
+
+    * :meth:`cancel` is terminal — the timer can never run again (a
+      subsequent :meth:`start` raises), matching "this schedule is gone".
+    * :meth:`stop` is a restartable pause — the pending engine event is
+      cancelled, but :meth:`start` resumes the schedule.  This is what a
+      crash-stop :class:`~repro.sim.node.Node` uses so ``recover()`` can
+      resume the node's protocol rounds.
     """
 
     __slots__ = ("sim", "callback", "label", "jitter", "rounds_fired",
-                 "_period", "_period_fn", "_rng", "_event", "_cancelled")
+                 "_period", "_period_fn", "_rng", "_event", "_cancelled",
+                 "_stopped")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None], *,
                  period: Optional[float] = None,
@@ -53,19 +63,28 @@ class PeriodicTimer:
         self._rng = rng
         self._event: Optional[Event] = None
         self._cancelled = False
+        self._stopped = False
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> "PeriodicTimer":
-        """Schedule the first round one period from now."""
+        """Schedule the next round one period from now (resumes after stop)."""
         if self._cancelled:
             raise SimulationError("cannot restart a cancelled timer")
+        self._stopped = False
         if self._event is None:
             self._schedule_next()
         return self
 
     def cancel(self) -> None:
-        """Stop the timer and cancel the pending engine event."""
+        """Terminally stop the timer and cancel the pending engine event."""
         self._cancelled = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def stop(self) -> None:
+        """Pause the timer; :meth:`start` resumes it (unlike :meth:`cancel`)."""
+        self._stopped = True
         if self._event is not None:
             self._event.cancel()
             self._event = None
@@ -78,6 +97,11 @@ class PeriodicTimer:
     @property
     def cancelled(self) -> bool:
         return self._cancelled
+
+    @property
+    def stopped(self) -> bool:
+        """True while paused by :meth:`stop` (and not yet restarted)."""
+        return self._stopped and not self._cancelled
 
     # -------------------------------------------------------------- schedule
     def current_period(self) -> Optional[float]:
@@ -107,9 +131,11 @@ class PeriodicTimer:
 
     def _tick(self) -> None:
         self._event = None
-        if self._cancelled:
+        if self._cancelled or self._stopped:
             return
         self.rounds_fired += 1
         self.callback()
-        if not self._cancelled:
+        # The callback may have cancelled *or stopped* the timer (e.g. a node
+        # crashing mid-round); only a still-running timer reschedules.
+        if not self._cancelled and not self._stopped:
             self._schedule_next()

@@ -1,0 +1,129 @@
+"""Determinism tests for the lossy-network path.
+
+``loss_probability`` was previously exercised by zero experiments or tests
+beyond a single smoke assertion; these tests pin down the property the churn
+experiment relies on: the loss RNG is a seeded stream, so the same seed
+yields the *identical* drop sequence — including through ``send_many``'s
+per-destination fallback branch and through mid-run loss changes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockModel
+from repro.sim.engine import Simulator
+from repro.sim.latency import FixedLatencyModel, UniformLatencyModel
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+class Sink(Node):
+    def __init__(self, sim, network, node_id):
+        super().__init__(sim, network, node_id,
+                         clock_model=ClockModel().perfect(), processing_delay=0.0)
+        self.received = []
+        self.register_handler("ping", lambda m: self.received.append(m.msg_id))
+
+
+def _lossy_run(seed: float, *, use_send_many: bool, loss: float = 0.3,
+               rounds: int = 40) -> dict:
+    sim = Simulator(seed=seed)
+    network = Network(sim, FixedLatencyModel(0.02), loss_probability=loss)
+    nodes = {n: Sink(sim, network, n) for n in ("a", "b", "c", "d")}
+    sent_ids = []
+    for _ in range(rounds):
+        if use_send_many:
+            # loss_probability > 0 forces the per-destination fallback branch
+            msgs = network.send_many("a", ["b", "c", "d"], protocol="t",
+                                     msg_type="ping")
+            sent_ids.extend(m.msg_id for m in msgs)
+        else:
+            for dst in ("b", "c", "d"):
+                m = network.send("a", dst, protocol="t", msg_type="ping")
+                if m is not None:
+                    sent_ids.append(m.msg_id)
+    sim.run()
+    return {
+        "sent_ids": sent_ids,
+        "received": {n: list(node.received) for n, node in nodes.items()},
+        "stats": network.stats.snapshot(),
+        "events": sim.events_processed,
+    }
+
+
+class TestLossDeterminism:
+    def test_same_seed_identical_drop_sequence(self):
+        a = _lossy_run(7, use_send_many=False)
+        b = _lossy_run(7, use_send_many=False)
+        assert a == b
+        assert a["stats"]["dropped"]["t"] > 0
+        assert a["stats"]["drop_reasons"]["loss"] == a["stats"]["dropped"]["t"]
+
+    def test_different_seed_different_drops(self):
+        a = _lossy_run(7, use_send_many=False)
+        b = _lossy_run(8, use_send_many=False)
+        assert a["sent_ids"] != b["sent_ids"]
+
+    def test_send_many_fallback_replays_identically(self):
+        a = _lossy_run(3, use_send_many=True)
+        b = _lossy_run(3, use_send_many=True)
+        assert a == b
+        assert a["stats"]["drop_reasons"]["loss"] > 0
+
+    def test_send_many_fallback_matches_sequential_sends(self):
+        # With loss active, send_many must draw exactly the per-destination
+        # RNG samples a sequence of send() calls would, so both spellings
+        # replay the same simulation.
+        a = _lossy_run(5, use_send_many=True)
+        b = _lossy_run(5, use_send_many=False)
+        assert a["sent_ids"] == b["sent_ids"]
+        assert a["received"] == b["received"]
+        assert a["stats"] == b["stats"]
+
+    def test_loss_change_midrun_is_deterministic(self):
+        def run():
+            sim = Simulator(seed=11)
+            network = Network(sim, FixedLatencyModel(0.01), loss_probability=0.0)
+            nodes = {n: Sink(sim, network, n) for n in ("a", "b")}
+            delivered = []
+            for i in range(30):
+                if i == 10:
+                    network.set_loss_probability(0.5)
+                if i == 20:
+                    network.set_loss_probability(0.0)
+                m = network.send("a", "b", protocol="t", msg_type="ping")
+                delivered.append(m is not None)
+            sim.run()
+            return delivered, network.stats.snapshot()
+
+        assert run() == run()
+        delivered, stats = run()
+        assert all(delivered[:10]) and all(delivered[20:])
+        assert stats["drop_reasons"].get("loss", 0) == delivered[10:20].count(False)
+
+    def test_lossy_rpc_with_timeout_is_deterministic(self):
+        def run():
+            sim = Simulator(seed=9)
+            network = Network(sim, UniformLatencyModel(
+                0.01, 0.05, rng=sim.random.stream("lat")),
+                loss_probability=0.4)
+            a = Sink(sim, network, "a")
+            b = Sink(sim, network, "b")
+            b.register_rpc("echo", lambda args: args)
+            outcomes = []
+
+            def proc():
+                for i in range(20):
+                    waiter = a.request("b", "echo", i, protocol="t",
+                                       timeout=0.5)
+                    result = yield waiter
+                    outcomes.append(result[0])
+
+            sim.spawn(proc())
+            sim.run()
+            return outcomes
+
+        a, b = run(), run()
+        assert a == b
+        assert "timeout" in a and "ok" in a  # both paths exercised

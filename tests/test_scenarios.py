@@ -1,0 +1,382 @@
+"""Fault-injection & churn scenario tests.
+
+Covers the whole failure stack: the FaultPlan/FaultInjector subsystem, the
+deployment-level crash/recover orchestration (overlay eviction, digest
+eviction, timer resume), partitions, and the ISSUE's acceptance scenario —
+an 8-node run that kills and later recovers 2 nodes mid-simulation, finishes
+without exceptions and replays bit-identically under the same seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AdaptationMode, IdeaConfig
+from repro.core.deployment import DeploymentBuilder
+from repro.experiments.fig_churn_availability import fingerprint, run_churn_point
+from repro.scenarios import FaultInjector, FaultPlan
+from repro.sim.timers import PeriodicTimer
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_actions_sorted_by_time_insertion_stable(self):
+        plan = FaultPlan().crash("b", 10.0).recover("b", 20.0).crash("a", 10.0)
+        kinds = [(a.time, a.kind, a.node_id) for a in plan.actions()]
+        assert kinds == [(10.0, "crash", "b"), (10.0, "crash", "a"),
+                         (20.0, "recover", "b")]
+
+    def test_loss_burst_restores_baseline(self):
+        plan = FaultPlan().loss_burst(5.0, duration=3.0, loss_probability=0.2,
+                                      baseline=0.01)
+        actions = plan.actions()
+        assert [(a.time, a.loss_probability) for a in actions] == \
+            [(5.0, 0.2), (8.0, 0.01)]
+
+    def test_kill_and_recover_pairs_every_crash(self):
+        plan = FaultPlan.kill_and_recover(
+            [f"n{i}" for i in range(8)], fraction=0.25,
+            crash_at=30.0, recover_at=60.0)
+        assert len(plan.crashes()) == 2
+        assert len(plan.recoveries()) == 2
+        assert {a.node_id for a in plan.crashes()} == \
+            {a.node_id for a in plan.recoveries()}
+
+    def test_kill_everyone_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.kill_and_recover(["a"], fraction=1.0,
+                                       crash_at=1.0, recover_at=2.0)
+
+    def test_churn_is_deterministic(self):
+        nodes = [f"n{i}" for i in range(6)]
+        a = FaultPlan.churn(nodes, rate=0.1, duration=200.0, seed=3)
+        b = FaultPlan.churn(nodes, rate=0.1, duration=200.0, seed=3)
+        assert [(x.time, x.kind, x.node_id) for x in a.actions()] == \
+            [(x.time, x.kind, x.node_id) for x in b.actions()]
+        assert len(a.crashes()) > 0
+        assert len(a.crashes()) == len(a.recoveries())
+
+    def test_churn_spares_nodes(self):
+        nodes = ["a", "b"]
+        plan = FaultPlan.churn(nodes, rate=5.0, duration=10.0, seed=1,
+                               downtime=100.0)
+        # With downtime longer than the window, at most one node ever dies.
+        assert len({a.node_id for a in plan.crashes()}) <= 1
+
+    def test_validate_rejects_unknown_nodes(self):
+        plan = FaultPlan().crash("ghost", 1.0)
+        with pytest.raises(ValueError):
+            plan.validate(["a", "b"])
+
+
+# ---------------------------------------------------------------------------
+# Deployment crash/recover orchestration
+# ---------------------------------------------------------------------------
+
+def _small_deployment(num_nodes=8, seed=13, **kwargs):
+    deployment = DeploymentBuilder(num_nodes=num_nodes, seed=seed,
+                                   **kwargs).start_overlay_services().build()
+    config = IdeaConfig(mode=AdaptationMode.HINT_BASED, hint_level=0.8,
+                        background_period=10.0)
+    deployment.register_object("doc", config)
+    return deployment
+
+
+def _start_writers(deployment, object_id, writers, period=2.0):
+    for w, node_id in enumerate(writers):
+        middleware = deployment.middleware(object_id, node_id)
+        node = deployment.nodes[node_id]
+
+        def workload(m=middleware, n=node):
+            if n.alive:
+                m.write(metadata_delta=1.0)
+
+        timer = PeriodicTimer(deployment.sim, workload, period=period,
+                              label=f"wl:{node_id}")
+        deployment.sim.call_at(0.05 + 0.3 * w, timer.start)
+
+
+class TestCrashRecoverOrchestration:
+    def test_crash_evicts_from_overlay_and_digests(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=20.0)
+        victim = writers[0]
+        assert victim in deployment.top_layer("doc")
+
+        deployment.crash_node(victim)
+        assert victim not in deployment.top_layer("doc")
+        assert victim not in deployment.bottom_layer("doc")
+        for node_id in deployment.node_ids:
+            if node_id == victim:
+                continue
+            digests = deployment.middleware("doc", node_id).detection.peer_digests
+            assert victim not in digests
+
+    def test_crash_and_recover_node_is_idempotent(self):
+        deployment = _small_deployment()
+        victim = deployment.node_ids[0]
+        deployment.crash_node(victim)
+        deployment.crash_node(victim)  # no-op
+        deployment.recover_node(victim)
+        deployment.recover_node(victim)  # no-op
+        assert deployment.nodes[victim].alive
+        assert len(deployment.alive_node_ids()) == len(deployment.node_ids)
+
+    def test_recovered_writer_rejoins_top_layer(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=20.0)
+        victim = writers[0]
+        deployment.crash_node(victim)
+        deployment.run(until=40.0)
+        deployment.recover_node(victim)
+        deployment.run(until=70.0)
+        # The recovered node kept writing (its workload guard sees it alive
+        # again) and climbed back into the object's top layer.
+        assert victim in deployment.top_layer("doc")
+
+    def test_acceptance_kill_two_recover_two_no_exceptions(self):
+        """ISSUE acceptance: 8 nodes, kill 2 mid-run, recover, completes."""
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:4]
+        _start_writers(deployment, "doc", writers)
+        plan = FaultPlan.kill_and_recover(deployment.node_ids, fraction=0.25,
+                                          crash_at=30.0, recover_at=60.0)
+        injector = FaultInjector(deployment, plan).arm()
+        deployment.run(until=100.0)
+        assert injector.crashes_applied == 2
+        assert injector.recoveries_applied == 2
+        assert len(deployment.alive_node_ids()) == 8
+        # The crashed endpoints produced counted drops, not exceptions.
+        assert deployment.network.stats.drop_reasons["dst-down"] > 0
+        # Resolution kept working across the churn window.
+        assert len(deployment.objects["doc"].resolutions) > 0
+
+    def test_acceptance_replay_is_bit_identical(self):
+        """Same seed ⇒ identical churn run, fault events and drops included."""
+        a = run_churn_point(num_nodes=8, loss_probability=0.02,
+                            duration=60.0, seed=11)
+        b = run_churn_point(num_nodes=8, loss_probability=0.02,
+                            duration=60.0, seed=11)
+        assert fingerprint(a) == fingerprint(b)
+        assert a.crashes == b.crashes == 2
+
+    def test_background_rounds_resume_after_full_top_layer_crash(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:2]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=15.0)
+        for victim in writers:
+            deployment.crash_node(victim)
+        deployment.run(until=35.0)
+        started_during_outage = \
+            deployment.objects["doc"].background_rounds_started
+        for victim in writers:
+            deployment.recover_node(victim)
+        deployment.run(until=80.0)
+        # With every writer dead the top layer empties and rounds are
+        # skipped; after recovery the writers re-heat and rounds resume.
+        assert deployment.objects["doc"].background_rounds_started > \
+            started_during_outage
+
+
+# ---------------------------------------------------------------------------
+# Partitions
+# ---------------------------------------------------------------------------
+
+class TestPartitions:
+    def test_partition_drops_cross_group_messages(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        deployment.network.partition([nodes[:4], nodes[4:]])
+        msg = deployment.network.send(nodes[0], nodes[5], protocol="t",
+                                      msg_type="x")
+        assert msg is None
+        assert deployment.network.stats.drop_reasons["partition"] == 1
+        same_side = deployment.network.send(nodes[0], nodes[2], protocol="t",
+                                            msg_type="x")
+        assert same_side is not None
+
+    def test_heal_restores_connectivity(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        deployment.network.partition([nodes[:4], nodes[4:]])
+        deployment.network.heal()
+        assert deployment.network.send(nodes[0], nodes[5], protocol="t",
+                                       msg_type="x") is not None
+
+    def test_partition_via_plan_detection_diverges_then_heals(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        _start_writers(deployment, "doc", nodes[:4])
+        plan = (FaultPlan()
+                .partition([nodes[:4], nodes[4:]], at=10.0)
+                .heal(at=40.0))
+        FaultInjector(deployment, plan).arm()
+        deployment.run(until=80.0)  # completes without exceptions
+        assert deployment.network.stats.drop_reasons.get("partition", 0) > 0
+        assert not deployment.network.partitioned
+
+    def test_partition_applies_to_in_flight_messages(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        deployment.network.send(nodes[0], nodes[5], protocol="t",
+                                msg_type="__rpc_response__")
+        deployment.network.partition([nodes[:4], nodes[4:]])
+        deployment.run(until=5.0)
+        assert deployment.network.stats.drop_reasons["partition"] >= 1
+
+    def test_overlapping_groups_rejected(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        with pytest.raises(ValueError):
+            deployment.network.partition([nodes[:3], nodes[2:]])
+
+    def test_partition_group_with_typoed_id_rejected_in_strict_mode(self):
+        deployment = _small_deployment()
+        nodes = deployment.node_ids
+        with pytest.raises(KeyError):
+            deployment.network.partition([[nodes[0], "nod-1"], nodes[2:]])
+
+
+# ---------------------------------------------------------------------------
+# Injector plumbing
+# ---------------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_arm_twice_rejected(self):
+        deployment = _small_deployment()
+        injector = FaultInjector(deployment, FaultPlan())
+        injector.arm()
+        with pytest.raises(RuntimeError):
+            injector.arm()
+
+    def test_plan_validated_against_deployment(self):
+        deployment = _small_deployment()
+        with pytest.raises(ValueError):
+            FaultInjector(deployment, FaultPlan().crash("ghost", 1.0))
+
+    def test_applied_log_records_actions_in_order(self):
+        deployment = _small_deployment()
+        victim = deployment.node_ids[0]
+        plan = FaultPlan().crash(victim, 5.0).recover(victim, 10.0)
+        injector = FaultInjector(deployment, plan).arm()
+        deployment.run(until=20.0)
+        assert [(t, a.kind) for t, a in injector.applied] == \
+            [(5.0, "crash"), (10.0, "recover")]
+
+    def test_loss_burst_applies_and_restores(self):
+        deployment = _small_deployment()
+        plan = FaultPlan().loss_burst(5.0, duration=10.0, loss_probability=0.5)
+        FaultInjector(deployment, plan).arm()
+        deployment.run(until=7.0)
+        assert deployment.network.loss_probability == 0.5
+        deployment.run(until=20.0)
+        assert deployment.network.loss_probability == 0.0
+
+    def test_loss_burst_restores_deployment_baseline_loss(self):
+        # A deployment configured with 2% baseline loss must go back to 2%
+        # after the burst, not be silently reset to lossless.
+        deployment = _small_deployment(loss_probability=0.02)
+        plan = FaultPlan().loss_burst(5.0, duration=10.0, loss_probability=0.3)
+        FaultInjector(deployment, plan).arm()
+        deployment.run(until=7.0)
+        assert deployment.network.loss_probability == 0.3
+        deployment.run(until=20.0)
+        assert deployment.network.loss_probability == 0.02
+
+
+# ---------------------------------------------------------------------------
+# Failure-clean resolution
+# ---------------------------------------------------------------------------
+
+class TestResolutionUnderFailures:
+    def test_resolution_skips_crashed_member_via_timeout(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=12.0)
+        # Crash a top-layer member *without* telling the overlay (raw node
+        # fail), so the initiator still tries to visit it and must rely on
+        # the collect timeout rather than membership cleanliness.
+        victim = writers[1]
+        deployment.nodes[victim].fail()
+        initiator = deployment.middleware("doc", writers[0])
+        process = initiator.resolution.start_active_resolution()
+        deployment.run(until=deployment.sim.now + 30.0)
+        result = process.result
+        assert result is not None and not result.aborted
+
+    def test_crashed_initiator_round_aborts_cleanly(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=12.0)
+        initiator_id = writers[0]
+        middleware = deployment.middleware("doc", initiator_id)
+        process = middleware.resolution.start_background_resolution()
+        # Kill the initiator while its round is still collecting.
+        deployment.sim.call_after(0.01, lambda: deployment.crash_node(initiator_id))
+        deployment.run(until=deployment.sim.now + 40.0)
+        result = process.result
+        assert result is not None and result.aborted
+        # The dead initiator holds no round state and no write block.
+        assert not middleware.resolution.resolving
+        replica = deployment.stores[initiator_id].replica("doc")
+        assert not replica.write_blocked
+
+    def test_stale_block_guard_spares_own_round(self):
+        """A guard armed for a dead remote initiator must not unblock the
+        replica while the member's *own* round is in flight."""
+        deployment = DeploymentBuilder(
+            num_nodes=6, seed=13).start_overlay_services().build()
+        config = IdeaConfig(mode=AdaptationMode.HINT_BASED, hint_level=0.8,
+                            background_period=None,
+                            member_block_timeout=5.0, collect_timeout=20.0)
+        deployment.register_object("doc", config)
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=12.0)
+        member_id, stalled_id = writers[0], writers[1]
+        member = deployment.middleware("doc", member_id).resolution
+        replica = deployment.stores[member_id].replica("doc")
+        # A remote initiator visits (blocks the replica, arms the guard)
+        # and then crashes before ever pushing an install.
+        member._rpc_collect({"initiator": writers[2]})
+        deployment.crash_node(writers[2])
+        # The member starts its own round, which stalls on another crashed
+        # participant for collect_timeout — well past the 5 s guard.
+        deployment.nodes[stalled_id].fail()
+        process = member.start_background_resolution()
+        t0 = deployment.sim.now
+        deployment.run(until=t0 + 7.0)       # stale guard has fired by now
+        assert member.resolving
+        assert replica.write_blocked          # own round still owns the block
+        deployment.run(until=t0 + 30.0)
+        result = process.result
+        assert result is not None and not result.aborted
+        assert not replica.write_blocked      # round released it at the end
+
+    def test_member_unblocks_after_initiator_crash(self):
+        deployment = _small_deployment()
+        writers = deployment.node_ids[:3]
+        _start_writers(deployment, "doc", writers)
+        deployment.run(until=12.0)
+        initiator_id, member_id = writers[0], writers[1]
+        middleware = deployment.middleware("doc", initiator_id)
+        member_replica = deployment.stores[member_id].replica("doc")
+        config = deployment.objects["doc"].config
+        middleware.resolution.start_active_resolution()
+        # Let phase 2 visit the member, then crash the initiator before the
+        # install is pushed (processing delay gives us a window).
+        deployment.run(until=deployment.sim.now + 0.05)
+        deployment.crash_node(initiator_id)
+        deployment.run(
+            until=deployment.sim.now + config.member_block_timeout + 5.0)
+        assert not member_replica.write_blocked

@@ -107,6 +107,53 @@ class TestNetwork:
         sim.run()
         assert b.received == []
         assert network.stats.dropped.get("test", 0) == 1
+        assert network.stats.drop_reasons["departed"] == 1
+
+    def test_send_to_crashed_node_is_counted_drop_not_keyerror(self, pair):
+        sim, network, a, b = pair
+        b.fail()
+        # The destination unregistered after a crash: the send must be a
+        # counted drop mirroring _deliver's "destination departed" path.
+        assert a.send("b", protocol="test", msg_type="ping") is None
+        assert network.stats.sent["test"] == 1
+        assert network.stats.dropped["test"] == 1
+        assert network.stats.drop_reasons["dst-down"] == 1
+
+    def test_send_from_crashed_source_is_counted_drop(self, pair):
+        sim, network, a, b = pair
+        a.fail()
+        assert network.send("a", "b", protocol="test", msg_type="ping") is None
+        assert network.stats.drop_reasons["src-down"] == 1
+
+    def test_non_strict_network_drops_unknown_ids(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.02), strict=False)
+        a = Receiver(sim, network, "a")
+        assert network.send("a", "ghost", protocol="t", msg_type="ping") is None
+        assert network.stats.drop_reasons["dst-down"] == 1
+
+    def test_send_many_to_partially_crashed_fanout(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.02))
+        a, b, c, d = (Receiver(sim, network, n) for n in ("a", "b", "c", "d"))
+        c.fail()
+        messages = network.send_many("a", ["b", "c", "d"], protocol="t",
+                                     msg_type="ping", payload="hi")
+        sim.run()
+        assert [m.dst for m in messages] == ["b", "d"]
+        assert b.received == ["hi"] and d.received == ["hi"]
+        assert network.stats.sent["t"] == 3
+        assert network.stats.dropped["t"] == 1
+        assert network.stats.drop_reasons["dst-down"] == 1
+
+    def test_send_many_from_crashed_source_drops_everything(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.02))
+        a, b, c = (Receiver(sim, network, n) for n in ("a", "b", "c"))
+        a.fail()
+        assert network.send_many("a", ["b", "c"], protocol="t",
+                                 msg_type="ping") == []
+        assert network.stats.drop_reasons["src-down"] == 2
 
     def test_duplicate_registration_rejected(self, pair):
         sim, network, a, b = pair
@@ -233,6 +280,35 @@ class TestNodeRPC:
         with pytest.raises(RPCError):
             unwrap_response(waiter.value)
 
+    def test_rpc_to_failed_node_without_timeout_does_not_hang(self, pair):
+        sim, network, a, b = pair
+        b.fail()
+        waiter = a.request("b", "echo", None, protocol="test")
+        # The send was dropped at send time and no timeout is armed; the
+        # waiter must fail immediately instead of dangling forever.
+        assert waiter.triggered
+        with pytest.raises(RPCError):
+            unwrap_response(waiter.value)
+
+    def test_pending_rpcs_fail_promptly_when_requester_crashes(self, pair):
+        sim, network, a, b = pair
+        waiter = a.request("b", "echo", {"x": 1}, protocol="test", timeout=5.0)
+        a.fail()
+        assert waiter.triggered
+        assert waiter.value == ("error", "a crashed")
+        assert a._pending == {}
+        # The armed timeout was cancelled along with the request.
+        sim.run()
+        assert sim.now < 5.0
+
+    def test_recovered_node_ignores_stale_rpc_response(self, pair):
+        sim, network, a, b = pair
+        waiter = a.request("b", "echo", "hi", protocol="test")
+        a.fail()      # response is already in flight
+        a.recover()
+        sim.run()     # stale __rpc_response__ arrives at the recovered node
+        assert waiter.value == ("error", "a crashed")
+
     def test_rpc_timeout_fires_when_no_response(self):
         sim = Simulator(seed=1)
         network = Network(sim, FixedLatencyModel(0.02), loss_probability=0.0)
@@ -305,3 +381,35 @@ class TestNodeLifecycle:
         sim.call_at(5.0, lambda: None)
         sim.run()
         assert a.local_time() == pytest.approx(5.0)
+
+    def test_call_every_resumes_after_recover(self, pair):
+        sim, network, a, b = pair
+        ticks = []
+        a.call_every(1.0, lambda: ticks.append(sim.now), label="tick")
+        sim.call_at(2.5, a.fail)
+        sim.call_at(6.5, a.recover)
+        sim.run(until=10.0)
+        # Paused during the outage, resumed one period after recovery —
+        # not permanently silenced as before.
+        assert ticks == [1.0, 2.0, 7.5, 8.5, 9.5]
+
+    def test_call_every_cancel_survives_fail_recover_cycle(self, pair):
+        sim, network, a, b = pair
+        ticks = []
+        cancel = a.call_every(1.0, lambda: ticks.append(sim.now))
+        sim.call_at(1.5, a.fail)
+        sim.call_at(2.5, cancel)
+        sim.call_at(3.0, a.recover)
+        sim.run(until=8.0)
+        assert ticks == [1.0]  # cancelled while down; recovery must not revive
+
+    def test_fail_hooks_and_recover_hooks_fire(self, pair):
+        sim, network, a, b = pair
+        log = []
+        a.fail_hooks.append(lambda: log.append("fail"))
+        a.recover_hooks.append(lambda: log.append("recover"))
+        a.fail()
+        a.fail()  # idempotent: hooks fire once per transition
+        a.recover()
+        a.recover()
+        assert log == ["fail", "recover"]

@@ -86,6 +86,58 @@ class TestPeriodicTimer:
         with pytest.raises(SimulationError):
             timer.start()
 
+    def test_stop_then_start_resumes(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=1.0)
+        timer.start()
+        sim.call_at(2.5, timer.stop)
+        sim.call_at(5.0, timer.start)
+        sim.run(until=8.0)
+        assert ticks == [1.0, 2.0, 6.0, 7.0, 8.0]
+
+    def test_stop_removes_pending_event(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, lambda: None, period=1.0).start()
+        sim.call_at(1.5, timer.stop)
+        sim.run(until=3.0)
+        assert not timer.active
+        assert timer.stopped
+        assert not timer.cancelled
+        assert len(sim._queue) == 0
+
+    def test_stop_from_within_callback(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(
+            sim, lambda: (ticks.append(sim.now),
+                          timer.stop() if len(ticks) == 2 else None),
+            period=1.0)
+        timer.start()
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        timer.start()
+        sim.run(until=12.5)
+        assert ticks == [1.0, 2.0, 11.0, 12.0]
+
+    def test_start_while_running_is_noop(self):
+        sim = Simulator()
+        ticks = []
+        timer = PeriodicTimer(sim, lambda: ticks.append(sim.now), period=1.0)
+        timer.start()
+        timer.start()  # idempotent; no double-scheduling
+        sim.run(until=2.5)
+        assert ticks == [1.0, 2.0]
+
+    def test_cancel_wins_over_stop(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, lambda: None, period=1.0).start()
+        timer.stop()
+        timer.cancel()
+        assert not timer.stopped  # cancelled is the terminal state
+        with pytest.raises(SimulationError):
+            timer.start()
+
     def test_needs_exactly_one_period_source(self):
         sim = Simulator()
         with pytest.raises(ValueError):
