@@ -1,13 +1,19 @@
 #!/usr/bin/env python
 """Benchmark regression gate for CI.
 
-Reruns the multi-object ablation workload committed in
-``BENCH_multiobject.json`` (8 nodes × 8 objects × 300 simulated seconds,
-shared digest cache) and fails when the measured per-object wall-clock
-regresses more than ``--threshold`` (default 25 %) against the committed
-baseline.  Determinism is gated too: the rerun must process exactly the
-baseline's event and write counts, so a "speedup" that silently drops
-simulation work cannot pass.
+Reruns the committed benchmark scenarios and fails when drift is detected:
+
+* ``BENCH_multiobject.json`` — the 8-node × 8-object × 300 s ablation: the
+  rerun must process exactly the baseline's event and write counts
+  (determinism) and stay within ``--threshold`` of the committed per-object
+  wall-clock;
+* ``BENCH_churn.json`` — the smallest committed churn points (all loss
+  rates): event/write counts must match exactly, and per-point wall-clock
+  is held to the same threshold when the committed point is long enough to
+  rise above timer noise (≥ 1 s);
+* ``BENCH_workload.json`` — the committed constant-shape traffic point:
+  op/write/event counts must match exactly and per-op µs (ops/s) must stay
+  within the threshold.
 
 Usage::
 
@@ -24,18 +30,21 @@ import sys
 from pathlib import Path
 
 from repro.experiments.fig9_scalability import run_multiobject_experiment
+from repro.experiments.fig_churn_availability import run_churn_point
 
-BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_multiobject.json"
+ROOT = Path(__file__).resolve().parent.parent
+MULTIOBJECT_PATH = ROOT / "BENCH_multiobject.json"
+CHURN_PATH = ROOT / "BENCH_churn.json"
+WORKLOAD_PATH = ROOT / "BENCH_workload.json"
+
+#: wall-clock gating needs a baseline long enough to rise above scheduler
+#: noise; shorter committed points are gated on exact counts only
+MIN_WALL_GATE_SECONDS = 1.0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="allowed fractional per-object wall-clock regression "
-                             "vs the committed baseline (default 0.25 = +25%%)")
-    args = parser.parse_args(argv)
-
-    committed = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+def check_multiobject(threshold: float) -> bool:
+    """Gate the multi-object ablation; returns True on failure."""
+    committed = json.loads(MULTIOBJECT_PATH.read_text(encoding="utf-8"))
     baseline = committed["ablation"]["runtime_architecture"]
     base_per_object = baseline["per_object_seconds"][0]
     base_events = baseline["events_processed"][0]
@@ -48,11 +57,12 @@ def main(argv: list[str] | None = None) -> int:
     per_object = result.per_object_seconds()[0]
     ratio = per_object / base_per_object
 
+    print("== multiobject ==")
     print(f"committed baseline: {base_per_object * 1e3:.1f} ms/object "
           f"({base_events} events, {base_writes} writes)")
     print(f"this run:           {per_object * 1e3:.1f} ms/object "
           f"({result.events_processed[0]} events, {result.writes_applied[0]} writes)")
-    print(f"ratio: {ratio:.2f}× (budget ≤ {1 + args.threshold:.2f}×)")
+    print(f"ratio: {ratio:.2f}× (budget ≤ {1 + threshold:.2f}×)")
 
     failed = False
     if result.events_processed[0] != base_events:
@@ -63,12 +73,113 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: writes applied diverged from the committed baseline "
               "(determinism broken)")
         failed = True
-    if ratio > 1 + args.threshold:
+    if ratio > 1 + threshold:
         print(f"FAIL: per-object wall-clock regressed {ratio:.2f}× "
-              f"> {1 + args.threshold:.2f}× budget")
+              f"> {1 + threshold:.2f}× budget")
         failed = True
-    if not failed:
-        print("OK: within regression budget")
+    return failed
+
+
+def check_churn(threshold: float) -> bool:
+    """Gate the committed churn points at the smallest deployment size."""
+    if not CHURN_PATH.exists():
+        print("== churn == (no committed BENCH_churn.json, skipping)")
+        return False
+    committed = json.loads(CHURN_PATH.read_text(encoding="utf-8"))
+    points = committed["points"]
+    smallest = min(p["num_nodes"] for p in points)
+    gated = [p for p in points if p["num_nodes"] == smallest]
+
+    print("== churn ==")
+    failed = False
+    for base in gated:
+        rerun = run_churn_point(
+            num_nodes=base["num_nodes"],
+            loss_probability=base["loss_probability"],
+            kill_fraction=base["kill_fraction"],
+            duration=base["duration_simulated_s"], seed=base["seed"])
+        label = (f"{base['num_nodes']} nodes, "
+                 f"loss {base['loss_probability']:.0%}")
+        print(f"{label}: {rerun.events_processed} events / "
+              f"{rerun.writes_applied} writes "
+              f"(committed {base['events_processed']} / {base['writes_applied']}), "
+              f"{rerun.wall_seconds:.2f}s wall")
+        if rerun.events_processed != base["events_processed"]:
+            print(f"FAIL: {label}: event count diverged (determinism broken)")
+            failed = True
+        if rerun.writes_applied != base["writes_applied"]:
+            print(f"FAIL: {label}: write count diverged (determinism broken)")
+            failed = True
+        base_wall = base.get("wall_seconds", 0.0)
+        if base_wall >= MIN_WALL_GATE_SECONDS:
+            ratio = rerun.wall_seconds / base_wall
+            print(f"{label}: wall ratio {ratio:.2f}× (budget ≤ {1 + threshold:.2f}×)")
+            if ratio > 1 + threshold:
+                print(f"FAIL: {label}: wall-clock regressed {ratio:.2f}×")
+                failed = True
+        else:
+            print(f"{label}: committed wall {base_wall:.2f}s < "
+                  f"{MIN_WALL_GATE_SECONDS:g}s — noise-dominated, counts only")
+    return failed
+
+
+def check_workload(threshold: float) -> bool:
+    """Gate the committed constant-shape traffic-engine point."""
+    if not WORKLOAD_PATH.exists():
+        print("== workload == (no committed BENCH_workload.json, skipping)")
+        return False
+    from bench_workload_engine import run_shape
+
+    committed = json.loads(WORKLOAD_PATH.read_text(encoding="utf-8"))
+    base = committed["engine"]["shapes"]["constant"]
+    rerun = run_shape("constant")
+    ratio = rerun["us_per_op"] / base["us_per_op"]
+
+    print("== workload ==")
+    print(f"committed baseline: {base['us_per_op']:.1f} µs/op "
+          f"({base['ops_per_second']:,.0f} ops/s, {base['ops_issued']} ops, "
+          f"{base['events_processed']} events)")
+    print(f"this run:           {rerun['us_per_op']:.1f} µs/op "
+          f"({rerun['ops_per_second']:,.0f} ops/s, {rerun['ops_issued']} ops, "
+          f"{rerun['events_processed']} events)")
+    print(f"ratio: {ratio:.2f}× (budget ≤ {1 + threshold:.2f}×)")
+
+    failed = False
+    for key in ("ops_issued", "reads_issued", "writes_applied",
+                "events_processed"):
+        if rerun[key] != base[key]:
+            print(f"FAIL: {key} diverged from the committed baseline "
+                  "(determinism broken)")
+            failed = True
+    if ratio > 1 + threshold:
+        print(f"FAIL: per-op cost regressed {ratio:.2f}× "
+              f"> {1 + threshold:.2f}× budget (ops/s regression)")
+        failed = True
+    return failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional wall-clock regression vs the "
+                             "committed baselines (default 0.25 = +25%%)")
+    parser.add_argument("--only", choices=("multiobject", "churn", "workload"),
+                        default=None,
+                        help="run a single gate instead of all three")
+    args = parser.parse_args(argv)
+
+    gates = {
+        "multiobject": check_multiobject,
+        "churn": check_churn,
+        "workload": check_workload,
+    }
+    selected = [args.only] if args.only else list(gates)
+    failed = False
+    for name in selected:
+        failed |= gates[name](args.threshold)
+        print()
+    print("FAIL: regression gate tripped" if failed
+          else "OK: all gates within regression budget")
     return 1 if failed else 0
 
 

@@ -18,6 +18,8 @@ The package layout mirrors the system inventory in ``DESIGN.md``:
   adaptation, developer API)
 * :mod:`repro.baselines` — optimistic / strong / TACT-style comparators
 * :mod:`repro.apps` — white board and airline-booking applications
+* :mod:`repro.workloads` — streaming traffic generation: popularity models,
+  rate/phase schedules, client populations, the lazy :class:`TrafficDriver`
 * :mod:`repro.analysis` — the paper's analytical formulae (2)–(5)
 * :mod:`repro.experiments` — one harness per paper table/figure
 

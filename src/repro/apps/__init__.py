@@ -11,8 +11,9 @@ Two applications drive the evaluation:
 
 Shared machinery:
 
-* :mod:`repro.apps.workload` — synthetic workload generators (the paper uses
-  a uniform update schedule: every writer updates every 5 seconds).
+* :mod:`repro.apps.workload` — **deprecated** re-export of
+  :mod:`repro.workloads.legacy` (the paper's uniform/Poisson schedules);
+  streaming traffic generation lives in :mod:`repro.workloads`.
 * :mod:`repro.apps.users` — scripted user models (hint setting, complaints,
   on-demand resolution requests at scripted times).
 """

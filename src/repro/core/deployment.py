@@ -88,6 +88,15 @@ class _ObjectSpec:
     start_background: bool
 
 
+@dataclass
+class _TrafficSpec:
+    """A queued traffic attachment the builder applies in its traffic pass."""
+
+    populations: Sequence
+    kwargs: Dict
+    autostart: bool
+
+
 class DeploymentBuilder:
     """Builds an :class:`IdeaDeployment` through explicit passes.
 
@@ -130,6 +139,7 @@ class DeploymentBuilder:
         self.loss_probability = loss_probability
         self.bus = bus
         self._object_specs: List[_ObjectSpec] = []
+        self._traffic_spec: Optional[_TrafficSpec] = None
         self._start_services = False
 
     # ------------------------------------------------------------- fluent API
@@ -148,6 +158,22 @@ class DeploymentBuilder:
         self._start_services = True
         return self
 
+    def add_traffic(self, populations: Sequence, *, autostart: bool = True,
+                    **driver_kwargs) -> "DeploymentBuilder":
+        """Queue a traffic attachment for the traffic pass.
+
+        ``populations`` are :class:`~repro.workloads.clients
+        .ClientPopulation` specs; ``driver_kwargs`` go to the
+        :class:`~repro.workloads.driver.TrafficDriver` (``duration``,
+        ``max_ops``, ``fault_plan``, ``collect_metrics``, ...).  The driver
+        is built against the placed objects and — with ``autostart`` —
+        started, so ``build().run(...)`` is a complete load test.
+        """
+        self._traffic_spec = _TrafficSpec(populations=list(populations),
+                                          kwargs=dict(driver_kwargs),
+                                          autostart=autostart)
+        return self
+
     # ----------------------------------------------------------------- build
     def build(self) -> "IdeaDeployment":
         deployment = IdeaDeployment.__new__(IdeaDeployment)
@@ -162,6 +188,7 @@ class DeploymentBuilder:
         self._instrumentation_pass(deployment)
         self._placement_pass(deployment)
         self._scheduling_pass(deployment)
+        self._traffic_pass(deployment)
         return deployment
 
     # ---------------------------------------------------------------- passes
@@ -234,6 +261,15 @@ class DeploymentBuilder:
         if self._start_services:
             d.start_overlay_services()
 
+    def _traffic_pass(self, d: "IdeaDeployment") -> None:
+        """Attach (and optionally start) the queued traffic driver."""
+        d.traffic = None
+        spec = self._traffic_spec
+        if spec is None:
+            return
+        d.attach_traffic(spec.populations, start_now=spec.autostart,
+                         **spec.kwargs)
+
 
 class IdeaDeployment:
     """A fully wired IDEA installation over the simulated wide-area network."""
@@ -254,6 +290,9 @@ class IdeaDeployment:
     overlay: TwoLayerOverlay
     gossip: Optional[GossipService]
     objects: Dict[str, ManagedObject]
+    #: traffic driver attached by the builder's traffic pass (or
+    #: :meth:`attach_traffic`); None when the deployment has no client load
+    traffic: Optional[object]
 
     def __init__(self, *, num_nodes: int = 40, seed: int = 7,
                  topology: Optional[Topology] = None,
@@ -305,6 +344,25 @@ class IdeaDeployment:
 
     def middleware(self, object_id: str, node_id: str) -> IdeaMiddleware:
         return self.objects[object_id].middlewares[node_id]
+
+    # --------------------------------------------------------------- traffic
+    def attach_traffic(self, populations: Sequence, *, start_now: bool = True,
+                       **driver_kwargs):
+        """Bind client populations to this deployment as a traffic driver.
+
+        Creates a :class:`~repro.workloads.driver.TrafficDriver` over the
+        registered objects, stores it as :attr:`traffic` and — with
+        ``start_now`` — schedules every stream's first arrival.  Returns the
+        driver.  (Imported lazily: the workloads layer sits above the core
+        and must not be a core import dependency.)
+        """
+        from repro.workloads.driver import TrafficDriver
+
+        driver = TrafficDriver(self, populations, **driver_kwargs)
+        self.traffic = driver
+        if start_now:
+            driver.start()
+        return driver
 
     # ------------------------------------------------------ bus subscriptions
     def _on_write_recorded(self, event: WriteRecorded) -> None:

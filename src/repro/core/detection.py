@@ -215,6 +215,29 @@ class DetectionService:
         self._peer_digests: Dict[str, VersionDigest] = (
             digest_cache.peer_digests(object_id) if digest_cache is not None else {})
         self._detections_run = 0
+        #: bumped on every peer-table / metric / weight mutation; keys the
+        #: evaluation memo below
+        self._peer_version = 0
+        #: (local digest identity, peer version, reference, level) of the
+        #: last evaluation.  Digests are immutable and the local digest is
+        #: revision-memoised by the shared cache, so identity + version
+        #: captures every input of the level computation — client traffic
+        #: re-reading an unchanged replica costs a tuple compare, not a
+        #: reference rebuild.
+        self._eval_memo: Optional[tuple] = None
+        # Incremental reference envelope (see _reference_for): the per-writer
+        # max summary over the local digest and every cached peer digest,
+        # folded forward one digest at a time instead of rebuilt from every
+        # digest per evaluation.
+        self._ref_valid = False
+        self._ref_best: Dict[str, WriterSummary] = {}
+        self._ref_counts_map: Dict[str, int] = {}
+        self._ref_total = 0
+        self._ref_metadata = 0.0
+        self._ref_latest = 0.0
+        self._ref_counts: Optional[VersionVector] = None
+        self._ref_reference: Optional[ReferenceState] = None
+        self._ref_local: Optional[VersionDigest] = None
         #: message type string built once instead of per announce
         self._digest_msg_type = f"idea_digest:{object_id}"
         node.register_handler(self._digest_msg_type, self._handle_digest)
@@ -235,9 +258,11 @@ class DetectionService:
 
     def set_weights(self, weights: MetricWeights) -> None:
         self.weights = weights
+        self._eval_memo = None
 
     def set_metric(self, metric: ConsistencyMetricSpec) -> None:
         self.metric = metric
+        self._eval_memo = None
 
     # ------------------------------------------------------------- exchange
     def announce_write(self) -> int:
@@ -269,6 +294,8 @@ class DetectionService:
         existing = self._peer_digests.get(digest.node_id)
         if existing is None or digest.issued_at >= existing.issued_at:
             self._peer_digests[digest.node_id] = digest
+            self._peer_version += 1
+            self._fold_digest(digest, existing)
         if self._on_remote_digest is not None:
             self._on_remote_digest(digest)
 
@@ -277,9 +304,127 @@ class DetectionService:
         existing = self._peer_digests.get(digest.node_id)
         if existing is None or digest.issued_at >= existing.issued_at:
             self._peer_digests[digest.node_id] = digest
+            self._peer_version += 1
+            self._fold_digest(digest, existing)
 
     def forget_peer(self, node_id: str) -> None:
         self._peer_digests.pop(node_id, None)
+        self._peer_version += 1
+        self._ref_valid = False
+
+    # ---------------------------------------------------- reference envelope
+    def _fold_digest(self, new: VersionDigest,
+                     old: Optional[VersionDigest]) -> None:
+        """Fold a replaced source digest into the incremental reference.
+
+        The envelope stays exact as long as every source only *grows*: a
+        writer's summary is a pure function of its update count (per-writer
+        updates are sequenced), so replacing a source whose counts all grew
+        can only raise per-writer maxima, and ``max(envelope, new)`` equals a
+        full rebuild.  A source that shrank (a rollback discarded updates)
+        invalidates the envelope; the next evaluation rebuilds it from every
+        cached digest.
+        """
+        if not self._ref_valid:
+            return
+        if old is not None:
+            new_map = dict(new.writers)
+            for writer, summary in old.writers:
+                replacement = new_map.get(writer)
+                if replacement is None or replacement.count < summary.count:
+                    self._ref_valid = False
+                    return
+        best = self._ref_best
+        counts_map = self._ref_counts_map
+        changed = False
+        for writer, summary in new.writers:
+            current = best.get(writer)
+            if current is None or summary.count > current.count:
+                if current is not None:
+                    self._ref_metadata -= current.cumulative_metadata
+                    self._ref_total -= current.count
+                best[writer] = summary
+                counts_map[writer] = summary.count
+                self._ref_total += summary.count
+                self._ref_metadata += summary.cumulative_metadata
+                if summary.last_timestamp > self._ref_latest:
+                    self._ref_latest = summary.last_timestamp
+                changed = True
+        if changed:
+            self._ref_counts = None
+            self._ref_reference = None
+
+    def _rebuild_envelope(self, local_digest: VersionDigest) -> None:
+        best: Dict[str, WriterSummary] = {}
+        best_get = best.get
+        counts_map: Dict[str, int] = {}
+        total = 0
+        metadata = 0.0
+        latest = 0.0
+        for digest in (local_digest, *self._peer_digests.values()):
+            for writer, summary in digest.writers:
+                current = best_get(writer)
+                if current is None or summary.count > current.count:
+                    if current is not None:
+                        metadata -= current.cumulative_metadata
+                        total -= current.count
+                    best[writer] = summary
+                    counts_map[writer] = summary.count
+                    total += summary.count
+                    metadata += summary.cumulative_metadata
+                    if summary.last_timestamp > latest:
+                        latest = summary.last_timestamp
+        self._ref_best = best
+        self._ref_counts_map = counts_map
+        self._ref_total = total
+        self._ref_metadata = metadata
+        self._ref_latest = latest
+        self._ref_counts = None
+        self._ref_reference = None
+        self._ref_local = local_digest
+        self._ref_valid = True
+
+    def _reference_for(self, local_digest: VersionDigest) -> ReferenceState:
+        """The merged reference state, maintained incrementally.
+
+        Equivalent to ``build_reference([local] + peers)`` — the engine of
+        every evaluation — but each changed input is folded in once instead
+        of re-merging every digest per call.
+        """
+        if (self._ref_valid and self._ref_local is not None
+                and local_digest is not self._ref_local):
+            self._fold_digest(local_digest, self._ref_local)
+            self._ref_local = local_digest
+        if not self._ref_valid:
+            self._rebuild_envelope(local_digest)
+        reference = self._ref_reference
+        if reference is None:
+            if self._ref_counts is None:
+                # dict() of the maintained int map: a C-speed copy (the
+                # vector takes ownership) instead of a per-writer dictcomp.
+                self._ref_counts = VersionVector._from_trusted(
+                    dict(self._ref_counts_map))
+            reference = ReferenceState(counts=self._ref_counts,
+                                       metadata=self._ref_metadata,
+                                       latest_update_time=self._ref_latest)
+            self._ref_reference = reference
+        return reference
+
+    def _triple_against_envelope(self, reference: ReferenceState,
+                                 local_digest: VersionDigest) -> ErrorTriple:
+        """``reference.triple_for(local_digest)`` with the dominance shortcut.
+
+        The envelope merges the local digest, so it dominates it pointwise;
+        the order error (the two-way count gap) collapses to the exact
+        integer ``total(reference) − total(local)`` without a per-writer
+        walk.
+        """
+        numerical = abs(reference.metadata - local_digest.metadata)
+        order = float(self._ref_total - local_digest.counts().total_updates())
+        staleness = max(0.0, reference.latest_update_time
+                        - local_digest.last_consistent_time)
+        return ErrorTriple(numerical=numerical, order=order,
+                           staleness=staleness)
 
     # -------------------------------------------------------------- detect()
     def detect(self) -> DetectionOutcome:
@@ -294,19 +439,27 @@ class DetectionService:
         replica = self._replica_provider()
         now = self.node.sim.now
         local_digest = self._local_digest(replica, now)
-        known = [local_digest] + list(self._peer_digests.values())
-        reference = build_reference(known)
+        memo = self._eval_memo
+        version = self._peer_version
+        if memo is not None and memo[0] is local_digest and memo[1] == version:
+            reference = memo[2]
+        else:
+            reference = self._reference_for(local_digest)
 
         local_counts = local_digest.counts()
         conflicting = tuple(sorted(
             peer for peer, digest in self._peer_digests.items()
             if digest.counts().compare(local_counts) is not Ordering.EQUAL))
 
-        triple = reference.triple_for(local_digest)
+        triple = self._triple_against_envelope(reference, local_digest)
         level = consistency_level(triple, self.metric, self.weights)
+        self._eval_memo = (local_digest, version, reference, level)
+        # The envelope dominates the local counts, so "reference == local"
+        # collapses to an exact integer total comparison.
+        reference_matches = self._ref_total == local_counts.total_updates()
         return DetectionOutcome(
             object_id=self.object_id, node_id=self.node.node_id,
-            success=not conflicting and reference.counts.compare(local_counts) is Ordering.EQUAL,
+            success=not conflicting and reference_matches,
             level=level, triple=triple, conflicting_peers=conflicting,
             evaluated_at=now)
 
@@ -315,10 +468,15 @@ class DetectionService:
         replica = self._replica_provider()
         now = self.node.sim.now
         local_digest = self._local_digest(replica, now)
-        known = [local_digest] + list(self._peer_digests.values())
-        reference = build_reference(known)
-        triple = reference.triple_for(local_digest)
-        return consistency_level(triple, self.metric, self.weights)
+        memo = self._eval_memo
+        version = self._peer_version
+        if memo is not None and memo[0] is local_digest and memo[1] == version:
+            return memo[3]
+        reference = self._reference_for(local_digest)
+        triple = self._triple_against_envelope(reference, local_digest)
+        level = consistency_level(triple, self.metric, self.weights)
+        self._eval_memo = (local_digest, version, reference, level)
+        return level
 
     def local_counts(self) -> VersionVector:
         """The local replica's current per-writer counts (cached digest view)."""

@@ -144,13 +144,22 @@ class IdeaMiddleware:
         return outcome
 
     def read(self, *, new_snapshot: bool = True,
-             quiet_threshold: Optional[float] = None) -> ReadResult:
+             quiet_threshold: Optional[float] = None,
+             include_content: bool = True,
+             register_rollback: bool = True) -> ReadResult:
         """Read through IDEA (Figure 3, right path).
 
         ``new_snapshot=True`` models retrieving a fresh file/snapshot, which
         always triggers the protocol.  For other reads the protocol runs only
         if the replica has not been updated locally for ``quiet_threshold``
         seconds (the "file hasn't been locally updated for a long time" case).
+
+        ``include_content=False`` skips materialising the replica's payload
+        list and ``register_rollback=False`` skips queueing the level for the
+        bottom-layer rollback check — the traffic driver's fast path, where a
+        million reads must not copy a million content lists or grow an
+        unbounded pending-verification queue.  Both default to the full
+        Figure 3 semantics.
         """
         now = self.node.sim.now
         trigger = new_snapshot
@@ -167,11 +176,14 @@ class IdeaMiddleware:
             level = self.detection.current_level()
 
         acceptable = not self._level_unacceptable(level)
-        threshold = self._current_threshold()
-        self.rollback.register_estimate(
-            object_id=self.object_id, node_id=self.node.node_id, reported_at=now,
-            top_layer_level=level, user_threshold=threshold)
-        return ReadResult(content=self.store.read(self.object_id), level=level,
+        if register_rollback:
+            threshold = self._current_threshold()
+            self.rollback.register_estimate(
+                object_id=self.object_id, node_id=self.node.node_id,
+                reported_at=now, top_layer_level=level,
+                user_threshold=threshold)
+        content = self.store.read(self.object_id) if include_content else []
+        return ReadResult(content=content, level=level,
                           acceptable=acceptable, evaluated_at=now)
 
     def _on_remote_digest(self, digest: VersionDigest) -> None:

@@ -18,6 +18,8 @@ Experiment index (see DESIGN.md §4 for the full mapping):
 ``tab3``       background-resolution message overhead (20 s vs 40 s)
 ``fig10``      consistency level under automatic background resolution
 ``churn``      detection/resolution under churn + loss (beyond paper)
+``workload``   detection accuracy & resolution load vs Zipf skew ×
+               read mix × flash crowds (beyond paper)
 =============  =====================================================
 """
 
@@ -34,6 +36,12 @@ from repro.experiments.fig_churn_availability import (
     ChurnSweepResult,
     run_churn_experiment,
     run_churn_point,
+)
+from repro.experiments.fig_workload_sensitivity import (
+    WorkloadPointResult,
+    WorkloadSweepResult,
+    run_workload_point,
+    run_workload_sensitivity,
 )
 
 __all__ = [
@@ -57,4 +65,8 @@ __all__ = [
     "ChurnSweepResult",
     "run_churn_experiment",
     "run_churn_point",
+    "WorkloadPointResult",
+    "WorkloadSweepResult",
+    "run_workload_point",
+    "run_workload_sensitivity",
 ]

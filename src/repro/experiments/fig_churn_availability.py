@@ -33,6 +33,7 @@ sequence, which :func:`fingerprint` pins down and the scenario tests gate.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -73,6 +74,9 @@ class ChurnPointResult:
     # --- network accounting
     dropped_by_reason: Dict[str, int] = field(default_factory=dict)
     messages_sent: int = 0
+    #: wall-clock seconds this point took (machine-dependent; excluded from
+    #: the replay fingerprint, regression-gated by check_bench_regression)
+    wall_seconds: float = 0.0
 
     @property
     def mean_detection_latency(self) -> float:
@@ -113,6 +117,7 @@ class ChurnPointResult:
             "background_completed": self.background_completed,
             "messages_sent": self.messages_sent,
             "dropped_by_reason": dict(self.dropped_by_reason),
+            "wall_seconds": round(self.wall_seconds, 3),
         }
 
 
@@ -175,6 +180,7 @@ def run_churn_point(*, num_nodes: int = 8, loss_probability: float = 0.0,
     """Run one churn scenario point and harvest its metrics."""
     if not 0.0 <= loss_probability < 1.0:
         raise ValueError("loss_probability must be in [0, 1)")
+    wall_start = time.perf_counter()
     deployment = DeploymentBuilder(
         num_nodes=num_nodes, seed=seed, use_gossip=use_gossip,
         loss_probability=loss_probability).start_overlay_services().build()
@@ -238,6 +244,7 @@ def run_churn_point(*, num_nodes: int = 8, loss_probability: float = 0.0,
                                  for m in deployment.objects.values()),
         dropped_by_reason=dict(stats.drop_reasons),
         messages_sent=int(sum(stats.sent.values())),
+        wall_seconds=time.perf_counter() - wall_start,
     )
 
 

@@ -61,6 +61,26 @@ class BackgroundRoundStarted:
     time: float
 
 
+@dataclass(frozen=True)
+class ClientOpCompleted:
+    """A traffic-driver client finished one operation against an object.
+
+    ``kind`` is ``"read"`` or ``"write"``.  ``level`` is the consistency
+    level the op observed (the read's reported level, or the write's
+    detection outcome; NaN when a write was blocked by an in-flight
+    resolution round).  Published by the
+    :class:`~repro.workloads.driver.TrafficDriver` only when someone
+    subscribed — un-probed runs allocate nothing per op.
+    """
+
+    object_id: str
+    node_id: str
+    stream_id: str
+    kind: str
+    level: float
+    time: float
+
+
 Handler = Callable[[Any], None]
 
 

@@ -36,7 +36,7 @@ class VersionVector:
     writers join over time.
     """
 
-    __slots__ = ("_counts", "_hash")
+    __slots__ = ("_counts", "_hash", "_total")
 
     def __init__(self, counts: Mapping[str, int] | None = None) -> None:
         cleaned: Dict[str, int] = {}
@@ -48,6 +48,7 @@ class VersionVector:
                     cleaned[str(writer)] = int(count)
         self._counts: Dict[str, int] = cleaned
         self._hash: int | None = None
+        self._total: int | None = None
 
     @classmethod
     def _from_trusted(cls, counts: Dict[str, int]) -> "VersionVector":
@@ -59,6 +60,7 @@ class VersionVector:
         vector = cls.__new__(cls)
         vector._counts = counts
         vector._hash = None
+        vector._total = None
         return vector
 
     # ----------------------------------------------------------- inspection
@@ -70,8 +72,11 @@ class VersionVector:
         return tuple(sorted(self._counts))
 
     def total_updates(self) -> int:
-        """Total number of updates across all writers."""
-        return sum(self._counts.values())
+        """Total number of updates across all writers (cached; immutable)."""
+        total = self._total
+        if total is None:
+            total = self._total = sum(self._counts.values())
+        return total
 
     def items(self) -> Iterator[Tuple[str, int]]:
         return iter(sorted(self._counts.items()))

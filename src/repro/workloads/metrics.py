@@ -1,0 +1,115 @@
+"""Per-op traffic metrics, collected over the runtime event bus.
+
+:class:`TrafficMetrics` subscribes to the deployment's
+:class:`~repro.runtime.events.EventBus` and aggregates what the traffic
+actually experienced:
+
+* op counts by kind (reads / writes / blocked writes);
+* the consistency **level** ops observed (sum, min, per-kind), i.e. what a
+  user reading through IDEA was shown;
+* read **staleness** — at each read, how long ago the object was last
+  written anywhere in the deployment (0 for a never-written object), derived
+  from :class:`~repro.runtime.events.WriteRecorded` events.
+
+Everything is a running aggregate: memory is O(#objects) for the last-write
+map and O(1) for the rest, so the collector can ride along a
+million-operation run without growing with it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime.events import ClientOpCompleted, EventBus, WriteRecorded
+
+
+class TrafficMetrics:
+    """Running aggregates over :class:`ClientOpCompleted` bus events."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.ops = 0
+        self.reads = 0
+        self.writes = 0
+        self.writes_blocked = 0
+        self.level_sum = 0.0
+        self.level_count = 0
+        self.level_min = math.inf
+        self.read_level_sum = 0.0
+        self.write_level_sum = 0.0
+        self.write_level_count = 0
+        self.staleness_sum = 0.0
+        self.staleness_max = 0.0
+        self._last_write: Dict[str, float] = {}
+        self._unsubscribe: List[Callable[[], None]] = [
+            bus.subscribe(WriteRecorded, self._on_write),
+            bus.subscribe(ClientOpCompleted, self._on_op),
+        ]
+
+    def close(self) -> None:
+        """Detach from the bus (aggregates stay readable)."""
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []
+
+    # ------------------------------------------------------------- handlers
+    def _on_write(self, event: WriteRecorded) -> None:
+        self._last_write[event.object_id] = event.time
+
+    def _on_op(self, event: ClientOpCompleted) -> None:
+        self.ops += 1
+        level = event.level
+        if event.kind == "read":
+            self.reads += 1
+            self.read_level_sum += level
+            staleness = event.time - self._last_write.get(event.object_id,
+                                                          event.time)
+            if staleness > 0.0:
+                self.staleness_sum += staleness
+                if staleness > self.staleness_max:
+                    self.staleness_max = staleness
+        else:
+            self.writes += 1
+            if math.isnan(level):
+                self.writes_blocked += 1
+                return
+            self.write_level_sum += level
+            self.write_level_count += 1
+        self.level_sum += level
+        self.level_count += 1
+        if level < self.level_min:
+            self.level_min = level
+
+    # -------------------------------------------------------------- queries
+    @property
+    def mean_level(self) -> float:
+        return self.level_sum / self.level_count if self.level_count else float("nan")
+
+    @property
+    def mean_read_level(self) -> float:
+        return self.read_level_sum / self.reads if self.reads else float("nan")
+
+    @property
+    def mean_write_level(self) -> float:
+        if not self.write_level_count:
+            return float("nan")
+        return self.write_level_sum / self.write_level_count
+
+    @property
+    def mean_read_staleness(self) -> float:
+        return self.staleness_sum / self.reads if self.reads else float("nan")
+
+    def snapshot(self) -> Dict[str, object]:
+        """The aggregates as a plain dict (for reports and BENCH files)."""
+        return {
+            "ops": self.ops,
+            "reads": self.reads,
+            "writes": self.writes,
+            "writes_blocked": self.writes_blocked,
+            "mean_level": self.mean_level,
+            "min_level": self.level_min if self.level_count else float("nan"),
+            "mean_read_level": self.mean_read_level,
+            "mean_write_level": self.mean_write_level,
+            "mean_read_staleness_s": self.mean_read_staleness,
+            "max_read_staleness_s": self.staleness_max,
+        }

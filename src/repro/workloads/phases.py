@@ -1,0 +1,260 @@
+"""Rate/phase schedules: offered load as a piecewise function of time.
+
+A :class:`RateSchedule` gives the instantaneous arrival rate λ(t) in
+operations per second *per stream*.  Open-loop clients turn a schedule into
+a non-homogeneous Poisson process by thinning (Lewis & Shedler): candidate
+arrivals are drawn at the schedule's :meth:`~RateSchedule.peak_rate` and
+accepted with probability ``rate(t) / peak_rate()``, so every schedule only
+needs to answer two questions — λ(t) and an upper bound on it.
+
+Schedules are pure data + arithmetic: no RNG state, no simulator handle, so
+the same schedule object can be shared by thousands of streams.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class RateSchedule:
+    """Base class: instantaneous rate λ(t) plus a finite upper bound."""
+
+    __slots__ = ()
+
+    def rate(self, t: float) -> float:
+        """Arrival rate (ops/s) at simulated time ``t``; never negative."""
+        raise NotImplementedError
+
+    def peak_rate(self) -> float:
+        """A finite upper bound on :meth:`rate` over all of time."""
+        raise NotImplementedError
+
+    def mean_rate(self, t0: float, t1: float, samples: int = 256) -> float:
+        """Numeric mean of λ over ``[t0, t1]`` (midpoint rule)."""
+        if t1 <= t0:
+            raise ValueError("mean_rate needs t1 > t0")
+        step = (t1 - t0) / samples
+        return sum(self.rate(t0 + (i + 0.5) * step) for i in range(samples)) / samples
+
+    def exhausted_after(self, t: float) -> bool:
+        """True when λ is zero for *all* times ≥ ``t``.
+
+        Client streams use this to distinguish "quiet right now, keep
+        probing forward" (a flash crowd that has not hit yet, the off half
+        of a repeating piecewise schedule) from "this schedule will never
+        produce another op" — only the latter finishes a stream.
+        """
+        return False
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class ConstantRate(RateSchedule):
+    """λ(t) = rate, forever."""
+
+    __slots__ = ("_rate",)
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self._rate = rate
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def peak_rate(self) -> float:
+        return self._rate
+
+    def exhausted_after(self, t: float) -> bool:
+        return self._rate == 0.0
+
+    def describe(self) -> str:
+        return f"constant({self._rate:g}/s)"
+
+
+class RampRate(RateSchedule):
+    """Linear ramp from ``start_rate`` to ``end_rate`` over ``duration``.
+
+    Before ``t0`` the rate is ``start_rate``; after ``t0 + duration`` it
+    stays at ``end_rate`` — a warm-up (or drain-down) phase.
+    """
+
+    __slots__ = ("start_rate", "end_rate", "t0", "duration")
+
+    def __init__(self, start_rate: float, end_rate: float, *,
+                 duration: float, t0: float = 0.0) -> None:
+        if start_rate < 0 or end_rate < 0:
+            raise ValueError("rates must be non-negative")
+        if duration <= 0:
+            raise ValueError("ramp duration must be positive")
+        self.start_rate = start_rate
+        self.end_rate = end_rate
+        self.t0 = t0
+        self.duration = duration
+
+    def rate(self, t: float) -> float:
+        if t <= self.t0:
+            return self.start_rate
+        if t >= self.t0 + self.duration:
+            return self.end_rate
+        frac = (t - self.t0) / self.duration
+        return self.start_rate + frac * (self.end_rate - self.start_rate)
+
+    def peak_rate(self) -> float:
+        return max(self.start_rate, self.end_rate)
+
+    def exhausted_after(self, t: float) -> bool:
+        return self.end_rate == 0.0 and t >= self.t0 + self.duration
+
+    def describe(self) -> str:
+        return (f"ramp({self.start_rate:g}→{self.end_rate:g}/s "
+                f"over {self.duration:g}s)")
+
+
+class DiurnalRate(RateSchedule):
+    """Sinusoidal day/night cycle: λ(t) = base · (1 + amplitude·sin(...)).
+
+    ``period`` is the cycle length in simulated seconds (pass 86400 for a
+    literal day; experiments typically compress it).  ``amplitude ∈ [0, 1]``
+    keeps the rate non-negative; ``phase`` shifts where the peak falls.
+    """
+
+    __slots__ = ("base_rate", "amplitude", "period", "phase")
+
+    def __init__(self, base_rate: float, *, amplitude: float = 0.5,
+                 period: float = 86400.0, phase: float = 0.0) -> None:
+        if base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must lie in [0, 1]")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.base_rate = base_rate
+        self.amplitude = amplitude
+        self.period = period
+        self.phase = phase
+
+    def rate(self, t: float) -> float:
+        cycle = math.sin(2.0 * math.pi * (t - self.phase) / self.period)
+        return self.base_rate * (1.0 + self.amplitude * cycle)
+
+    def peak_rate(self) -> float:
+        return self.base_rate * (1.0 + self.amplitude)
+
+    def describe(self) -> str:
+        return (f"diurnal(base={self.base_rate:g}/s, amp={self.amplitude:g}, "
+                f"period={self.period:g}s)")
+
+
+class FlashCrowdRate(RateSchedule):
+    """Baseline traffic with one flash crowd: ramp up, hold, decay back.
+
+    λ is ``base_rate`` until ``at``; climbs linearly to ``peak_rate_value``
+    over ``ramp`` seconds; holds the peak for ``hold`` seconds; then decays
+    linearly back to ``base_rate`` over ``decay`` seconds (default: same as
+    the ramp).
+    """
+
+    __slots__ = ("base_rate", "peak_rate_value", "at", "ramp", "hold", "decay")
+
+    def __init__(self, base_rate: float, peak_rate: float, *, at: float,
+                 ramp: float = 5.0, hold: float = 10.0,
+                 decay: float = None) -> None:
+        if base_rate < 0:
+            raise ValueError("base_rate must be non-negative")
+        if peak_rate < base_rate:
+            raise ValueError("peak_rate must be >= base_rate")
+        if ramp <= 0 or hold < 0:
+            raise ValueError("ramp must be positive and hold non-negative")
+        self.base_rate = base_rate
+        self.peak_rate_value = peak_rate
+        self.at = at
+        self.ramp = ramp
+        self.hold = hold
+        self.decay = ramp if decay is None else decay
+        if self.decay <= 0:
+            raise ValueError("decay must be positive")
+
+    def rate(self, t: float) -> float:
+        base, peak = self.base_rate, self.peak_rate_value
+        if t <= self.at:
+            return base
+        t -= self.at
+        if t < self.ramp:
+            return base + (peak - base) * (t / self.ramp)
+        t -= self.ramp
+        if t < self.hold:
+            return peak
+        t -= self.hold
+        if t < self.decay:
+            return peak - (peak - base) * (t / self.decay)
+        return base
+
+    def peak_rate(self) -> float:
+        return self.peak_rate_value
+
+    def exhausted_after(self, t: float) -> bool:
+        return (self.base_rate == 0.0
+                and t >= self.at + self.ramp + self.hold + self.decay)
+
+    def describe(self) -> str:
+        return (f"flash-crowd({self.base_rate:g}→{self.peak_rate_value:g}/s "
+                f"at t={self.at:g}s, ramp={self.ramp:g}s, hold={self.hold:g}s)")
+
+
+class PiecewiseRate(RateSchedule):
+    """Sequential composition of schedules: phases of a load test.
+
+    ``segments`` is a list of ``(duration, schedule)`` pairs; each segment's
+    schedule is evaluated in *local* time (its own t=0 at the segment start).
+    After the last segment the rate is 0 unless ``repeat=True``, in which
+    case the whole sequence cycles.
+    """
+
+    __slots__ = ("segments", "repeat", "_starts", "_total")
+
+    def __init__(self, segments: Sequence[Tuple[float, RateSchedule]], *,
+                 repeat: bool = False) -> None:
+        if not segments:
+            raise ValueError("piecewise schedule needs at least one segment")
+        for duration, _ in segments:
+            if duration <= 0:
+                raise ValueError("segment durations must be positive")
+        self.segments: List[Tuple[float, RateSchedule]] = list(segments)
+        self.repeat = repeat
+        starts: List[float] = []
+        acc = 0.0
+        for duration, _ in self.segments:
+            starts.append(acc)
+            acc += duration
+        self._starts = starts
+        self._total = acc
+
+    def rate(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        if t >= self._total:
+            if not self.repeat:
+                return 0.0
+            t = t % self._total
+        for start, (duration, schedule) in zip(reversed(self._starts),
+                                               reversed(self.segments)):
+            if t >= start:
+                return schedule.rate(t - start)
+        return self.segments[0][1].rate(t)
+
+    def peak_rate(self) -> float:
+        return max(schedule.peak_rate() for _, schedule in self.segments)
+
+    def exhausted_after(self, t: float) -> bool:
+        return not self.repeat and t >= self._total
+
+    def total_duration(self) -> float:
+        return self._total
+
+    def describe(self) -> str:
+        inner = " | ".join(f"{d:g}s:{s.describe()}" for d, s in self.segments)
+        suffix = ", repeat" if self.repeat else ""
+        return f"piecewise({inner}{suffix})"

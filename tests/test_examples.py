@@ -1,0 +1,46 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples are documentation that executes; without coverage they rot the
+moment an API they touch changes shape.  Each test runs the script exactly
+as a reader would (``python examples/<name>.py`` with ``src`` on the path)
+and checks that it exits cleanly and prints its expected closing output.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = ROOT / "examples"
+
+#: script name -> fragment its successful output must contain
+EXPECTED_OUTPUT = {
+    "quickstart.py": "IDEA protocol messages exchanged",
+    "adaptive_tuning.py": "phase",
+    "airline_booking.py": "adapted period",
+    "whiteboard_session.py": "complain",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True, text=True, env=env, timeout=120)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_OUTPUT))
+def test_example_runs_end_to_end(name):
+    result = run_example(name)
+    assert result.returncode == 0, (
+        f"{name} exited {result.returncode}:\n{result.stderr[-2000:]}")
+    assert EXPECTED_OUTPUT[name].lower() in result.stdout.lower(), (
+        f"{name} ran but its output lost the expected "
+        f"{EXPECTED_OUTPUT[name]!r} marker:\n{result.stdout[-2000:]}")
