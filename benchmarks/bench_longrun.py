@@ -1,0 +1,267 @@
+"""Long-run benchmark: flat per-op cost and bounded state over 10M ops.
+
+The scenario is the stability-frontier stress case: every node is a writer
+in the top layer, background resolution converges the replicas every few
+seconds, and the traffic driver's periodic checkpoint/truncate sweep folds
+everything below the frontier.  Three op budgets — 100k, 1M, 10M — share
+one configuration, so any per-op cost or state growth with run length shows
+up directly:
+
+* **flat cost** — CPU µs/op at 10M must stay within ``FLATNESS_BUDGET`` of
+  the 100k point (the committed seed degraded ~38% from 100k to 1M);
+* **bounded state** — peak retained log entries must match across budgets
+  and stay below ``LIVE_ENTRY_BOUND``, which is derived from the
+  instability window, not the op count;
+* **determinism** — a seeded replay of the 100k point issues bit-identical
+  op/write/event/fold counts.
+
+Peak memory is recorded per point (``ru_maxrss``) and, for the two smaller
+points, via a separate tracemalloc-instrumented pass (tracemalloc's
+overhead would distort the timed runs).
+
+``LONGRUN_SMOKE=1`` shrinks the budgets (the "10M point at reduced
+duration" CI smoke) and writes ``BENCH_longrun_smoke.json`` so the
+committed ``BENCH_longrun.json`` baseline is left untouched for the
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, Tuple
+
+from repro.core.config import AdaptationMode, IdeaConfig
+from repro.core.deployment import DeploymentBuilder, IdeaDeployment
+from repro.overlay.temperature import TemperatureConfig
+from repro.overlay.two_layer import OverlayConfig
+from repro.workloads import (
+    ClientPopulation,
+    ConstantRate,
+    OpMix,
+    TrafficDriver,
+    ZipfPopularity,
+)
+
+SMOKE = os.environ.get("LONGRUN_SMOKE", "") == "1"
+OUTPUT_PATH = (Path(__file__).resolve().parent.parent
+               / ("BENCH_longrun_smoke.json" if SMOKE else "BENCH_longrun.json"))
+
+# ---- scenario ------------------------------------------------------------
+LR_NODES = 16
+LR_OBJECTS = 4
+LR_CLIENTS = 64
+LR_RATE = 40.0              # ops/s per client → 2560 ops/s offered
+LR_ZIPF = 0.5
+LR_READS = 0.9
+LR_SEED = 23
+BG_PERIOD = 2.0             # background resolution period (simulated s)
+TRUNCATE_EVERY = 2.0
+TRUNCATE_WINDOW = 5.0
+OUTCOME_HISTORY = 256
+
+#: op budgets; the smoke mode keeps the same shape at reduced duration
+POINTS: Dict[str, int] = ({"100k": 100_000, "300k": 300_000, "1M": 1_000_000}
+                          if SMOKE else
+                          {"100k": 100_000, "1M": 1_000_000, "10M": 10_000_000})
+
+#: peak retained-entry budget across ALL replicas: ingest is
+#: write-fraction × op rate × members = 0.1 × 2560 × 16 = 4096 entries/s,
+#: and the retention horizon is truncate_every + truncate_window + the
+#: frontier lag (one background period + round time, ≈ 7 s) ≈ 22 s ⇒
+#: ~90k worst case; the measured steady state is ~40k.  The budget is a
+#: function of the window only — op count does not appear.
+LIVE_ENTRY_BOUND = 65_536
+
+#: allowed per-op CPU-time growth of the largest point over the smallest
+FLATNESS_BUDGET = 1.25 if SMOKE else 1.10
+
+
+def _build(max_ops: int) -> IdeaDeployment:
+    config = IdeaConfig(mode=AdaptationMode.HINT_BASED, hint_level=0.0,
+                        background_period=BG_PERIOD,
+                        outcome_history=OUTCOME_HISTORY)
+    overlay = OverlayConfig(temperature=TemperatureConfig(
+        half_life=600.0, hot_threshold=0.5, max_top_size=LR_NODES,
+        min_top_size=1))
+    builder = DeploymentBuilder(num_nodes=LR_NODES, seed=LR_SEED,
+                                overlay_config=overlay)
+    for i in range(LR_OBJECTS):
+        builder.add_object(f"obj{i}", config, start_background=True)
+    population = ClientPopulation(
+        name="web", num_clients=LR_CLIENTS,
+        popularity=ZipfPopularity(LR_OBJECTS, LR_ZIPF), mix=OpMix(LR_READS),
+        schedule=ConstantRate(LR_RATE))
+    builder.add_traffic([population], max_ops=max_ops,
+                        truncate_every=TRUNCATE_EVERY,
+                        truncate_window=TRUNCATE_WINDOW,
+                        truncate_keep_content=False)
+    return builder.start_overlay_services().build()
+
+
+#: steady-state warm-up driven (and excluded from timing) inside every
+#: point's deployment: it covers the overlay ramp, the first resolution
+#: rounds and the first truncations, so each measured span sees the system
+#: in its long-run regime.  ≈ 20 simulated seconds at the offered rate.
+WARMUP_OPS = 50_000
+#: simulation advance granularity while measuring (bounds span overshoot)
+RUN_CHUNK = 1.0
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def run_point(max_ops: int, *, spans: int = 1,
+              traced: bool = False) -> Dict[str, object]:
+    """One committed long-run point (also rerun by the regression gate).
+
+    Drives ``WARMUP_OPS`` untimed ops, then ``spans`` consecutive timed
+    spans of ``max_ops`` each in the same deployment; the reported per-op
+    figures are the per-span median, which keeps the short spans robust to
+    scheduler noise.  Everything is deterministic — the regression gate
+    replays the whole run and compares exact counts.
+    """
+    deployment = _build(WARMUP_OPS + spans * max_ops)
+    driver: TrafficDriver = deployment.traffic
+    sim = deployment.sim
+    while driver.ops_issued < WARMUP_OPS and not driver.done:
+        deployment.run(until=sim.now + RUN_CHUNK)
+    if traced:
+        tracemalloc.start()
+    span_wall = []
+    span_cpu = []
+    span_ops = []
+    for i in range(1, spans + 1):
+        target = WARMUP_OPS + i * max_ops
+        ops0 = driver.ops_issued
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        while driver.ops_issued < target and not driver.done:
+            deployment.run(until=sim.now + RUN_CHUNK)
+        span_cpu.append(time.process_time() - cpu0)
+        span_wall.append(time.perf_counter() - wall0)
+        span_ops.append(driver.ops_issued - ops0)
+    traced_peak_mb = None
+    if traced:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        traced_peak_mb = round(peak / 1e6, 1)
+    counters = driver.counters()
+    resolutions = sum(len(m.resolutions) for m in deployment.objects.values())
+    result: Dict[str, object] = {
+        **counters,
+        "events_processed": deployment.sim.events_processed,
+        "simulated_seconds": round(sim.now, 6),
+        "resolutions": resolutions,
+        "retained_entries_at_end": deployment.retained_log_entries(),
+        "warmup_ops": WARMUP_OPS,
+        "spans": spans,
+        "span_ops": span_ops,
+        "wall_seconds": round(sum(span_wall), 3),
+        "cpu_seconds": round(sum(span_cpu), 3),
+        "us_per_op": round(_median(w / o * 1e6 for w, o
+                                   in zip(span_wall, span_ops)), 2),
+        "us_per_op_cpu": round(_median(c / o * 1e6 for c, o
+                                       in zip(span_cpu, span_ops)), 2),
+        "ru_maxrss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    if traced_peak_mb is not None:
+        result["tracemalloc_peak_mb"] = traced_peak_mb
+    return result
+
+
+def _fingerprint(result: Dict[str, object]) -> Tuple:
+    return (result["ops_issued"], result["reads_issued"],
+            result["writes_issued"], result["writes_applied"],
+            result["events_processed"], result["entries_folded"],
+            result["peak_retained_entries"], result["simulated_seconds"])
+
+
+def bench_longrun(benchmark):
+    points: Dict[str, Dict[str, object]] = {}
+    ordered = sorted(POINTS.items(), key=lambda kv: kv[1])
+
+    def run_all() -> Dict[str, Dict[str, object]]:
+        # Interpreter/allocator warm-up so the first timed point is not
+        # paying one-time costs the big points amortise away.
+        run_point(10_000)
+        for name, max_ops in ordered:
+            # The smallest point takes the median of three consecutive
+            # spans — a 100k span alone is short enough for scheduler
+            # noise to exceed the flatness budget.
+            spans = 3 if name == ordered[0][0] else 1
+            points[name] = run_point(max_ops, spans=spans)
+        return points
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    for name, result in points.items():
+        print(f"  {name:>5}: {result['ops_issued']:>9} ops in "
+              f"{result['wall_seconds']:8.1f}s wall / {result['cpu_seconds']:8.1f}s cpu "
+              f"= {result['us_per_op']:6.1f} µs/op ({result['us_per_op_cpu']:6.1f} cpu), "
+              f"peak retained {result['peak_retained_entries']}, "
+              f"folded {result['entries_folded']}, "
+              f"{result['resolutions']} resolutions, "
+              f"rss {result['ru_maxrss_kb']} kB")
+
+    small = points[ordered[0][0]]
+    large = points[ordered[-1][0]]
+
+    # ---- bounded state: the peak never depends on the op count ----------
+    for name, result in points.items():
+        assert result["peak_retained_entries"] <= LIVE_ENTRY_BOUND, \
+            f"{name}: peak retained entries breached the window bound"
+    assert (large["peak_retained_entries"]
+            <= small["peak_retained_entries"] * 1.05 + 1024), \
+        "peak retained entries grew with run length"
+
+    # ---- flat per-op cost ----------------------------------------------
+    flatness = large["us_per_op_cpu"] / small["us_per_op_cpu"]
+    print(f"  flatness: {large['us_per_op_cpu']:.1f} / "
+          f"{small['us_per_op_cpu']:.1f} µs/op (cpu) = {flatness:.3f}× "
+          f"(budget ≤ {FLATNESS_BUDGET:.2f}×)")
+    assert flatness <= FLATNESS_BUDGET, \
+        f"per-op cost grew {flatness:.2f}× from {ordered[0][0]} to {ordered[-1][0]}"
+
+    # ---- determinism: seeded replay of the smallest point ---------------
+    replay = run_point(ordered[0][1], spans=3)
+    assert _fingerprint(replay) == _fingerprint(small), \
+        "long-run point did not replay bit-identically"
+    print(f"  replay: identical ({small['ops_issued']} ops, "
+          f"{small['writes_applied']} writes, "
+          f"{small['events_processed']} events, "
+          f"{small['entries_folded']} folded)")
+
+    # ---- memory probes (tracemalloc distorts timing: separate passes) ---
+    memory = {}
+    for name, max_ops in ordered[:2]:
+        memory[name] = run_point(max_ops, traced=True)["tracemalloc_peak_mb"]
+        print(f"  tracemalloc peak ({name}): {memory[name]:.1f} MB")
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "scenario": {
+            "num_nodes": LR_NODES, "num_objects": LR_OBJECTS,
+            "clients": LR_CLIENTS, "rate_per_client": LR_RATE,
+            "zipf_skew": LR_ZIPF, "read_fraction": LR_READS,
+            "seed": LR_SEED, "background_period": BG_PERIOD,
+            "truncate_every": TRUNCATE_EVERY,
+            "truncate_window": TRUNCATE_WINDOW,
+            "outcome_history": OUTCOME_HISTORY,
+            "smoke": SMOKE,
+        },
+        "live_entry_bound": LIVE_ENTRY_BOUND,
+        "flatness_budget": FLATNESS_BUDGET,
+        "flatness_ratio": round(flatness, 4),
+        "tracemalloc_peak_mb": memory,
+        "points": points,
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"\nwrote {OUTPUT_PATH}")

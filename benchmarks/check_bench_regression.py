@@ -13,7 +13,12 @@ Reruns the committed benchmark scenarios and fails when drift is detected:
   rise above timer noise (≥ 1 s);
 * ``BENCH_workload.json`` — the committed constant-shape traffic point:
   op/write/event counts must match exactly and per-op µs (ops/s) must stay
-  within the threshold.
+  within the threshold;
+* ``BENCH_longrun.json`` — the committed 100k-op long-run point (stability
+  frontier + checkpoint/truncation enabled): op/write/event/fold counts
+  must match exactly, per-op µs must stay within the threshold, the peak
+  retained-entry gauge must stay below the committed live-entry bound, and
+  the committed 10M-vs-100k flatness ratio must respect its budget.
 
 Usage::
 
@@ -36,6 +41,7 @@ ROOT = Path(__file__).resolve().parent.parent
 MULTIOBJECT_PATH = ROOT / "BENCH_multiobject.json"
 CHURN_PATH = ROOT / "BENCH_churn.json"
 WORKLOAD_PATH = ROOT / "BENCH_workload.json"
+LONGRUN_PATH = ROOT / "BENCH_longrun.json"
 
 #: wall-clock gating needs a baseline long enough to rise above scheduler
 #: noise; shorter committed points are gated on exact counts only
@@ -158,20 +164,73 @@ def check_workload(threshold: float) -> bool:
     return failed
 
 
+def check_longrun(threshold: float) -> bool:
+    """Gate the committed 100k-op stability/truncation point."""
+    if not LONGRUN_PATH.exists():
+        print("== longrun == (no committed BENCH_longrun.json, skipping)")
+        return False
+    from bench_longrun import run_point
+
+    committed = json.loads(LONGRUN_PATH.read_text(encoding="utf-8"))
+    base = committed["points"]["100k"]
+    bound = committed["live_entry_bound"]
+    rerun = run_point(100_000, spans=base.get("spans", 1))
+    # CPU time: the long-run spans are short enough that wall-clock noise
+    # on shared runners would dominate a wall-based ratio.
+    ratio = rerun["us_per_op_cpu"] / base["us_per_op_cpu"]
+
+    print("== longrun ==")
+    print(f"committed baseline: {base['us_per_op_cpu']:.1f} µs/op (cpu) "
+          f"({base['ops_issued']} ops, {base['events_processed']} events, "
+          f"{base['entries_folded']} folded, "
+          f"peak retained {base['peak_retained_entries']})")
+    print(f"this run:           {rerun['us_per_op_cpu']:.1f} µs/op (cpu) "
+          f"({rerun['ops_issued']} ops, {rerun['events_processed']} events, "
+          f"{rerun['entries_folded']} folded, "
+          f"peak retained {rerun['peak_retained_entries']})")
+    print(f"ratio: {ratio:.2f}× (budget ≤ {1 + threshold:.2f}×)")
+
+    failed = False
+    for key in ("ops_issued", "reads_issued", "writes_applied",
+                "events_processed", "entries_folded",
+                "peak_retained_entries"):
+        if rerun[key] != base[key]:
+            print(f"FAIL: {key} diverged from the committed baseline "
+                  "(determinism broken)")
+            failed = True
+    if rerun["peak_retained_entries"] > bound:
+        print(f"FAIL: peak retained entries {rerun['peak_retained_entries']} "
+              f"breached the live-entry bound {bound}")
+        failed = True
+    if ratio > 1 + threshold:
+        print(f"FAIL: per-op cost regressed {ratio:.2f}× "
+              f"> {1 + threshold:.2f}× budget")
+        failed = True
+    flatness = committed.get("flatness_ratio")
+    budget = committed.get("flatness_budget", 1.10)
+    if flatness is not None and flatness > budget:
+        print(f"FAIL: committed flatness ratio {flatness:.3f}× exceeds its "
+              f"budget {budget:.2f}× — long runs are no longer flat-cost")
+        failed = True
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional wall-clock regression vs the "
                              "committed baselines (default 0.25 = +25%%)")
-    parser.add_argument("--only", choices=("multiobject", "churn", "workload"),
+    parser.add_argument("--only",
+                        choices=("multiobject", "churn", "workload", "longrun"),
                         default=None,
-                        help="run a single gate instead of all three")
+                        help="run a single gate instead of all four")
     args = parser.parse_args(argv)
 
     gates = {
         "multiobject": check_multiobject,
         "churn": check_churn,
         "workload": check_workload,
+        "longrun": check_longrun,
     }
     selected = [args.only] if args.only else list(gates)
     failed = False

@@ -65,7 +65,14 @@ class OptimisticAntiEntropy(BaselineProtocol):
                             label="anti-entropy")
 
     def run_session(self) -> None:
-        """Every node offers its version vector to one random partner."""
+        """Every node offers its version vector to one random partner.
+
+        The offer carries the replica's per-writer *counts* (the actual
+        version vector — "only several bits" per entry) rather than a
+        materialised update-key set: histories are seq-contiguous, so counts
+        identify the missing set exactly and the receiver serves it from its
+        per-writer log index in O(missing) instead of O(log).
+        """
         self.sessions_run += 1
         node_ids = list(self.nodes)
         for node_id in node_ids:
@@ -77,7 +84,7 @@ class OptimisticAntiEntropy(BaselineProtocol):
             self.network.send(node_id, partner, protocol=self.protocol_name,
                               msg_type=f"ae_offer:{self.object_id}",
                               payload={"from": node_id,
-                                       "known": replica.known_update_keys()},
+                                       "known": replica.vector.counts()},
                               size_bytes=128)
 
     def _handle_offer(self, message: Message) -> None:

@@ -129,6 +129,11 @@ class IdeaConfig:
     #: waiting for the initiator's install before presuming the initiator
     #: crashed and unblocking itself.  None keeps the block indefinitely.
     member_block_timeout: Optional[float] = 30.0
+    #: how many recent :class:`~repro.core.detection.DetectionOutcome`
+    #: records each middleware retains (a bounded deque): long traffic runs
+    #: evaluate millions of detections and must not keep them all.  None
+    #: keeps everything (the pre-bounded-state behaviour).
+    outcome_history: Optional[int] = 65536
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.hint_level <= 1.0:
@@ -147,6 +152,8 @@ class IdeaConfig:
             raise ValueError("collect_timeout must be positive or None")
         if self.member_block_timeout is not None and self.member_block_timeout <= 0:
             raise ValueError("member_block_timeout must be positive or None")
+        if self.outcome_history is not None and self.outcome_history < 1:
+            raise ValueError("outcome_history must be positive or None")
 
     # Convenience copies -------------------------------------------------
     def with_hint(self, hint_level: float) -> "IdeaConfig":

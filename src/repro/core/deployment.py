@@ -235,11 +235,14 @@ class DeploymentBuilder:
             # The background sweep "covers all the nodes in the network"
             # (§4.1); membership is therefore every node, not only the
             # current bottom layer, so divergence involving a (possibly
-            # cooled-down) writer is still caught.
+            # cooled-down) writer is still caught.  Received digests also
+            # feed each observer's stability frontier (piggybacked counts —
+            # no extra messages).
             d.gossip = GossipService(
                 d.sim, d.network, config=self.gossip_config,
                 membership=lambda obj: list(d.node_ids),
-                local_digest=d._gossip_digest)
+                local_digest=d._gossip_digest,
+                on_digest=d._on_gossip_digest)
 
     def _instrumentation_pass(self, d: "IdeaDeployment") -> None:
         """Trace recorder plus the bus subscriptions that feed reporting."""
@@ -394,6 +397,21 @@ class IdeaDeployment:
                             last_consistent_time=replica.vector.last_consistent_time,
                             issued_at=self.sim.now, ttl=3)
 
+    def _on_gossip_digest(self, receiver: str, digest: GossipDigest) -> None:
+        """Feed gossiped counts into the receiver's stability frontier.
+
+        Pure bookkeeping — schedules nothing, so gossip event traces are
+        unchanged; it only widens the set of sources the frontier's minimum
+        ranges over to nodes the top-layer digest exchange never reaches.
+        """
+        managed = self.objects.get(digest.object_id)
+        if managed is None:
+            return
+        middleware = managed.middlewares.get(receiver)
+        if middleware is not None:
+            middleware.detection.observe_counts(
+                digest.origin, digest.version_vector())
+
     # ------------------------------------------------------------ churn/faults
     def crash_node(self, node_id: str) -> None:
         """Crash-stop ``node_id`` and make the rest of the stack forget it.
@@ -408,13 +426,16 @@ class IdeaDeployment:
             return
         node.fail()
         self.overlay.evict_node(node_id)
-        for other_id, runtime in self.runtimes.items():
-            if other_id != node_id and runtime.digests is not None:
-                runtime.digests.forget_peer(node_id)
+        # Detection services first: forget_peer snapshots the crashed
+        # member's last-known counts (keeping the stability frontier alive
+        # under crash-stop) before the shared digest tables are swept.
         for managed in self.objects.values():
             for other_id, middleware in managed.middlewares.items():
                 if other_id != node_id:
                     middleware.detection.forget_peer(node_id)
+        for other_id, runtime in self.runtimes.items():
+            if other_id != node_id and runtime.digests is not None:
+                runtime.digests.forget_peer(node_id)
         self.trace.increment("faults.crash")
 
     def recover_node(self, node_id: str) -> None:
@@ -495,6 +516,39 @@ class IdeaDeployment:
                 object_id=object_id, initiator=initiator, time=self.sim.now))
         process = middleware.resolution.start_background_resolution()
         return process  # a Process; result available once the sim advances
+
+    # ------------------------------------------------------------ truncation
+    def truncate_stable_state(self, *, keep_window: float = 30.0,
+                              keep_content: bool = True) -> int:
+        """Checkpoint-and-truncate every replica below its stability frontier.
+
+        Runs the per-node truncation decision for every (object, participant)
+        pair: each node folds only what *its own* digest view proves stable
+        across all participants (no global knowledge is consulted), keeping
+        entries applied within ``keep_window`` seconds regardless.  Returns
+        the total number of log entries folded.  Call periodically — e.g.
+        through :class:`~repro.workloads.driver.TrafficDriver`'s
+        ``truncate_every`` hook — to keep per-replica state bounded by the
+        instability window instead of the run length.
+        """
+        folded = 0
+        for managed in self.objects.values():
+            # Pre-sorted so every middleware's frontier memo is consulted
+            # with an identical key (no per-call re-sort on memo hits).
+            participants = sorted(managed.middlewares)
+            for middleware in managed.middlewares.values():
+                if middleware.node.alive:
+                    folded += middleware.truncate_stable(
+                        participants, keep_window=keep_window,
+                        keep_content=keep_content)
+        return folded
+
+    def retained_log_entries(self) -> int:
+        """Total update records currently held across all replicas (the
+        long-run bench's peak-live-entries gauge)."""
+        return sum(middleware.replica.retained_log_entries()
+                   for managed in self.objects.values()
+                   for middleware in managed.middlewares.values())
 
     # -------------------------------------------------------------- sampling
     def vectors(self, object_id: str, nodes: Optional[Sequence[str]] = None

@@ -35,8 +35,12 @@ from repro.core.config import ConsistencyMetricSpec, MetricWeights
 from repro.core.quantify import consistency_level
 from repro.sim.network import Message
 from repro.store.replica import Replica
-from repro.versioning.extended_vector import ErrorTriple, ExtendedVersionVector
-from repro.versioning.version_vector import Ordering, VersionVector
+from repro.versioning.extended_vector import (
+    ErrorTriple,
+    ExtendedVersionVector,
+    WriterBase,
+)
+from repro.versioning.version_vector import VersionVector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.runtime.digest_cache import DigestCache
@@ -89,11 +93,15 @@ class VersionDigest:
                     issued_at: float) -> "VersionDigest":
         writers = []
         for writer in vector.writers():
-            records = vector.updates_from(writer)
+            # Fold the retained records onto the writer's checkpoint base
+            # (the empty base for untruncated vectors) — one fold
+            # implementation for checkpoint ⊕ tail and plain histories.
+            base = vector.writer_base(writer) or WriterBase.EMPTY
+            folded = base.fold(vector.updates_from(writer))
             writers.append((writer, WriterSummary(
-                count=len(records),
-                cumulative_metadata=sum(r.metadata_delta for r in records),
-                last_timestamp=max(r.timestamp for r in records))))
+                count=folded.count,
+                cumulative_metadata=folded.cum_metadata,
+                last_timestamp=folded.last_timestamp)))
         return cls(object_id=object_id, node_id=node_id, issued_at=issued_at,
                    writers=tuple(sorted(writers)), metadata=vector.metadata,
                    last_consistent_time=vector.last_consistent_time)
@@ -218,6 +226,23 @@ class DetectionService:
         #: bumped on every peer-table / metric / weight mutation; keys the
         #: evaluation memo below
         self._peer_version = 0
+        #: running sum of every cached peer digest's total update count;
+        #: because the reference envelope dominates each peer pointwise,
+        #: "every peer equals the local replica" collapses to the O(1) test
+        #: ``sum == len(peers) * local_total`` — detect() walks the peer
+        #: table only when somebody actually diverged
+        self._peer_total_sum = 0
+        #: peer ids in sorted order (rebuilt only when membership changes),
+        #: so conflict enumeration does not re-sort per detection
+        self._sorted_peers: Optional[Tuple[str, ...]] = None
+        #: per-source count vectors fed from out-of-band digests (the
+        #: bottom-layer gossip sweep); together with the peer digests these
+        #: are the sources the stability frontier is the minimum over
+        self._gossip_counts: Dict[str, VersionVector] = {}
+        #: (peer version, local digest id, required tuple) -> frontier memo;
+        #: the frontier rides the same digest table as the max envelope and
+        #: is recomputed at most once per table change
+        self._frontier_memo: Optional[tuple] = None
         #: (local digest identity, peer version, reference, level) of the
         #: last evaluation.  Digests are immutable and the local digest is
         #: revision-memoised by the shared cache, so identity + version
@@ -291,11 +316,7 @@ class DetectionService:
 
     def _handle_digest(self, message: Message) -> None:
         digest: VersionDigest = message.payload["digest"]
-        existing = self._peer_digests.get(digest.node_id)
-        if existing is None or digest.issued_at >= existing.issued_at:
-            self._peer_digests[digest.node_id] = digest
-            self._peer_version += 1
-            self._fold_digest(digest, existing)
+        self.ingest_digest(digest)
         if self._on_remote_digest is not None:
             self._on_remote_digest(digest)
 
@@ -305,12 +326,133 @@ class DetectionService:
         if existing is None or digest.issued_at >= existing.issued_at:
             self._peer_digests[digest.node_id] = digest
             self._peer_version += 1
+            # A live digest supersedes any out-of-band counts (gossip, or
+            # the frozen last-known counts of a peer that crashed and
+            # recovered) — otherwise a stale minimum pins the frontier.
+            if self._gossip_counts.pop(digest.node_id, None) is not None:
+                self._frontier_memo = None
+            if existing is None or self._sorted_peers is None:
+                self._sorted_peers = None  # membership changed: rebuild lazily
+            else:
+                self._peer_total_sum += (digest.counts().total_updates()
+                                         - existing.counts().total_updates())
             self._fold_digest(digest, existing)
 
+    def observe_counts(self, node_id: str, counts: VersionVector) -> None:
+        """Record a peer's per-writer counts seen outside the digest exchange.
+
+        The gossip sweep reaches nodes the top-layer fan-out never talks to;
+        piggybacking its count vectors here widens the set of sources the
+        stability frontier can take its minimum over — no new messages.
+        Counts only ever grow, so the freshest observation wins.
+        """
+        if node_id == self.node.node_id or node_id in self._peer_digests:
+            return
+        existing = self._gossip_counts.get(node_id)
+        if existing is None or counts.total_updates() >= existing.total_updates():
+            self._gossip_counts[node_id] = counts
+            self._frontier_memo = None
+
     def forget_peer(self, node_id: str) -> None:
-        self._peer_digests.pop(node_id, None)
+        # The shared DigestCache may already have dropped the peer from the
+        # table (crash handling pops both places), so membership state is
+        # rebuilt lazily rather than adjusted incrementally here.
+        #
+        # The peer's last-known counts are *retained* as an out-of-band
+        # frontier source: under crash-stop its replica state survives the
+        # crash, so everything at or below those counts is still known to it
+        # and may keep being truncated — the frontier stalls at the crashed
+        # peer's counts instead of collapsing to "unknown" forever.
+        existing = self._peer_digests.pop(node_id, None)
+        if existing is not None:
+            stashed = self._gossip_counts.get(node_id)
+            if (stashed is None or existing.counts().total_updates()
+                    > stashed.total_updates()):
+                self._gossip_counts[node_id] = existing.counts()
+        self._sorted_peers = None
         self._peer_version += 1
         self._ref_valid = False
+        self._frontier_memo = None
+
+    def _refresh_peer_index(self) -> Tuple[str, ...]:
+        """Rebuild the sorted peer list and total-count sum after membership
+        changes (amortised across the detections in between)."""
+        peers = self._peer_digests
+        sorted_peers = self._sorted_peers = tuple(sorted(peers))
+        self._peer_total_sum = sum(d.counts().total_updates()
+                                   for d in peers.values())
+        return sorted_peers
+
+    # ---------------------------------------------------- stability frontier
+    def stability_frontier(self, required_sources: Optional[Iterable[str]] = None
+                           ) -> Optional[VersionVector]:
+        """The per-writer minimum over every replica's known counts.
+
+        Updates at or below the frontier are known-received by all observed
+        replicas (the classic Parker-et-al. stability argument), so they can
+        be checkpointed and garbage-collected without changing any
+        observable behaviour.  The sources are exactly the count vectors the
+        node already holds — top-layer version digests plus gossip-observed
+        counts — piggybacked on existing traffic; no new messages.
+
+        ``required_sources`` names the replicas that *must* have been
+        observed (normally every other participant of the object); if any
+        has never been heard from the answer is ``None`` — truncating on a
+        partial view could fold records a silent replica still needs.
+        Without ``required_sources`` the minimum covers only the sources at
+        hand, which is safe for inspection but not for GC.
+
+        Like the max envelope, the frontier rides the digest table: it is
+        memoised on (local digest, peer-table version, gossip observations)
+        and recomputed at most once per change, amortised across the
+        truncation period.
+        """
+        replica = self._replica_provider()
+        local_digest = self._local_digest(replica, self.node.sim.now)
+        if required_sources is None:
+            required = None
+        else:
+            # Accept any iterable; skip the re-sort for pre-sorted input
+            # (the deployment sweep passes one shared sorted list per
+            # object, so steady-state memo hits stay O(n)).
+            required = tuple(required_sources)
+            if not all(a <= b for a, b in zip(required, required[1:])):
+                required = tuple(sorted(required))
+        memo = self._frontier_memo
+        if (memo is not None and memo[0] is local_digest
+                and memo[1] == self._peer_version and memo[2] == required):
+            return memo[3]
+        sources: List[VersionVector] = []
+        complete = True
+        if required is not None:
+            for node_id in required:
+                if node_id == self.node.node_id:
+                    continue
+                digest = self._peer_digests.get(node_id)
+                if digest is not None:
+                    sources.append(digest.counts())
+                    continue
+                counts = self._gossip_counts.get(node_id)
+                if counts is None:
+                    complete = False
+                    break
+                sources.append(counts)
+        else:
+            sources.extend(d.counts() for d in self._peer_digests.values())
+            sources.extend(self._gossip_counts.values())
+        if not complete:
+            result: Optional[VersionVector] = None
+        else:
+            frontier = local_digest.counts().as_dict()
+            for counts in sources:
+                if not frontier:
+                    break
+                count = counts.count
+                frontier = {w: c if c <= count(w) else count(w)
+                            for w, c in frontier.items() if count(w) > 0}
+            result = VersionVector._from_trusted(frontier)
+        self._frontier_memo = (local_digest, self._peer_version, required, result)
+        return result
 
     # ---------------------------------------------------- reference envelope
     def _fold_digest(self, new: VersionDigest,
@@ -447,16 +589,29 @@ class DetectionService:
             reference = self._reference_for(local_digest)
 
         local_counts = local_digest.counts()
-        conflicting = tuple(sorted(
-            peer for peer, digest in self._peer_digests.items()
-            if digest.counts().compare(local_counts) is not Ordering.EQUAL))
+        local_total = local_counts.total_updates()
+        # The envelope dominates the local counts, so "reference == local"
+        # collapses to an exact integer total comparison; and because every
+        # peer is likewise dominated pointwise, "every peer equals local"
+        # collapses to the maintained total sum matching exactly.  Only when
+        # somebody diverged does the per-peer walk below run — and then each
+        # step is a C-speed dict inequality, not an ordering classification.
+        sorted_peers = self._sorted_peers
+        if sorted_peers is None:
+            sorted_peers = self._refresh_peer_index()
+        reference_matches = self._ref_total == local_total
+        if (reference_matches
+                and self._peer_total_sum == local_total * len(sorted_peers)):
+            conflicting: Tuple[str, ...] = ()
+        else:
+            peer_digests = self._peer_digests
+            conflicting = tuple(
+                peer for peer in sorted_peers
+                if peer_digests[peer].counts() != local_counts)
 
         triple = self._triple_against_envelope(reference, local_digest)
         level = consistency_level(triple, self.metric, self.weights)
         self._eval_memo = (local_digest, version, reference, level)
-        # The envelope dominates the local counts, so "reference == local"
-        # collapses to an exact integer total comparison.
-        reference_matches = self._ref_total == local_counts.total_updates()
         return DetectionOutcome(
             object_id=self.object_id, node_id=self.node.node_id,
             success=not conflicting and reference_matches,

@@ -20,8 +20,9 @@ the protocol workflow of Figure 3:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Deque, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.adaptive import (
     AutomaticController,
@@ -39,7 +40,6 @@ from repro.sim.node import Node
 from repro.store.filesystem import ReplicatedStore
 from repro.store.replica import Replica
 from repro.versioning.extended_vector import UpdateRecord
-from repro.versioning.version_vector import Ordering
 
 
 Controller = Union[OnDemandController, HintBasedController, AutomaticController]
@@ -103,7 +103,10 @@ class IdeaMiddleware:
 
         self._last_auto_resolution = -float("inf")
         self.resolutions_triggered = 0
-        self.detection_outcomes: List[DetectionOutcome] = []
+        #: recent detection outcomes; bounded by ``config.outcome_history``
+        #: so million-op traffic runs keep O(1) state per object, not O(ops)
+        self.detection_outcomes: Deque[DetectionOutcome] = deque(
+            maxlen=config.outcome_history)
         self.runtime.adopt(object_id, self)
 
     # --------------------------------------------------------------- set-up
@@ -164,7 +167,11 @@ class IdeaMiddleware:
         now = self.node.sim.now
         trigger = new_snapshot
         if not trigger and quiet_threshold is not None:
+            # Floor with the checkpoint's fold horizon: truncation may have
+            # folded the most recent writes, and a truncated replica must
+            # not look idle when it was in fact just updated.
             last = max((e.applied_at for e in self.replica.log.entries()), default=0.0)
+            last = max(last, self.replica.log.checkpoint.applied_through)
             trigger = (now - last) >= quiet_threshold
 
         if trigger:
@@ -194,8 +201,7 @@ class IdeaMiddleware:
             # instrumentation probe subscribed (e.g. the churn experiment's
             # detection-latency metric); publishing is synchronous and
             # schedules nothing, so un-probed runs are bit-identical.
-            success = digest.counts().compare(
-                self.detection.local_counts()) is Ordering.EQUAL
+            success = digest.counts() == self.detection.local_counts()
             self.bus.publish(DetectionEvaluated(
                 object_id=self.object_id, node_id=self.node.node_id,
                 success=success, level=level, time=self.node.sim.now))
@@ -290,6 +296,27 @@ class IdeaMiddleware:
             self.controller.learned_threshold = hint_level
         else:
             raise TypeError("automatic-mode objects do not take hints")
+
+    # ------------------------------------------------------------ truncation
+    def truncate_stable(self, participants: Iterable[str], *,
+                        keep_window: float = 30.0,
+                        keep_content: bool = True) -> int:
+        """Checkpoint and truncate this replica below the stability frontier.
+
+        ``participants`` is the object's full replica set: the frontier is
+        the per-writer minimum over every participant's known counts, taken
+        from the digests this node already holds (see ``DetectionService
+        .stability_frontier``).  Entries applied within the last
+        ``keep_window`` simulated seconds are always retained — the
+        instability window that keeps rollback possible.  Returns the number
+        of log entries folded (0 when some participant was never heard from).
+        """
+        frontier = self.detection.stability_frontier(participants)
+        if frontier is None or not frontier:
+            return 0
+        keep_after = self.node.sim.now - keep_window
+        return self.replica.truncate_stable(frontier, keep_after=keep_after,
+                                            keep_content=keep_content)
 
     # -------------------------------------------------------------- queries
     def current_level(self) -> float:

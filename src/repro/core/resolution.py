@@ -422,16 +422,30 @@ class ResolutionManager:
         conflict any more (its ordering was settled by a previous round); the
         remaining updates from different writers are mutually concurrent,
         matching the evaluation's assumption that fresh updates all conflict.
+
+        Served from the per-writer counts: histories are seq-contiguous, so
+        the universally known prefix of a writer is exactly the minimum
+        count over the collected vectors, and the concurrent set is the
+        records above it — O(writers × members + conflicts) instead of
+        materialising every vector's full key set.  Records folded into a
+        checkpoint are by definition below the stability frontier, hence
+        below every count, hence never in this set.
         """
         if not vectors:
             return []
-        key_sets = [v.update_keys() for v in vectors]
-        universally_known: Set[Tuple[str, int]] = key_sets[0].intersection(*key_sets[1:])
-        seen: Dict[Tuple[str, int], UpdateRecord] = {}
+        writers: Set[str] = set()
         for vector in vectors:
-            for record in vector.all_updates():
-                if record.key() not in universally_known:
-                    seen.setdefault(record.key(), record)
+            writers.update(vector.writers())
+        seen: Dict[Tuple[str, int], UpdateRecord] = {}
+        for writer in sorted(writers):
+            known = min(vector.count(writer) for vector in vectors)
+            for vector in vectors:
+                base = vector.base_count(writer)
+                tail = vector.updates_from(writer)
+                fresh = tail if known <= base else tail[known - base:]
+                for record in fresh:
+                    if record.seq > known:
+                        seen.setdefault(record.key(), record)
         return list(seen.values())
 
     # ------------------------------------------------------------ finishing

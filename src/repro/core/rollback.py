@@ -26,7 +26,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.core.config import IdeaConfig
 from repro.store.replica import Replica
-from repro.versioning.extended_vector import UpdateRecord
+from repro.versioning.extended_vector import TruncatedHistoryError, UpdateRecord
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,10 @@ class RollbackDecision:
     alert_user: bool
     rolled_back: bool
     rolled_back_updates: Tuple[UpdateRecord, ...] = ()
+    #: True when a rollback was warranted but the estimate predates the
+    #: replica's checkpoint (truncation folded the affected updates); the
+    #: user is still alerted, and the replica's truncation_stats counted it
+    rollback_unavailable: bool = False
 
 
 class RollbackManager:
@@ -93,16 +97,27 @@ class RollbackManager:
 
         rolled_back_updates: Tuple[UpdateRecord, ...] = ()
         rolled_back = False
+        rollback_unavailable = False
         if not close_enough and unacceptable:
-            rolled_back_updates = tuple(replica.roll_back_after(pending.reported_at))
-            rolled_back = True
+            try:
+                rolled_back_updates = tuple(
+                    replica.roll_back_after(pending.reported_at))
+                rolled_back = True
+            except TruncatedHistoryError:
+                # The estimate predates the checkpoint: its updates were
+                # stable (known everywhere) when folded, so un-applying them
+                # is neither possible nor meaningful.  Record the degraded
+                # decision instead of crashing the verification flow; the
+                # replica's truncation_stats already counted the attempt.
+                rollback_unavailable = True
 
         decision = RollbackDecision(
             object_id=pending.object_id, node_id=pending.node_id,
             top_layer_level=pending.top_layer_level,
             bottom_layer_level=bottom_layer_level, discrepancy=discrepancy,
             alert_user=not close_enough, rolled_back=rolled_back,
-            rolled_back_updates=rolled_back_updates)
+            rolled_back_updates=rolled_back_updates,
+            rollback_unavailable=rollback_unavailable)
         self.decisions.append(decision)
         if decision.alert_user and self._on_alert is not None:
             self._on_alert(decision)

@@ -74,11 +74,19 @@ DetectionCallback = Callable[[str, GossipDigest, VersionVector], None]
 class GossipService:
     """Runs background gossip among a (typically bottom-layer) node set."""
 
+    #: when a receiver's dedupe set exceeds this, sightings older than
+    #: ``SEEN_HORIZON_ROUNDS`` round periods are swept out — digests cannot
+    #: arrive that late, so dedupe behaviour is unchanged while the state
+    #: stays bounded over arbitrarily long runs
+    SEEN_SWEEP_THRESHOLD = 4096
+    SEEN_HORIZON_ROUNDS = 8
+
     def __init__(self, sim: Simulator, network: Network, *,
                  config: Optional[GossipConfig] = None,
                  membership: Callable[[str], Sequence[str]],
                  local_digest: Callable[[str, str], Optional[GossipDigest]],
-                 on_inconsistency: Optional[DetectionCallback] = None) -> None:
+                 on_inconsistency: Optional[DetectionCallback] = None,
+                 on_digest: Optional[Callable[[str, GossipDigest], None]] = None) -> None:
         """
         Parameters
         ----------
@@ -91,6 +99,10 @@ class GossipService:
         on_inconsistency:
             Invoked whenever a received digest differs from the receiver's
             local state.
+        on_digest:
+            Invoked as ``(receiver, digest)`` for every received digest —
+            the piggyback hook the stability frontier rides (it must not
+            schedule events; bookkeeping only).
         """
         self.sim = sim
         self.network = network
@@ -98,12 +110,17 @@ class GossipService:
         self._membership = membership
         self._local_digest = local_digest
         self._on_inconsistency = on_inconsistency
+        self._on_digest = on_digest
         self._rng = sim.random.stream("overlay.gossip")
         self._objects: List[str] = []
         self._timer: Optional[PeriodicTimer] = None
         self._rounds = 0
         self._detections: List[Tuple[float, str, str]] = []
         self._seen: Dict[str, set] = {}
+        #: per-receiver size above which the next dedupe sweep runs; doubles
+        #: past the surviving set so a steady state larger than the base
+        #: threshold cannot trigger a full rebuild on every message
+        self._seen_sweep_at: Dict[str, int] = {}
         # Nodes receive gossip through their normal handler table.
         self._registered_nodes: set = set()
 
@@ -186,7 +203,19 @@ class GossipService:
         seen = self._seen.setdefault(receiver, set())
         already_seen = dedupe_key in seen
         seen.add(dedupe_key)
+        if len(seen) > self._seen_sweep_at.get(receiver, self.SEEN_SWEEP_THRESHOLD):
+            # Bounded-state sweep: a digest issued many round periods ago can
+            # no longer be in flight, so forgetting its sighting cannot
+            # resurrect a duplicate forward.
+            horizon = self.sim.now - (self.SEEN_HORIZON_ROUNDS
+                                      * self.config.round_period)
+            kept = {k for k in seen if k[2] >= horizon}
+            self._seen[receiver] = kept
+            self._seen_sweep_at[receiver] = max(self.SEEN_SWEEP_THRESHOLD,
+                                                2 * len(kept))
 
+        if self._on_digest is not None:
+            self._on_digest(receiver, digest)
         local = self._local_digest(receiver, digest.object_id)
         if local is not None:
             local_vv = local.version_vector()

@@ -21,6 +21,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.core.detection import VersionDigest, WriterSummary
 from repro.store.replica import Replica
+from repro.versioning.extended_vector import WriterBase
 
 
 class DigestCache:
@@ -69,23 +70,29 @@ class DigestCache:
         summaries = self._summaries.setdefault(object_id, {})
         writers = []
         for writer in vector.writers():
-            records = vector.updates_from(writer)
-            count = len(records)
+            records = vector.updates_from(writer)  # retained tail
+            base_count = vector.base_count(writer)
+            count = base_count + len(records)
             cached = summaries.get(writer)
             if cached is not None and cached[0] == count:
                 pair = cached[3]
             else:
-                if cached is not None and cached[0] < count:
-                    # Per-writer records are append-only in seq order; fold
-                    # only the suffix the cache has not seen yet.
+                if cached is not None and base_count <= cached[0] < count:
+                    # Per-writer records are append-only in seq order (and a
+                    # checkpoint only folds records the cache already
+                    # summarised); fold only the unseen suffix of the tail.
                     seen, cum, last = cached[0], cached[1], cached[2]
-                    for record in records[seen:]:
+                    for record in records[seen - base_count:]:
                         cum += record.metadata_delta
                         if record.timestamp > last:
                             last = record.timestamp
                 else:
-                    cum = sum(r.metadata_delta for r in records)
-                    last = max(r.timestamp for r in records)
+                    # Cold rebuild: fold the tail onto the writer's base
+                    # (the empty base when untruncated) — bit-identical to
+                    # folding the full record history.
+                    base = vector.writer_base(writer) or WriterBase.EMPTY
+                    folded = base.fold(records)
+                    cum, last = folded.cum_metadata, folded.last_timestamp
                 pair = (writer, WriterSummary(
                     count=count, cumulative_metadata=cum, last_timestamp=last))
                 summaries[writer] = (count, cum, last, pair)

@@ -15,15 +15,34 @@ of this module (checked by property tests).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple, Union
 
 from repro.store.update_log import UpdateLog
 from repro.versioning.extended_vector import (
     ErrorTriple,
     ExtendedVersionVector,
+    TruncatedHistoryError,
     UpdateRecord,
 )
 from repro.versioning.version_vector import VersionVector
+
+
+@dataclass
+class TruncationStats:
+    """NetworkStats-style counters for checkpoint/truncation events.
+
+    ``invalidate_below_checkpoint`` and ``rollback_below_checkpoint`` report
+    how many mutations aimed below the stability frontier — previously those
+    were silently ignored; now every one is accounted for.
+    """
+
+    truncations: int = 0
+    entries_folded: int = 0
+    invalidate_below_checkpoint: int = 0
+    rollback_below_checkpoint: int = 0
+    #: installs that could not complete because this replica fell behind the
+    #: pushing initiator's checkpoint (repaired only by a wider window)
+    installs_behind_checkpoint: int = 0
 
 
 @dataclass(frozen=True)
@@ -58,6 +77,8 @@ class Replica:
         #: monotonically increasing mutation counter; bumped on every change
         #: to the vector, so digest caches can key on it
         self.revision = 0
+        #: checkpoint/truncation accounting (see :class:`TruncationStats`)
+        self.truncation_stats = TruncationStats()
 
     # -------------------------------------------------------------- access
     @property
@@ -76,9 +97,13 @@ class Replica:
         return self._vector.update_keys()
 
     def content(self) -> List[Any]:
-        """Application payloads of live updates, in timestamp order."""
-        records = sorted(self.log.records(), key=lambda r: (r.timestamp, r.writer, r.seq))
-        return [r.payload for r in records]
+        """Application payloads of live updates, in timestamp order.
+
+        Served over ``checkpoint ⊕ tail``: folded payloads come pre-sorted
+        from the log checkpoint and merge with the retained records, so a
+        truncated replica reads identically to an untruncated one.
+        """
+        return self.log.live_content()
 
     # -------------------------------------------------------------- writes
     def next_seq(self, writer: str) -> int:
@@ -150,22 +175,77 @@ class Replica:
 
         Returns the number of updates pulled in.  The replica's own extra
         updates (if any) are kept — the merged image by construction contains
-        them, so vectors converge.
+        them, so vectors converge.  If this replica fell behind the pushing
+        initiator's checkpoint the install is counted and re-raised: the
+        records it needs no longer exist anywhere (conservative frontier
+        policies make this unreachable; see ``DetectionService
+        .stability_frontier``).
         """
-        missing = merged.missing_from(self._vector)
+        try:
+            missing = merged.missing_from(self._vector)
+        except TruncatedHistoryError:
+            self.truncation_stats.installs_behind_checkpoint += 1
+            raise
         applied = self.apply_updates(missing, applied_at=now)
         self.mark_consistent(now)
         return applied
 
     def invalidate_updates(self, keys: List[Tuple[str, int]]) -> int:
-        """Tombstone updates chosen by the invalidate-both policy."""
+        """Tombstone updates chosen by the invalidate-both policy.
+
+        Keys that fell below the checkpoint are reported through
+        :attr:`truncation_stats` rather than silently ignored.
+        """
         self.revision += 1
-        return self.log.invalidate(keys)
+        before = self.log.invalidated_below_checkpoint
+        count = self.log.invalidate(keys)
+        skipped = self.log.invalidated_below_checkpoint - before
+        if skipped:
+            self.truncation_stats.invalidate_below_checkpoint += skipped
+        return count
 
     def roll_back_after(self, time: float) -> List[UpdateRecord]:
-        """Roll back updates applied after ``time`` (bottom-layer discrepancy)."""
+        """Roll back updates applied after ``time`` (bottom-layer discrepancy).
+
+        Raises :class:`TruncatedHistoryError` (after counting the attempt)
+        when ``time`` predates the checkpoint — folded updates are stable
+        and cannot be un-applied.
+        """
         self.revision += 1
-        return self.log.roll_back_after(time)
+        try:
+            return self.log.roll_back_after(time)
+        except TruncatedHistoryError:
+            self.truncation_stats.rollback_below_checkpoint += 1
+            raise
+
+    # ------------------------------------------------------------ truncation
+    def truncate_stable(self, frontier: Union[VersionVector, Mapping[str, int]],
+                        *, keep_after: Optional[float] = None,
+                        keep_content: bool = True) -> int:
+        """Fold the stable prefix below ``frontier`` into the checkpoint.
+
+        ``frontier`` is the per-writer stability frontier (updates known by
+        every replica); ``keep_after`` pins entries applied after that time
+        regardless — the instability window that keeps recent history
+        available for rollback.  Log and vector are truncated to the *same*
+        per-writer counts (the log decides, since it also honours
+        ``keep_after``), preserving the core log/vector invariant.  Returns
+        the number of entries folded.
+        """
+        counts = (frontier.as_dict() if isinstance(frontier, VersionVector)
+                  else dict(frontier))
+        folded = self.log.truncate(counts, keep_after=keep_after,
+                                   keep_content=keep_content)
+        if folded:
+            self._vector = self._vector.truncate_to(self.log.checkpoint.counts)
+            self.revision += 1
+            self.truncation_stats.truncations += 1
+            self.truncation_stats.entries_folded += folded
+        return folded
+
+    def retained_log_entries(self) -> int:
+        """Records currently held in memory (bounded by the window)."""
+        return self.log.retained_count()
 
     # -------------------------------------------------------------- dunder
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -19,8 +19,11 @@ from repro.versioning.version_vector import Ordering, VersionVector
 from repro.versioning.extended_vector import (
     ErrorTriple,
     ExtendedVersionVector,
+    TruncatedHistoryError,
     UpdateRecord,
+    WriterBase,
 )
+from repro.versioning.writers import GLOBAL_WRITERS, WriterTable
 from repro.versioning.conflict import (
     ConflictReport,
     compare_extended,
@@ -33,7 +36,11 @@ __all__ = [
     "VersionVector",
     "ErrorTriple",
     "ExtendedVersionVector",
+    "TruncatedHistoryError",
     "UpdateRecord",
+    "WriterBase",
+    "GLOBAL_WRITERS",
+    "WriterTable",
     "ConflictReport",
     "compare_extended",
     "detect_conflict",

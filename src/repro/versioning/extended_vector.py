@@ -16,14 +16,29 @@ with three extras:
 
 The worked example of Figure 4 is reproduced verbatim in
 ``tests/test_extended_vector.py``.
+
+Long runs add a fourth ingredient: a **checkpoint ⊕ tail layout**.  A
+stable prefix of a writer's updates — updates known-received by every
+replica (Parker et al.'s classic version-vector GC argument) — can be folded
+into a per-writer :class:`WriterBase` summary ``(count, cumulative metadata,
+last timestamp)``.  Every derived quantity the protocols consume (counts,
+digests, error triples, merge outcomes) is a function of the base plus the
+retained tail, so folding changes no observable behaviour while bounding
+the records held in memory by the instability window.  Operations that
+would need a *folded record itself* (pushing it to a replica that is behind
+the checkpoint) raise :class:`TruncatedHistoryError` with a clear message.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, ClassVar, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.versioning.version_vector import Ordering, VersionVector
+
+
+class TruncatedHistoryError(RuntimeError):
+    """An operation needed update records already folded into a checkpoint."""
 
 
 @dataclass(frozen=True)
@@ -57,6 +72,51 @@ class UpdateRecord:
 
 
 @dataclass(frozen=True)
+class WriterBase:
+    """Folded stable prefix of one writer's updates (seqs ``1..count``).
+
+    Carries exactly what digests and triples need from the folded records:
+    how many there were, their summed metadata deltas (folded in seq order,
+    so the float result is bit-identical to an incremental fold over the
+    records), and the latest issue timestamp among them.
+    """
+
+    count: int
+    cum_metadata: float
+    last_timestamp: float
+
+    def fold(self, records: Sequence[UpdateRecord]) -> "WriterBase":
+        """Extend this base by ``records`` (the next seqs, in order).
+
+        Folding from the empty base seeds the timestamp from the first
+        record, so the result equals a from-scratch ``sum``/``max`` over the
+        records bit-for-bit — every digest/summary fold in the system goes
+        through here and stays interchangeable with the unfolded form.
+        """
+        if not records:
+            return self
+        cum = self.cum_metadata
+        if self.count == 0:
+            first = records[0]
+            cum += first.metadata_delta
+            last = first.timestamp
+            rest = records[1:]
+        else:
+            last = self.last_timestamp
+            rest = records
+        for record in rest:
+            cum += record.metadata_delta
+            if record.timestamp > last:
+                last = record.timestamp
+        return WriterBase(count=self.count + len(records), cum_metadata=cum,
+                          last_timestamp=last)
+
+
+#: the empty prefix — folding from it reproduces a from-scratch summary
+WriterBase.EMPTY = WriterBase(count=0, cum_metadata=0.0, last_timestamp=0.0)
+
+
+@dataclass(frozen=True)
 class ErrorTriple:
     """The ``<numerical error, order error, staleness>`` triple."""
 
@@ -82,21 +142,27 @@ class ErrorTriple:
 
 ErrorTriple.ZERO = ErrorTriple(0.0, 0.0, 0.0)
 
+_NO_BASES: Dict[str, WriterBase] = {}
+
 
 class ExtendedVersionVector:
-    """Immutable extended version vector.
+    """Immutable extended version vector in checkpoint ⊕ tail layout.
 
     Instances are value objects: :meth:`apply` and :meth:`merge` return new
     vectors.  A replica's current vector lives in
-    :class:`repro.store.replica.Replica`.
+    :class:`repro.store.replica.Replica`.  With no checkpoint (the default)
+    the layout degenerates to the classic all-records form.
     """
 
-    __slots__ = ("_updates", "_metadata", "_last_consistent_time", "_triple",
-                 "_counts_cache", "_keys_cache", "_latest_cache", "_hash_cache")
+    __slots__ = ("_updates", "_base", "_metadata", "_last_consistent_time",
+                 "_triple", "_counts_cache", "_keys_cache", "_latest_cache",
+                 "_hash_cache", "_total_cache")
 
     def __init__(self, updates: Mapping[str, Tuple[UpdateRecord, ...]] | None = None,
                  metadata: float = 0.0, last_consistent_time: float = 0.0,
-                 triple: ErrorTriple = ErrorTriple.ZERO) -> None:
+                 triple: ErrorTriple = ErrorTriple.ZERO,
+                 base: Mapping[str, WriterBase] | None = None) -> None:
+        bases: Dict[str, WriterBase] = dict(base) if base else _NO_BASES
         cleaned: Dict[str, Tuple[UpdateRecord, ...]] = {}
         if updates:
             for writer, records in updates.items():
@@ -108,8 +174,14 @@ class ExtendedVersionVector:
                     raise ValueError(f"duplicate sequence numbers for writer {writer!r}")
                 if any(r.writer != writer for r in records):
                     raise ValueError("update record writer does not match map key")
+                start = bases[writer].count if writer in bases else 0
+                if start and seqs != list(range(start + 1, start + 1 + len(seqs))):
+                    raise ValueError(
+                        f"tail for writer {writer!r} must continue its checkpoint "
+                        f"(base count {start}, got seqs {seqs})")
                 cleaned[writer] = records
         self._updates = cleaned
+        self._base = bases
         self._metadata = float(metadata)
         self._last_consistent_time = float(last_consistent_time)
         self._triple = triple
@@ -117,20 +189,24 @@ class ExtendedVersionVector:
         self._keys_cache: Optional[frozenset] = None
         self._latest_cache: Optional[float] = None
         self._hash_cache: Optional[int] = None
+        self._total_cache: Optional[int] = None
 
     @classmethod
     def _from_trusted(cls, updates: Dict[str, Tuple[UpdateRecord, ...]],
                       metadata: float, last_consistent_time: float,
-                      triple: ErrorTriple) -> "ExtendedVersionVector":
+                      triple: ErrorTriple,
+                      base: Dict[str, WriterBase] = _NO_BASES) -> "ExtendedVersionVector":
         """Build from an already-validated updates map without re-sorting.
 
         Internal fast path used by :meth:`apply` and the ``with_*`` copies:
-        per-writer tuples are known to be non-empty, seq-contiguous and
-        sorted, so the O(total updates) validation pass of ``__init__`` is
-        skipped.  The caller transfers ownership of ``updates``.
+        per-writer tuples are known to be non-empty, seq-contiguous (from
+        ``base[writer].count + 1``) and sorted, so the O(total updates)
+        validation pass of ``__init__`` is skipped.  The caller transfers
+        ownership of ``updates`` (and ``base`` when given).
         """
         vector = cls.__new__(cls)
         vector._updates = updates
+        vector._base = base
         vector._metadata = metadata
         vector._last_consistent_time = last_consistent_time
         vector._triple = triple
@@ -138,6 +214,7 @@ class ExtendedVersionVector:
         vector._keys_cache = None
         vector._latest_cache = None
         vector._hash_cache = None
+        vector._total_cache = None
         return vector
 
     # ----------------------------------------------------------- properties
@@ -160,30 +237,57 @@ class ExtendedVersionVector:
         """Project onto a classic version vector of per-writer counts.
 
         Memoised per instance — vectors are immutable and the projection is
-        taken on every digest comparison.
+        taken on every digest comparison.  Counts include the checkpointed
+        prefix: truncation never changes what this returns.
         """
         cached = self._counts_cache
         if cached is None:
-            cached = self._counts_cache = VersionVector._from_trusted(
-                {w: len(records) for w, records in self._updates.items()})
+            counts = {w: len(records) for w, records in self._updates.items()}
+            for writer, base in self._base.items():
+                counts[writer] = counts.get(writer, 0) + base.count
+            cached = self._counts_cache = VersionVector._from_trusted(counts)
         return cached
 
     def count(self, writer: str) -> int:
-        return len(self._updates.get(writer, ()))
+        total = len(self._updates.get(writer, ()))
+        base = self._base.get(writer)
+        return total + base.count if base is not None else total
+
+    def base_count(self, writer: str) -> int:
+        """How many of ``writer``'s updates are folded into the checkpoint."""
+        base = self._base.get(writer)
+        return base.count if base is not None else 0
+
+    def writer_base(self, writer: str) -> Optional[WriterBase]:
+        return self._base.get(writer)
+
+    def bases(self) -> Dict[str, WriterBase]:
+        """The per-writer checkpoint bases (copy; empty when untruncated)."""
+        return dict(self._base)
+
+    def is_truncated(self) -> bool:
+        return bool(self._base)
 
     def writers(self) -> Tuple[str, ...]:
-        return tuple(sorted(self._updates))
+        if not self._base:
+            return tuple(sorted(self._updates))
+        return tuple(sorted(set(self._updates) | set(self._base)))
 
     def updates_from(self, writer: str) -> Tuple[UpdateRecord, ...]:
+        """The *retained* (tail) records of ``writer``, in seq order.
+
+        For an untruncated vector this is the writer's full history; after a
+        checkpoint it starts at ``base_count(writer) + 1``.
+        """
         return self._updates.get(writer, ())
 
     def all_updates(self) -> List[UpdateRecord]:
-        """Every known update, ordered by timestamp then writer (stable)."""
+        """Every retained update, ordered by timestamp then writer (stable)."""
         records = [r for recs in self._updates.values() for r in recs]
         return sorted(records, key=lambda r: (r.timestamp, r.writer, r.seq))
 
     def update_keys(self) -> frozenset:
-        """Every known ``(writer, seq)`` key (memoised; treat as read-only)."""
+        """Every retained ``(writer, seq)`` key (memoised; read-only)."""
         cached = self._keys_cache
         if cached is None:
             cached = self._keys_cache = frozenset(
@@ -195,26 +299,33 @@ class ExtendedVersionVector:
         cached = self._latest_cache
         if cached is None:
             times = [r.timestamp for recs in self._updates.values() for r in recs]
+            times.extend(b.last_timestamp for b in self._base.values())
             cached = self._latest_cache = (max(times) if times
                                            else self._last_consistent_time)
         return cached
 
     def total_updates(self) -> int:
-        return sum(len(recs) for recs in self._updates.values())
+        cached = self._total_cache
+        if cached is None:
+            cached = sum(len(recs) for recs in self._updates.values())
+            cached += sum(b.count for b in self._base.values())
+            self._total_cache = cached
+        return cached
 
     # -------------------------------------------------------------- algebra
     def apply(self, record: UpdateRecord) -> "ExtendedVersionVector":
         """Apply a local or remote update and return the resulting vector.
 
-        O(writers) instead of O(total updates): the per-writer tuples are
-        seq-contiguous by invariant, so a duplicate is exactly a record whose
-        seq does not exceed the writer's current count, and the new map can
-        be built without re-validating every record.
+        O(writers + window) instead of O(total updates): the per-writer
+        tails are seq-contiguous above the base by invariant, so a duplicate
+        is exactly a record whose seq does not exceed the writer's current
+        count, and the new map can be built without re-validating every
+        record.
         """
         existing = self._updates.get(record.writer, ())
-        expected_seq = len(existing) + 1
+        expected_seq = self.base_count(record.writer) + len(existing) + 1
         if record.seq != expected_seq:
-            if 1 <= record.seq <= len(existing):
+            if 1 <= record.seq < expected_seq:
                 return self  # duplicate delivery: idempotent
             raise ValueError(
                 f"out-of-order update from {record.writer!r}: got seq {record.seq}, "
@@ -225,7 +336,40 @@ class ExtendedVersionVector:
             updates,
             metadata=self._metadata + record.metadata_delta,
             last_consistent_time=self._last_consistent_time,
-            triple=self._triple)
+            triple=self._triple, base=self._base)
+
+    def truncate_to(self, frontier: Mapping[str, int]) -> "ExtendedVersionVector":
+        """Fold each writer's prefix up to ``frontier[writer]`` into the base.
+
+        ``frontier`` counts beyond a writer's current count are clamped;
+        counts at or below the current base are no-ops.  Everything derived
+        from the vector (counts, digests, triples, merge results) is
+        unchanged — only the retained records shrink.
+        """
+        new_base: Optional[Dict[str, WriterBase]] = None
+        new_updates: Optional[Dict[str, Tuple[UpdateRecord, ...]]] = None
+        for writer, target in frontier.items():
+            current_base = self._base.get(writer, WriterBase.EMPTY)
+            tail = self._updates.get(writer, ())
+            target = min(int(target), current_base.count + len(tail))
+            fold_n = target - current_base.count
+            if fold_n <= 0:
+                continue
+            if new_base is None:
+                new_base = dict(self._base)
+                new_updates = dict(self._updates)
+            new_base[writer] = current_base.fold(tail[:fold_n])
+            remaining = tail[fold_n:]
+            if remaining:
+                new_updates[writer] = remaining
+            else:
+                new_updates.pop(writer, None)
+        if new_base is None:
+            return self
+        return ExtendedVersionVector._from_trusted(
+            new_updates, metadata=self._metadata,
+            last_consistent_time=self._last_consistent_time,
+            triple=self._triple, base=new_base)
 
     def merge(self, other: "ExtendedVersionVector",
               consistent_time: Optional[float] = None) -> "ExtendedVersionVector":
@@ -234,10 +378,15 @@ class ExtendedVersionVector:
         The merged metadata is recomputed from the union of updates so it
         stays consistent with the update history, and the error triple is
         reset to zero — after a resolution both replicas are consistent.
+        With checkpoints the union is taken per writer over ``max(base) ⊕
+        tails``; folded prefixes are identical everywhere by the stability
+        invariant, so the higher base subsumes the lower side's records.
         """
         new_time = consistent_time
         if new_time is None:
             new_time = max(self._last_consistent_time, other._last_consistent_time)
+        if self._base or other._base:
+            return self._merge_with_bases(other, new_time)
         # Fast path: one side already contains every update of the other
         # (per-writer tuples are seq-contiguous, so a >= length prefix-match
         # is containment).  Reuse that side's updates map; the metadata is
@@ -278,17 +427,52 @@ class ExtendedVersionVector:
                                      last_consistent_time=new_time,
                                      triple=ErrorTriple.ZERO)
 
+    def _merge_with_bases(self, other: "ExtendedVersionVector",
+                          new_time: float) -> "ExtendedVersionVector":
+        """General merge when at least one side carries a checkpoint."""
+        bases: Dict[str, WriterBase] = {}
+        updates: Dict[str, Tuple[UpdateRecord, ...]] = {}
+        metadata = 0.0
+        for writer in sorted(set(self._updates) | set(self._base)
+                             | set(other._updates) | set(other._base)):
+            my_base = self._base.get(writer, WriterBase.EMPTY)
+            their_base = other._base.get(writer, WriterBase.EMPTY)
+            base = my_base if my_base.count >= their_base.count else their_base
+            merged = {r.seq: r for r in other._updates.get(writer, ())
+                      if r.seq > base.count}
+            for r in self._updates.get(writer, ()):
+                if r.seq > base.count:
+                    merged[r.seq] = r
+            seqs = sorted(merged)
+            if seqs != list(range(base.count + 1, base.count + 1 + len(seqs))):
+                raise ValueError(
+                    f"cannot merge: missing intermediate updates for writer "
+                    f"{writer!r} (checkpoint count {base.count}, tail seqs {seqs})")
+            tail = tuple(merged[s] for s in seqs)
+            if base.count:
+                bases[writer] = base
+            if tail:
+                updates[writer] = tail
+            metadata += base.cum_metadata
+            for r in tail:
+                metadata += r.metadata_delta
+        return ExtendedVersionVector._from_trusted(
+            updates, metadata=metadata, last_consistent_time=new_time,
+            triple=ErrorTriple.ZERO, base=bases if bases else _NO_BASES)
+
     def with_triple(self, triple: ErrorTriple) -> "ExtendedVersionVector":
         """Attach a freshly computed error triple (Figure 4(d))."""
         return ExtendedVersionVector._from_trusted(
             self._updates, metadata=self._metadata,
-            last_consistent_time=self._last_consistent_time, triple=triple)
+            last_consistent_time=self._last_consistent_time, triple=triple,
+            base=self._base)
 
     def with_consistent_time(self, time: float) -> "ExtendedVersionVector":
         """Mark the replica as consistent as of ``time`` (post-resolution)."""
         return ExtendedVersionVector._from_trusted(
             self._updates, metadata=self._metadata,
-            last_consistent_time=float(time), triple=ErrorTriple.ZERO)
+            last_consistent_time=float(time), triple=ErrorTriple.ZERO,
+            base=self._base)
 
     # ------------------------------------------------------------ comparison
     def compare(self, other: "ExtendedVersionVector") -> Ordering:
@@ -296,9 +480,32 @@ class ExtendedVersionVector:
         return self.counts().compare(other.counts())
 
     def missing_from(self, other: "ExtendedVersionVector") -> List[UpdateRecord]:
-        """Updates known here but absent from ``other`` (what to push)."""
-        other_keys = other.update_keys()
-        return [r for r in self.all_updates() if r.key() not in other_keys]
+        """Updates known here but absent from ``other`` (what to push).
+
+        Served per writer from the seq-contiguous tails in O(missing):
+        ``other`` lacks exactly the records above its per-writer count.
+        Raises :class:`TruncatedHistoryError` when a needed record was
+        folded into this vector's checkpoint — the peer is behind the
+        stability frontier and can only be repaired by checkpoint adoption
+        (:meth:`repro.store.replica.Replica.install_merged`).
+        """
+        missing: List[UpdateRecord] = []
+        for writer in (set(self._updates) | set(self._base)
+                       if self._base else self._updates):
+            tail = self._updates.get(writer, ())
+            have = other.count(writer)
+            base_count = self.base_count(writer)
+            if have >= base_count + len(tail):
+                continue
+            if have < base_count:
+                raise TruncatedHistoryError(
+                    f"peer knows only {have} updates of writer {writer!r} but "
+                    f"seqs 1..{base_count} were folded into this replica's "
+                    f"checkpoint; records below the stability frontier are "
+                    f"no longer individually available")
+            missing.extend(tail[have - base_count:])
+        missing.sort(key=lambda r: (r.timestamp, r.writer, r.seq))
+        return missing
 
     def error_triple_against(self, reference: "ExtendedVersionVector") -> ErrorTriple:
         """Compute ``<numerical, order, staleness>`` against a reference state.
@@ -321,6 +528,7 @@ class ExtendedVersionVector:
         if not isinstance(other, ExtendedVersionVector):
             return NotImplemented
         return (self._updates == other._updates
+                and self._base == other._base
                 and self._metadata == other._metadata)
 
     def __hash__(self) -> int:
@@ -329,14 +537,18 @@ class ExtendedVersionVector:
             cached = self._hash_cache = hash(
                 (tuple(sorted((w, tuple(r.key() for r in recs))
                               for w, recs in self._updates.items())),
+                 tuple(sorted(self._base.items())),
                  self._metadata))
         return cached
 
     def __repr__(self) -> str:
         parts = []
-        for writer, recs in sorted(self._updates.items()):
+        for writer in self.writers():
+            recs = self._updates.get(writer, ())
+            base = self._base.get(writer)
             times = ", ".join(f"{r.timestamp:g}" for r in recs)
-            parts.append(f"{writer}:{len(recs)}({times})")
+            prefix = f"⊕{base.count}" if base is not None else ""
+            parts.append(f"{writer}:{self.count(writer)}{prefix}({times})")
         t = self._triple
         return (f"<EVV {' '.join(parts) or 'empty'} [{self._metadata:g}] "
                 f"<{t.numerical:g},{t.order:g},{t.staleness:g}>>")

@@ -11,7 +11,10 @@ the paper, a resolution policy must decide the outcome).
 from __future__ import annotations
 
 import enum
+from operator import ge as _ge, sub as _sub
 from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.versioning.writers import GLOBAL_WRITERS
 
 
 class Ordering(enum.Enum):
@@ -36,7 +39,7 @@ class VersionVector:
     writers join over time.
     """
 
-    __slots__ = ("_counts", "_hash", "_total")
+    __slots__ = ("_counts", "_hash", "_total", "_dense")
 
     def __init__(self, counts: Mapping[str, int] | None = None) -> None:
         cleaned: Dict[str, int] = {}
@@ -49,6 +52,7 @@ class VersionVector:
         self._counts: Dict[str, int] = cleaned
         self._hash: int | None = None
         self._total: int | None = None
+        self._dense: Tuple[int, ...] | None = None
 
     @classmethod
     def _from_trusted(cls, counts: Dict[str, int]) -> "VersionVector":
@@ -61,6 +65,7 @@ class VersionVector:
         vector._counts = counts
         vector._hash = None
         vector._total = None
+        vector._dense = None
         return vector
 
     # ----------------------------------------------------------- inspection
@@ -77,6 +82,29 @@ class VersionVector:
         if total is None:
             total = self._total = sum(self._counts.values())
         return total
+
+    def dense(self) -> Tuple[int, ...]:
+        """Array projection indexed by the interned writer id (memoised).
+
+        ``dense()[wid]`` is the count of the writer with
+        :data:`~repro.versioning.writers.GLOBAL_WRITERS` id ``wid``; the
+        tuple is truncated after the highest id present, so its last element
+        is always positive.  Comparisons over two projections run as C-level
+        ``map``/``all``/``sum`` passes instead of per-writer dict walks.
+        """
+        dense = self._dense
+        if dense is None:
+            counts = self._counts
+            if not counts:
+                dense = self._dense = ()
+            else:
+                intern = GLOBAL_WRITERS.intern
+                ids = {intern(w): c for w, c in counts.items()}
+                arr = [0] * (1 + max(ids))
+                for wid, count in ids.items():
+                    arr[wid] = count
+                dense = self._dense = tuple(arr)
+        return dense
 
     def items(self) -> Iterator[Tuple[str, int]]:
         return iter(sorted(self._counts.items()))
@@ -124,30 +152,28 @@ class VersionVector:
 
     # ------------------------------------------------------------ comparison
     def compare(self, other: "VersionVector") -> Ordering:
-        """Classify the relationship between two vectors."""
-        a = self._counts
-        b = other._counts
-        if a == b:
+        """Classify the relationship between two vectors.
+
+        Runs over the dense id-indexed projections: domination in either
+        direction is one C-level ``all(map(ge, ...))`` pass (``map`` stops at
+        the shorter tuple; the longer side trivially dominates the indices
+        the shorter one lacks, because its own trailing entry is positive).
+        """
+        if self._counts == other._counts:
             return Ordering.EQUAL
-        # self >= other iff every count in b is matched in a (entries missing
-        # from b are trivially dominated because counts are positive).
-        a_get = a.get
-        self_ge = True
-        for writer, count in b.items():
-            if a_get(writer, 0) < count:
-                self_ge = False
-                break
-        if self_ge:
+        a = self.dense()
+        b = other.dense()
+        if len(a) >= len(b) and all(map(_ge, a, b)):
             return Ordering.AFTER
-        b_get = b.get
-        for writer, count in a.items():
-            if b_get(writer, 0) < count:
-                return Ordering.CONCURRENT
-        return Ordering.BEFORE
+        if len(b) >= len(a) and all(map(_ge, b, a)):
+            return Ordering.BEFORE
+        return Ordering.CONCURRENT
 
     def dominates(self, other: "VersionVector") -> bool:
         """True if this vector has seen every update the other has."""
-        return self.compare(other) in (Ordering.EQUAL, Ordering.AFTER)
+        a = self.dense()
+        b = other.dense()
+        return len(a) >= len(b) and all(map(_ge, a, b))
 
     def concurrent_with(self, other: "VersionVector") -> bool:
         return self.compare(other) is Ordering.CONCURRENT
@@ -168,16 +194,15 @@ class VersionVector:
         worked example of Figure 4, replica ``a`` "misses one update and has
         two extra ones, so the order error is 3".
         """
-        a = self._counts
-        b = other._counts
-        b_get = b.get
-        distance = 0
-        for writer, count in a.items():
-            gap = count - b_get(writer, 0)
-            distance += gap if gap >= 0 else -gap
-        for writer, count in b.items():
-            if writer not in a:
-                distance += count
+        a = self.dense()
+        b = other.dense()
+        # |a[i] - b[i]| over the shared prefix (map stops at the shorter
+        # tuple) plus whatever the longer tail contributes one-sidedly.
+        distance = sum(map(abs, map(_sub, a, b)))
+        if len(a) > len(b):
+            distance += sum(a[len(b):])
+        elif len(b) > len(a):
+            distance += sum(b[len(a):])
         return distance
 
     # ------------------------------------------------------------- dunder

@@ -59,6 +59,13 @@ class TrafficDriver:
     collect_metrics:
         When True, attach a :class:`~repro.workloads.metrics.TrafficMetrics`
         collector (also enables per-op bus events).
+    truncate_every / truncate_window:
+        With ``truncate_every`` set, the driver runs the deployment's
+        stability-driven checkpoint-and-truncate sweep every that many
+        simulated seconds (retaining at least ``truncate_window`` seconds of
+        recent history), keeping per-replica log state bounded by the
+        instability window instead of the run length.  The driver tracks
+        the total entries folded and the peak retained-entry gauge.
     """
 
     def __init__(self, deployment, populations: Sequence[ClientPopulation], *,
@@ -66,13 +73,20 @@ class TrafficDriver:
                  start: float = 0.0, duration: Optional[float] = None,
                  max_ops: Optional[int] = None,
                  fault_plan=None,
-                 collect_metrics: bool = False) -> None:
+                 collect_metrics: bool = False,
+                 truncate_every: Optional[float] = None,
+                 truncate_window: float = 30.0,
+                 truncate_keep_content: bool = True) -> None:
         if not populations:
             raise ValueError("traffic driver needs at least one population")
         if duration is not None and duration <= 0:
             raise ValueError("duration must be positive")
         if max_ops is not None and max_ops < 1:
             raise ValueError("max_ops must be positive")
+        if truncate_every is not None and truncate_every <= 0:
+            raise ValueError("truncate_every must be positive or None")
+        if truncate_window < 0:
+            raise ValueError("truncate_window must be non-negative")
         self.deployment = deployment
         self.populations = list(populations)
         self.object_ids = (list(object_ids) if object_ids is not None
@@ -83,6 +97,9 @@ class TrafficDriver:
         self.duration = duration
         self.max_ops = max_ops
         self.fault_plan = fault_plan
+        self.truncate_every = truncate_every
+        self.truncate_window = truncate_window
+        self.truncate_keep_content = truncate_keep_content
         self.injector = None
         self.metrics: Optional[TrafficMetrics] = None
         if collect_metrics:
@@ -111,6 +128,12 @@ class TrafficDriver:
         #: lazy-scheduling invariant is ``peak_pending <= len(streams)``.
         self.pending_events = 0
         self.peak_pending = 0
+        #: truncation gauges: log entries folded so far, and the highest
+        #: retained-entry count observed at a truncation tick — the bench's
+        #: "live log entries bounded by the window" witness
+        self.entries_folded = 0
+        self.truncation_ticks = 0
+        self.peak_retained_entries = 0
         self._started = False
         self._stopped = False
 
@@ -150,6 +173,9 @@ class TrafficDriver:
         origin = max(self.start_time, sim.now)
         for stream in self.streams:
             self._schedule_next(stream, origin, sim)
+        if self.truncate_every is not None:
+            sim.call_after(self.truncate_every, self._truncate_tick,
+                           label="traffic-truncate")
         return self
 
     def stop(self) -> None:
@@ -194,6 +220,24 @@ class TrafficDriver:
         while not self.done:
             self.deployment.run(until=sim.now + chunk)
         return sim.now
+
+    # ------------------------------------------------------------ truncation
+    def _truncate_tick(self) -> None:
+        """Periodic stability-driven checkpoint/truncate sweep."""
+        if self._stopped or self.done:
+            return  # traffic over: stop rescheduling
+        self.truncation_ticks += 1
+        # Sample BEFORE folding: the pre-sweep level is the true local
+        # maximum of retained state, which is what the live-entry bound
+        # must hold against.
+        retained = self.deployment.retained_log_entries()
+        if retained > self.peak_retained_entries:
+            self.peak_retained_entries = retained
+        self.entries_folded += self.deployment.truncate_stable_state(
+            keep_window=self.truncate_window,
+            keep_content=self.truncate_keep_content)
+        self.deployment.sim.call_after(self.truncate_every, self._truncate_tick,
+                                       label="traffic-truncate")
 
     # ------------------------------------------------------------ scheduling
     def _schedule_next(self, stream: ClientStream, after: float, sim) -> None:
@@ -284,6 +328,9 @@ class TrafficDriver:
             "streams": len(self.streams),
             "finished_streams": self.finished_streams,
             "peak_pending_events": self.peak_pending,
+            "truncation_ticks": self.truncation_ticks,
+            "entries_folded": self.entries_folded,
+            "peak_retained_entries": self.peak_retained_entries,
         }
 
     def describe(self) -> str:
