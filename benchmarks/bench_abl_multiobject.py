@@ -26,6 +26,7 @@ from repro.experiments.fig9_scalability import (
     format_multiobject_report,
     run_multiobject_experiment,
 )
+from repro.farm import default_jobs
 
 #: minimum per-object speedup of the shared-cache runtime over the seed
 #: architecture (acceptance floor; measured ~2× on the reference machine)
@@ -40,11 +41,14 @@ def bench_abl_multiobject(benchmark):
     sweep = benchmark.pedantic(
         lambda: run_multiobject_experiment(
             num_nodes=8, object_counts=(1, 8, 64),
-            duration=40.0, write_period=2.0, seed=11),
+            duration=40.0, write_period=2.0, seed=11,
+            jobs=default_jobs()),
         rounds=1, iterations=1)
 
     # Head-to-head at a fixed object count with long update logs, where the
-    # seed architecture's per-evaluation digest rebuild dominates.
+    # seed architecture's per-evaluation digest rebuild dominates.  These two
+    # runs stay serial regardless of FARM_JOBS: the speedup below compares
+    # per-point wall-clock, which farm workers contending for cores would skew.
     runtime_arch = run_multiobject_experiment(
         num_nodes=8, object_counts=(8,), duration=300.0, write_period=0.4,
         seed=11, shared_cache=True)

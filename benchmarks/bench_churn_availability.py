@@ -25,6 +25,7 @@ from repro.experiments.fig_churn_availability import (
     run_churn_experiment,
     run_churn_point,
 )
+from repro.farm import default_jobs
 
 OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_churn.json"
 
@@ -38,7 +39,8 @@ def bench_churn_availability(benchmark):
     result = benchmark.pedantic(
         lambda: run_churn_experiment(node_counts=NODE_COUNTS,
                                      loss_probabilities=LOSS_PROBABILITIES,
-                                     duration=DURATION, seed=29),
+                                     duration=DURATION, seed=29,
+                                     jobs=default_jobs()),
         rounds=1, iterations=1)
     print()
     print(format_churn_report(result))
@@ -56,7 +58,8 @@ def bench_churn_availability(benchmark):
         assert point.background_completed > 0
         assert point.resolutions_succeeded > 0
 
-    # Replay determinism for the acceptance point: same seed, same trace.
+    # Replay determinism for the acceptance point: same seed, same trace —
+    # serial and in-process even when the sweep above ran farmed.
     first = result.points[0]
     replay = run_churn_point(num_nodes=first.num_nodes,
                              loss_probability=first.loss_probability,

@@ -1,0 +1,129 @@
+"""Sweep-farm benchmark: parallel speedup with bit-identical results.
+
+Runs a reference churn grid (12 × 64-node points over loss × kill-fraction,
+seeded point-by-point with :func:`repro.farm.derive_seed`) twice:
+
+* once through the **serial in-process oracle** (``jobs=1``), and
+* once through the **multiprocess farm** (``jobs=4`` by default),
+
+then asserts the parallel run's per-point fingerprints match the serial
+oracle point for point.  Wall-clock, per-point telemetry, and the measured
+speedup are persisted to ``BENCH_farm.json`` for the regression gate.
+
+The speedup floor (≥ 3× at 4 workers) is only asserted on hosts with at
+least 4 CPU cores — on a 1-core CI runner the parallel run cannot be
+faster, but the determinism contract is gated unconditionally.  The
+recorded numbers always include ``cpu_count`` so readers can interpret
+them honestly.
+
+``FARM_BENCH_SMOKE=1`` shrinks the grid to seconds and writes
+``BENCH_farm_smoke.json`` instead (CI smoke path; the committed
+``BENCH_farm.json`` is only ever produced by the full grid).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import List
+
+from repro.experiments.fig_churn_availability import fingerprint, run_churn_point
+from repro.farm import PointSpec, SweepFarm, derive_seed
+
+#: grid axes: loss probability × kill fraction at a fixed 64-node deployment
+LOSS_PROBABILITIES = (0.0, 0.01, 0.05, 0.1)
+KILL_FRACTIONS = (0.125, 0.25, 0.5)
+NUM_NODES = 64
+DURATION = 120.0
+BASE_SEED = 4242
+
+#: parallel leg worker count and its speedup floor (asserted only when the
+#: host actually has that many cores to run them on)
+PARALLEL_JOBS = 4
+MIN_SPEEDUP = 3.0
+MIN_SPEEDUP_CORES = 4
+
+_SMOKE = os.environ.get("FARM_BENCH_SMOKE", "") not in ("", "0")
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_farm_smoke.json" if _SMOKE else "BENCH_farm.json")
+
+
+def build_reference_grid() -> List[PointSpec]:
+    """The benchmark grid, seeded per point with ``derive_seed``."""
+    num_nodes = 8 if _SMOKE else NUM_NODES
+    duration = 30.0 if _SMOKE else DURATION
+    losses = LOSS_PROBABILITIES[:2] if _SMOKE else LOSS_PROBABILITIES
+    kills = KILL_FRACTIONS[:1] if _SMOKE else KILL_FRACTIONS
+    specs: List[PointSpec] = []
+    for loss in losses:
+        for kill in kills:
+            labels = ("farm-ref", f"loss{loss:g}", f"kill{kill:g}")
+            specs.append(PointSpec.build(
+                run_churn_point, index=len(specs), labels=labels,
+                seed=derive_seed(BASE_SEED, len(specs), *labels),
+                num_nodes=num_nodes, loss_probability=loss,
+                kill_fraction=kill, duration=duration))
+    return specs
+
+
+def bench_farm(benchmark):
+    specs = build_reference_grid()
+    cpu_count = os.cpu_count() or 1
+
+    # Serial oracle: the ground truth every parallel run must reproduce.
+    serial_started = time.perf_counter()
+    serial = SweepFarm(specs, jobs=1).run()
+    serial_wall = time.perf_counter() - serial_started
+    serial_prints = [fingerprint(p) for p in serial.values()]
+
+    # Parallel leg, timed as the benchmark's measured operation.
+    parallel = benchmark.pedantic(
+        lambda: SweepFarm(specs, jobs=PARALLEL_JOBS).run(),
+        rounds=1, iterations=1)
+    parallel_prints = [fingerprint(p) for p in parallel.values()]
+
+    # The determinism contract, gated unconditionally: point-for-point
+    # identical results regardless of worker count or completion order.
+    assert serial.ok and parallel.ok
+    fingerprint_match = parallel_prints == serial_prints
+    assert fingerprint_match, "parallel farm run diverged from the serial oracle"
+
+    speedup = serial_wall / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    print(f"\nserial {serial_wall:.2f}s, parallel (jobs={PARALLEL_JOBS}) "
+          f"{parallel.wall_seconds:.2f}s, speedup {speedup:.2f}x "
+          f"on {cpu_count} core(s)")
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "experiment": "farm_reference_grid",
+        "smoke": _SMOKE,
+        "grid": {
+            "point_function": specs[0].func,
+            "num_points": len(specs),
+            "num_nodes": specs[0].kwargs["num_nodes"],
+            "duration_simulated_s": specs[0].kwargs["duration"],
+            "base_seed": BASE_SEED,
+            "seeds": [s.seed for s in specs],
+            "labels": [s.label for s in specs],
+        },
+        "cpu_count": cpu_count,
+        "jobs": PARALLEL_JOBS,
+        "serial_wall_seconds": serial_wall,
+        "serial_point_wall_seconds": [
+            round(o.wall_seconds, 6) for o in serial.outcomes],
+        "parallel_wall_seconds": parallel.wall_seconds,
+        "speedup": speedup,
+        "fingerprint_match": fingerprint_match,
+        "pool_rebuilds": parallel.pool_rebuilds,
+        "fingerprints": serial_prints,
+        "telemetry": parallel.telemetry(),
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH.name}")
+
+    # Honest speedup gate: only where the cores exist to deliver it.
+    if cpu_count >= MIN_SPEEDUP_CORES:
+        assert speedup >= MIN_SPEEDUP, (
+            f"farm speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+            f"on a {cpu_count}-core host")

@@ -12,11 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.fig9_scalability import format_report, run_scalability_experiment
+from repro.farm import default_jobs
 
 
 def bench_fig9_scalability(benchmark):
     result = benchmark.pedantic(
-        lambda: run_scalability_experiment(max_top_layer=10, num_nodes=40, seed=19),
+        lambda: run_scalability_experiment(max_top_layer=10, num_nodes=40, seed=19,
+                                           jobs=default_jobs()),
         rounds=1, iterations=1)
     print()
     print(format_report(result))

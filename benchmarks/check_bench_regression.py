@@ -18,7 +18,13 @@ Reruns the committed benchmark scenarios and fails when drift is detected:
   frontier + checkpoint/truncation enabled): op/write/event/fold counts
   must match exactly, per-op µs must stay within the threshold, the peak
   retained-entry gauge must stay below the committed live-entry bound, and
-  the committed 10M-vs-100k flatness ratio must respect its budget.
+  the committed 10M-vs-100k flatness ratio must respect its budget;
+* ``BENCH_farm.json`` — the sweep-farm reference grid: the committed run
+  must record ``fingerprint_match`` (parallel == serial oracle), a live
+  serial-vs-``jobs=2`` rerun of a grid subset must reproduce the committed
+  per-point fingerprints exactly, serial wall-clock is held to the
+  threshold when the committed grid is long enough, and the committed
+  speedup must clear its floor when the committed host had the cores.
 
 Usage::
 
@@ -35,13 +41,23 @@ import sys
 from pathlib import Path
 
 from repro.experiments.fig9_scalability import run_multiobject_experiment
-from repro.experiments.fig_churn_availability import run_churn_point
+from repro.experiments.fig_churn_availability import fingerprint, run_churn_point
+from repro.farm import PointSpec, SweepFarm, resolve_callable
 
 ROOT = Path(__file__).resolve().parent.parent
 MULTIOBJECT_PATH = ROOT / "BENCH_multiobject.json"
 CHURN_PATH = ROOT / "BENCH_churn.json"
 WORKLOAD_PATH = ROOT / "BENCH_workload.json"
 LONGRUN_PATH = ROOT / "BENCH_longrun.json"
+FARM_PATH = ROOT / "BENCH_farm.json"
+
+#: speedup floor the committed farm benchmark must clear, provided the host
+#: that produced it had at least this many cores (mirrors bench_farm.py)
+FARM_MIN_SPEEDUP = 3.0
+FARM_MIN_SPEEDUP_CORES = 4
+#: grid points to re-execute live (serial + jobs=2); the full grid is the
+#: benchmark's job, the gate just needs enough to catch drift
+FARM_RERUN_POINTS = 2
 
 #: wall-clock gating needs a baseline long enough to rise above scheduler
 #: noise; shorter committed points are gated on exact counts only
@@ -215,15 +231,97 @@ def check_longrun(threshold: float) -> bool:
     return failed
 
 
+def check_farm(threshold: float) -> bool:
+    """Gate the committed sweep-farm reference grid."""
+    if not FARM_PATH.exists():
+        print("== farm == (no committed BENCH_farm.json, skipping)")
+        return False
+    committed = json.loads(FARM_PATH.read_text(encoding="utf-8"))
+    grid = committed["grid"]
+    point_fn = resolve_callable(grid["point_function"])
+
+    print("== farm ==")
+    print(f"committed: {grid['num_points']} points, "
+          f"serial {committed['serial_wall_seconds']:.2f}s, "
+          f"jobs={committed['jobs']} {committed['parallel_wall_seconds']:.2f}s, "
+          f"speedup {committed['speedup']:.2f}x "
+          f"on {committed['cpu_count']} core(s)")
+
+    failed = False
+    if not committed.get("fingerprint_match"):
+        print("FAIL: committed run did not record fingerprint_match "
+              "(parallel farm diverged from the serial oracle)")
+        failed = True
+
+    # Live determinism probe: rebuild the first points of the committed grid
+    # from its recorded seeds, run them serially AND through a 2-worker farm,
+    # and hold both against the committed fingerprints.
+    subset = list(range(min(FARM_RERUN_POINTS, grid["num_points"])))
+    # The labels carry the axis values; decode them back into kwargs.
+    specs = []
+    for i in subset:
+        _, loss_label, kill_label = grid["labels"][i].split("/")
+        specs.append(PointSpec.build(
+            point_fn, index=i, labels=tuple(grid["labels"][i].split("/")),
+            seed=grid["seeds"][i], num_nodes=grid["num_nodes"],
+            loss_probability=float(loss_label.removeprefix("loss")),
+            kill_fraction=float(kill_label.removeprefix("kill")),
+            duration=grid["duration_simulated_s"]))
+
+    serial = SweepFarm(specs, jobs=1).run()
+    farmed = SweepFarm(specs, jobs=2).run()
+    for i, (s, f) in enumerate(zip(serial.values(), farmed.values())):
+        base_print = committed["fingerprints"][i]
+        for name, rerun_print in (("serial", fingerprint(s)),
+                                  ("jobs=2", fingerprint(f))):
+            if rerun_print != base_print:
+                print(f"FAIL: point {i} ({specs[i].label}) {name} rerun "
+                      "diverged from the committed fingerprint "
+                      "(determinism broken)")
+                failed = True
+    if not failed:
+        print(f"{len(specs)} grid points re-run serial + jobs=2: "
+              "fingerprints match the committed trace")
+
+    # Serial wall-clock regression against the committed serial leg's own
+    # per-point walls.  (The per-point telemetry block is from the parallel
+    # leg, where worker contention inflates point walls — don't use it.)
+    serial_walls = committed["serial_point_wall_seconds"]
+    base_subset_wall = sum(serial_walls[i] for i in subset)
+    rerun_wall = sum(o.wall_seconds for o in serial.outcomes)
+    if base_subset_wall >= MIN_WALL_GATE_SECONDS:
+        ratio = rerun_wall / base_subset_wall
+        print(f"serial wall ratio {ratio:.2f}x (budget <= {1 + threshold:.2f}x)")
+        if ratio > 1 + threshold:
+            print(f"FAIL: serial point wall-clock regressed {ratio:.2f}x")
+            failed = True
+    else:
+        print(f"committed subset wall {base_subset_wall:.2f}s < "
+              f"{MIN_WALL_GATE_SECONDS:g}s — noise-dominated, counts only")
+
+    # Speedup floor, honoured only when the committed host could deliver it.
+    if committed["cpu_count"] >= FARM_MIN_SPEEDUP_CORES:
+        if committed["speedup"] < FARM_MIN_SPEEDUP:
+            print(f"FAIL: committed speedup {committed['speedup']:.2f}x is "
+                  f"below the {FARM_MIN_SPEEDUP}x floor despite "
+                  f"{committed['cpu_count']} cores")
+            failed = True
+    else:
+        print(f"speedup floor waived: committed host had only "
+              f"{committed['cpu_count']} core(s)")
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional wall-clock regression vs the "
                              "committed baselines (default 0.25 = +25%%)")
     parser.add_argument("--only",
-                        choices=("multiobject", "churn", "workload", "longrun"),
+                        choices=("multiobject", "churn", "workload", "longrun",
+                                 "farm"),
                         default=None,
-                        help="run a single gate instead of all four")
+                        help="run a single gate instead of all five")
     args = parser.parse_args(argv)
 
     gates = {
@@ -231,6 +329,7 @@ def main(argv: list[str] | None = None) -> int:
         "churn": check_churn,
         "workload": check_workload,
         "longrun": check_longrun,
+        "farm": check_farm,
     }
     selected = [args.only] if args.only else list(gates)
     failed = False

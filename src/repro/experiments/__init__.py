@@ -24,22 +24,57 @@ Experiment index (see DESIGN.md §4 for the full mapping):
 """
 
 from repro.experiments.report import format_table, series_to_rows
-from repro.experiments.fig7_hint import HintExperimentResult, run_hint_experiment
-from repro.experiments.fig8_hint_change import HintChangeResult, run_hint_change_experiment
-from repro.experiments.tab2_phases import PhaseBreakdownResult, run_phase_breakdown
-from repro.experiments.fig9_scalability import ScalabilityResult, run_scalability_experiment
-from repro.experiments.tab3_overhead import OverheadResult, run_overhead_experiment
+from repro.experiments.fig7_hint import (
+    HintExperimentResult,
+    build_hint_grid,
+    run_hint_experiment,
+    run_hint_sweep,
+)
+from repro.experiments.fig8_hint_change import (
+    HintChangeResult,
+    build_hint_change_grid,
+    run_hint_change_experiment,
+    run_hint_change_sweep,
+)
+from repro.experiments.tab2_phases import (
+    PhaseBreakdownResult,
+    build_phase_grid,
+    run_phase_breakdown,
+    run_phase_sweep,
+)
+from repro.experiments.fig9_scalability import (
+    ScalabilityResult,
+    build_multiobject_grid,
+    build_scalability_grid,
+    run_multiobject_experiment,
+    run_multiobject_point,
+    run_scalability_experiment,
+    run_scalability_point,
+)
+from repro.experiments.tab3_overhead import (
+    OverheadResult,
+    build_overhead_grid,
+    run_booking_scenario,
+    run_overhead_experiment,
+)
 from repro.experiments.fig10_automatic import AutomaticResult, run_automatic_experiment
-from repro.experiments.fig2_tradeoff import TradeoffResult, run_tradeoff_experiment
+from repro.experiments.fig2_tradeoff import (
+    TradeoffResult,
+    build_tradeoff_grid,
+    run_protocol_point,
+    run_tradeoff_experiment,
+)
 from repro.experiments.fig_churn_availability import (
     ChurnPointResult,
     ChurnSweepResult,
+    build_churn_grid,
     run_churn_experiment,
     run_churn_point,
 )
 from repro.experiments.fig_workload_sensitivity import (
     WorkloadPointResult,
     WorkloadSweepResult,
+    build_workload_grid,
     run_workload_point,
     run_workload_sensitivity,
 )
@@ -48,25 +83,42 @@ __all__ = [
     "format_table",
     "series_to_rows",
     "HintExperimentResult",
+    "build_hint_grid",
     "run_hint_experiment",
+    "run_hint_sweep",
     "HintChangeResult",
+    "build_hint_change_grid",
     "run_hint_change_experiment",
+    "run_hint_change_sweep",
     "PhaseBreakdownResult",
+    "build_phase_grid",
     "run_phase_breakdown",
+    "run_phase_sweep",
     "ScalabilityResult",
+    "build_multiobject_grid",
+    "build_scalability_grid",
+    "run_multiobject_experiment",
+    "run_multiobject_point",
     "run_scalability_experiment",
+    "run_scalability_point",
     "OverheadResult",
+    "build_overhead_grid",
+    "run_booking_scenario",
     "run_overhead_experiment",
     "AutomaticResult",
     "run_automatic_experiment",
     "TradeoffResult",
+    "build_tradeoff_grid",
+    "run_protocol_point",
     "run_tradeoff_experiment",
     "ChurnPointResult",
     "ChurnSweepResult",
+    "build_churn_grid",
     "run_churn_experiment",
     "run_churn_point",
     "WorkloadPointResult",
     "WorkloadSweepResult",
+    "build_workload_grid",
     "run_workload_point",
     "run_workload_sensitivity",
 ]

@@ -1,0 +1,8 @@
+"""Entry point for ``python -m repro.experiments``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Command-line front end: ``python -m repro.experiments``.
+
+Runs any registered experiment through the sweep farm::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --run churn --jobs 4
+    python -m repro.experiments --run fig7 --json out.json
+    python -m repro.experiments --run churn --smoke --param "duration=15.0"
+
+``--jobs`` defaults to the ``FARM_JOBS`` environment variable (see
+``repro.farm``), so CI can parallelise every sweep without touching the
+command lines.  ``--smoke`` applies the registry's shrunken parameters —
+the same code path on a seconds-sized grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.experiments import registry
+from repro.farm import default_jobs
+
+
+def _parse_param(text: str) -> tuple:
+    """``key=value`` with the value parsed as a Python literal."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # bare strings stay strings ("--param shape=flash")
+    return key.strip(), value
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce a result object into JSON-serialisable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        try:
+            return value.item()
+        except (TypeError, ValueError):
+            pass
+    if hasattr(value, "tolist") and callable(value.tolist):  # numpy arrays
+        return value.tolist()
+    if isinstance(value, float):
+        # inf/nan are not valid JSON; stringify them so dumps stays strict.
+        if value != value or value in (float("inf"), float("-inf")):
+            return str(value)
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper-reproduction experiments through the sweep farm.")
+    parser.add_argument("--list", action="store_true",
+                        help="list the registered experiments and exit")
+    parser.add_argument("--run", metavar="NAME",
+                        help="experiment to run (see --list)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="farm worker processes (default: $FARM_JOBS or 1)")
+    parser.add_argument("--json", metavar="PATH", dest="json_path",
+                        help="also write the result as JSON to PATH ('-' for stdout)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="use the registry's shrunken smoke parameters")
+    parser.add_argument("--param", action="append", type=_parse_param,
+                        default=[], metavar="KEY=VALUE",
+                        help="override a sweep keyword (repeatable; value is a "
+                             "Python literal, e.g. --param 'duration=30.0')")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the human-readable report")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        width = max(len(name) for name in registry.REGISTRY)
+        for name in sorted(registry.REGISTRY):
+            entry = registry.REGISTRY[name]
+            print(f"{name:<{width}}  {entry.description}")
+        return 0
+
+    if not args.run:
+        parser.print_help()
+        return 2
+
+    try:
+        entry = registry.get(args.run)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    kwargs: Dict[str, Any] = dict(entry.smoke) if args.smoke else {}
+    kwargs.update(dict(args.param))
+    kwargs["jobs"] = jobs
+
+    result = entry.run(**kwargs)
+
+    if not args.quiet:
+        print(entry.report(result))
+
+    if args.json_path:
+        payload = {"experiment": entry.name, "jobs": jobs,
+                   "parameters": _jsonable({k: v for k, v in kwargs.items()
+                                            if k != "jobs"}),
+                   "result": _jsonable(result)}
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        if args.json_path == "-":
+            print(text)
+        else:
+            with open(args.json_path, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            if not args.quiet:
+                print(f"\nJSON written to {args.json_path}")
+    return 0

@@ -15,7 +15,8 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.experiments.report import format_table, percent
-from repro.experiments.tab3_overhead import BookingRun, run_booking_scenario
+from repro.experiments.tab3_overhead import BookingRun, build_overhead_grid
+from repro.farm import run_specs
 
 
 @dataclass
@@ -43,10 +44,11 @@ class AutomaticResult:
 
 def run_automatic_experiment(*, periods: Tuple[float, ...] = (20.0, 40.0),
                              duration: float = 100.0, num_nodes: int = 40,
-                             seed: int = 29) -> AutomaticResult:
+                             seed: int = 29, jobs: int = 1) -> AutomaticResult:
     """Run the Figure 10 comparison (one booking run per period)."""
-    runs = [run_booking_scenario(background_period=p, duration=duration,
-                                 num_nodes=num_nodes, seed=seed) for p in periods]
+    specs = build_overhead_grid(periods=periods, duration=duration,
+                                num_nodes=num_nodes, seed=seed)
+    runs = run_specs(specs, jobs=jobs)
     return AutomaticResult(runs=runs)
 
 

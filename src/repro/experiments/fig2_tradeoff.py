@@ -33,6 +33,7 @@ from repro.baselines.tact import TactBoundedConsistency
 from repro.core.config import AdaptationMode
 from repro.core.deployment import IdeaDeployment
 from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
 
 
 @dataclass
@@ -141,26 +142,63 @@ def _run_idea(*, num_nodes: int, num_writers: int, period: float, duration: floa
                        converged=app.convergence())
 
 
+#: protocol key → baseline class (``"idea"`` routes to :func:`_run_idea`);
+#: also the Figure 2 presentation order of the trade-off rows
+PROTOCOLS = {
+    "optimistic": OptimisticAntiEntropy,
+    "tact": TactBoundedConsistency,
+    "idea": None,
+    "strong": StrongConsistencyPrimary,
+}
+
+
+def run_protocol_point(*, protocol: str, num_nodes: int = 12,
+                       num_writers: int = 4, period: float = 5.0,
+                       duration: float = 60.0, seed: int = 31,
+                       settle: float = 40.0, anti_entropy_period: float = 30.0,
+                       idea_hint: float = 0.9) -> ProtocolRow:
+    """One Figure 2 grid point: a single protocol on the shared workload."""
+    if protocol not in PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r} "
+                         f"(use one of {tuple(PROTOCOLS)})")
+    if protocol == "idea":
+        return _run_idea(num_nodes=num_nodes, num_writers=num_writers,
+                         period=period, duration=duration, seed=seed,
+                         settle=settle, hint_level=idea_hint)
+    kwargs = {}
+    if protocol == "optimistic":
+        kwargs["anti_entropy_period"] = anti_entropy_period
+    return _run_baseline(PROTOCOLS[protocol], num_nodes=num_nodes,
+                         num_writers=num_writers, period=period,
+                         duration=duration, seed=seed, settle=settle, **kwargs)
+
+
+def build_tradeoff_grid(*, num_nodes: int = 12, num_writers: int = 4,
+                        period: float = 5.0, duration: float = 60.0,
+                        seed: int = 31, settle: float = 40.0,
+                        anti_entropy_period: float = 30.0,
+                        idea_hint: float = 0.9) -> List[PointSpec]:
+    """The four protocol runs as farm point specs (paper row order)."""
+    return [PointSpec.build(
+        run_protocol_point, index=i, labels=("fig2", protocol),
+        protocol=protocol, num_nodes=num_nodes, num_writers=num_writers,
+        period=period, duration=duration, seed=seed, settle=settle,
+        anti_entropy_period=anti_entropy_period, idea_hint=idea_hint)
+        for i, protocol in enumerate(PROTOCOLS)]
+
+
 def run_tradeoff_experiment(*, num_nodes: int = 12, num_writers: int = 4,
                             period: float = 5.0, duration: float = 60.0,
                             seed: int = 31, settle: float = 40.0,
                             anti_entropy_period: float = 30.0,
-                            idea_hint: float = 0.9) -> TradeoffResult:
+                            idea_hint: float = 0.9,
+                            jobs: int = 1) -> TradeoffResult:
     """Run the four protocols on the same conflicting-update workload."""
-    rows = [
-        _run_baseline(OptimisticAntiEntropy, num_nodes=num_nodes,
-                      num_writers=num_writers, period=period, duration=duration,
-                      seed=seed, settle=settle,
-                      anti_entropy_period=anti_entropy_period),
-        _run_baseline(TactBoundedConsistency, num_nodes=num_nodes,
-                      num_writers=num_writers, period=period, duration=duration,
-                      seed=seed, settle=settle),
-        _run_idea(num_nodes=num_nodes, num_writers=num_writers, period=period,
-                  duration=duration, seed=seed, settle=settle, hint_level=idea_hint),
-        _run_baseline(StrongConsistencyPrimary, num_nodes=num_nodes,
-                      num_writers=num_writers, period=period, duration=duration,
-                      seed=seed, settle=settle),
-    ]
+    specs = build_tradeoff_grid(
+        num_nodes=num_nodes, num_writers=num_writers, period=period,
+        duration=duration, seed=seed, settle=settle,
+        anti_entropy_period=anti_entropy_period, idea_hint=idea_hint)
+    rows = run_specs(specs, jobs=jobs)
     return TradeoffResult(rows=rows, updates_per_writer=int(duration // period),
                           num_nodes=num_nodes)
 

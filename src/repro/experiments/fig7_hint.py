@@ -26,6 +26,7 @@ from repro.apps.whiteboard import WhiteboardApp, default_whiteboard_config
 from repro.core.config import AdaptationMode
 from repro.core.deployment import IdeaDeployment
 from repro.experiments.report import format_table, percent
+from repro.farm import PointSpec, run_specs
 
 
 @dataclass
@@ -112,6 +113,27 @@ def run_hint_experiment(*, hint_level: float = 0.95, num_nodes: int = 40,
         updates_issued=updates,
         writers=tuple(writers),
     )
+
+
+#: the two hint levels the paper's Figure 7 panels use
+PAPER_HINT_LEVELS = (0.95, 0.85)
+
+
+def build_hint_grid(*, hint_levels: Sequence[float] = PAPER_HINT_LEVELS,
+                    seed: int = 11, **point_kwargs) -> List[PointSpec]:
+    """One Figure 7 panel per hint level, as farm point specs."""
+    return [PointSpec.build(
+        run_hint_experiment, index=i, labels=("fig7", f"hint{hint:g}"),
+        hint_level=float(hint), seed=seed, **point_kwargs)
+        for i, hint in enumerate(hint_levels)]
+
+
+def run_hint_sweep(*, hint_levels: Sequence[float] = PAPER_HINT_LEVELS,
+                   seed: int = 11, jobs: int = 1,
+                   **point_kwargs) -> List[HintExperimentResult]:
+    """Figure 7's panels (95 % / 85 % by default), optionally farmed."""
+    specs = build_hint_grid(hint_levels=hint_levels, seed=seed, **point_kwargs)
+    return run_specs(specs, jobs=jobs)
 
 
 def format_report(result: HintExperimentResult) -> str:

@@ -11,13 +11,14 @@ takes effect while the system is running.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.apps.users import ScriptedUser, UserAction, UserActionKind
 from repro.apps.whiteboard import WhiteboardApp, default_whiteboard_config
 from repro.core.config import AdaptationMode
 from repro.core.deployment import IdeaDeployment
 from repro.experiments.report import format_table, percent
+from repro.farm import PointSpec, run_specs
 
 
 @dataclass
@@ -104,6 +105,28 @@ def run_hint_change_experiment(*, initial_hint: float = 0.95, later_hint: float 
         lowest_first_half=min(first_half) if first_half else 1.0,
         lowest_second_half=min(second_half) if second_half else 1.0,
         active_resolutions=len(active), writers=tuple(writers))
+
+
+def build_hint_change_grid(*, hint_schedules: Sequence[Tuple[float, float]] =
+                           ((0.95, 0.90), (0.90, 0.80)),
+                           seed: int = 13, **point_kwargs) -> List[PointSpec]:
+    """One Figure 8 run per (initial, later) hint pair, as farm specs."""
+    return [PointSpec.build(
+        run_hint_change_experiment, index=i,
+        labels=("fig8", f"{initial:g}->{later:g}"),
+        initial_hint=float(initial), later_hint=float(later), seed=seed,
+        **point_kwargs)
+        for i, (initial, later) in enumerate(hint_schedules)]
+
+
+def run_hint_change_sweep(*, hint_schedules: Sequence[Tuple[float, float]] =
+                          ((0.95, 0.90), (0.90, 0.80)),
+                          seed: int = 13, jobs: int = 1,
+                          **point_kwargs) -> List[HintChangeResult]:
+    """Figure 8 across several runtime hint schedules, optionally farmed."""
+    specs = build_hint_change_grid(hint_schedules=hint_schedules, seed=seed,
+                                   **point_kwargs)
+    return run_specs(specs, jobs=jobs)
 
 
 def format_report(result: HintChangeResult) -> str:

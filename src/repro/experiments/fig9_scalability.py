@@ -34,6 +34,7 @@ from repro.core.config import AdaptationMode, IdeaConfig
 from repro.core.deployment import DeploymentBuilder
 from repro.experiments.report import format_table
 from repro.experiments.tab2_phases import _build_whiteboard
+from repro.farm import PointSpec, run_specs
 from repro.sim.timers import PeriodicTimer
 
 
@@ -85,18 +86,32 @@ def _measure_for_size(size: int, *, num_nodes: int, seed: int) -> Tuple[float, f
             background_result.phase2_delay)
 
 
-def run_scalability_experiment(*, max_top_layer: int = 10, num_nodes: int = 40,
-                               seed: int = 19) -> ScalabilityResult:
-    """Measure resolution delay for top-layer sizes 2..max_top_layer."""
+def run_scalability_point(*, size: int, num_nodes: int,
+                          seed: int) -> Tuple[float, float]:
+    """One Figure 9 grid point: (active delay, background delay)."""
+    return _measure_for_size(size, num_nodes=num_nodes, seed=seed)
+
+
+def build_scalability_grid(*, max_top_layer: int = 10, num_nodes: int = 40,
+                           seed: int = 19) -> List[PointSpec]:
+    """Top-layer sizes 2..max as farm point specs (pre-farm seed formula)."""
     if max_top_layer < 2:
         raise ValueError("max_top_layer must be >= 2")
+    return [PointSpec.build(
+        run_scalability_point, index=i, labels=("fig9", f"top{size}"),
+        size=size, num_nodes=max(num_nodes, size), seed=seed + size)
+        for i, size in enumerate(range(2, max_top_layer + 1))]
+
+
+def run_scalability_experiment(*, max_top_layer: int = 10, num_nodes: int = 40,
+                               seed: int = 19, jobs: int = 1) -> ScalabilityResult:
+    """Measure resolution delay for top-layer sizes 2..max_top_layer."""
+    specs = build_scalability_grid(max_top_layer=max_top_layer,
+                                   num_nodes=num_nodes, seed=seed)
     sizes = list(range(2, max_top_layer + 1))
-    active: List[float] = []
-    background: List[float] = []
-    for size in sizes:
-        a, b = _measure_for_size(size, num_nodes=max(num_nodes, size), seed=seed + size)
-        active.append(a)
-        background.append(b)
+    delays = run_specs(specs, jobs=jobs)
+    active = [a for a, _ in delays]
+    background = [b for _, b in delays]
     fitted = fit_delay_model(list(zip(sizes, active)))
     return ScalabilityResult(sizes=sizes, active_delays=active,
                              background_delays=background, fitted=fitted,
@@ -164,7 +179,7 @@ def run_large_deployment_point(*, num_nodes: int = LARGE_DEPLOYMENT_NODES,
         raise ValueError("num_nodes must be >= top_layer_size")
     active, background = _measure_for_size(top_layer_size, num_nodes=num_nodes,
                                            seed=seed)
-    wall, events, writes = _run_multiobject_point(
+    wall, events, writes = run_multiobject_point(
         num_nodes=num_nodes, num_objects=num_objects,
         writers_per_object=writers_per_object, write_period=write_period,
         duration=duration, seed=seed, shared_cache=True)
@@ -224,10 +239,10 @@ class MultiObjectResult:
         return rows
 
 
-def _run_multiobject_point(*, num_nodes: int, num_objects: int,
-                           writers_per_object: int, write_period: float,
-                           duration: float, seed: int,
-                           shared_cache: bool) -> Tuple[float, int, int]:
+def run_multiobject_point(*, num_nodes: int, num_objects: int,
+                          writers_per_object: int, write_period: float,
+                          duration: float, seed: int,
+                          shared_cache: bool) -> Tuple[float, int, int]:
     """(wall-clock s, events processed, writes applied) for one sweep point."""
     started = _time.perf_counter()
     deployment = DeploymentBuilder(num_nodes=num_nodes, seed=seed,
@@ -259,12 +274,29 @@ def _run_multiobject_point(*, num_nodes: int, num_objects: int,
     return wall, deployment.sim.events_processed, writes
 
 
+def build_multiobject_grid(*, num_nodes: int = 8,
+                           object_counts: Sequence[int] = (1, 4, 16, 64),
+                           writers_per_object: int = 4,
+                           write_period: float = 2.0, duration: float = 40.0,
+                           seed: int = 11,
+                           shared_cache: bool = True) -> List[PointSpec]:
+    """The objects-per-deployment axis as farm point specs."""
+    return [PointSpec.build(
+        run_multiobject_point, index=i,
+        labels=("multiobject", f"obj{count}"),
+        num_nodes=num_nodes, num_objects=int(count),
+        writers_per_object=writers_per_object, write_period=write_period,
+        duration=duration, seed=seed, shared_cache=shared_cache)
+        for i, count in enumerate(object_counts)]
+
+
 def run_multiobject_experiment(*, num_nodes: int = 8,
                                object_counts: Sequence[int] = (1, 4, 16, 64),
                                writers_per_object: int = 4,
                                write_period: float = 2.0,
                                duration: float = 40.0, seed: int = 11,
-                               shared_cache: bool = True) -> MultiObjectResult:
+                               shared_cache: bool = True,
+                               jobs: int = 1) -> MultiObjectResult:
     """Sweep objects-per-deployment and record wall-clock + events.
 
     Every object is replicated on all ``num_nodes`` hosts and concurrently
@@ -276,14 +308,14 @@ def run_multiobject_experiment(*, num_nodes: int = 8,
     if not counts or counts[0] < 1:
         raise ValueError("object_counts must contain positive integers")
     writers_per_object = min(writers_per_object, num_nodes)
+    specs = build_multiobject_grid(
+        num_nodes=num_nodes, object_counts=counts,
+        writers_per_object=writers_per_object, write_period=write_period,
+        duration=duration, seed=seed, shared_cache=shared_cache)
     walls: List[float] = []
     events: List[int] = []
     writes: List[int] = []
-    for count in counts:
-        wall, processed, applied = _run_multiobject_point(
-            num_nodes=num_nodes, num_objects=count,
-            writers_per_object=writers_per_object, write_period=write_period,
-            duration=duration, seed=seed, shared_cache=shared_cache)
+    for wall, processed, applied in run_specs(specs, jobs=jobs):
         walls.append(wall)
         events.append(processed)
         writes.append(applied)

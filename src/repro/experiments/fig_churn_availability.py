@@ -42,6 +42,7 @@ import numpy as np
 from repro.core.config import AdaptationMode, IdeaConfig
 from repro.core.deployment import DeploymentBuilder, IdeaDeployment
 from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
 from repro.runtime.events import DetectionEvaluated, WriteRecorded
 from repro.scenarios import FaultInjector, FaultPlan
 from repro.sim.timers import PeriodicTimer
@@ -263,19 +264,42 @@ def fingerprint(point: ChurnPointResult) -> Dict[str, object]:
     }
 
 
-def run_churn_experiment(*, node_counts: Sequence[int] = (8, 16, 32, 64),
-                         loss_probabilities: Sequence[float] = (0.0, 0.01, 0.05),
-                         kill_fraction: float = 0.25, duration: float = 120.0,
-                         seed: int = 29, **point_kwargs) -> ChurnSweepResult:
-    """Sweep deployment size × loss rate, killing/recovering 25 % mid-run."""
-    points: List[ChurnPointResult] = []
+def build_churn_grid(*, node_counts: Sequence[int] = (8, 16, 32, 64),
+                     loss_probabilities: Sequence[float] = (0.0, 0.01, 0.05),
+                     kill_fraction: float = 0.25, duration: float = 120.0,
+                     seed: int = 29, **point_kwargs) -> List[PointSpec]:
+    """The size × loss grid as farm point specs (aggregation order).
+
+    Per-point seeds keep the pre-farm formula (``seed + num_nodes``) so the
+    committed ``BENCH_churn.json`` trace replays bit-identically.
+    """
+    specs: List[PointSpec] = []
     for num_nodes in node_counts:
         for loss in loss_probabilities:
-            points.append(run_churn_point(
+            specs.append(PointSpec.build(
+                run_churn_point, index=len(specs),
+                labels=("churn", f"n{num_nodes}", f"loss{loss:g}"),
                 num_nodes=num_nodes, loss_probability=loss,
                 kill_fraction=kill_fraction, duration=duration,
                 seed=seed + num_nodes, **point_kwargs))
-    return ChurnSweepResult(points=points)
+    return specs
+
+
+def run_churn_experiment(*, node_counts: Sequence[int] = (8, 16, 32, 64),
+                         loss_probabilities: Sequence[float] = (0.0, 0.01, 0.05),
+                         kill_fraction: float = 0.25, duration: float = 120.0,
+                         seed: int = 29, jobs: int = 1,
+                         **point_kwargs) -> ChurnSweepResult:
+    """Sweep deployment size × loss rate, killing/recovering 25 % mid-run.
+
+    ``jobs>1`` fans the grid points over farm worker processes; ``jobs=1``
+    runs them serially in-process, bit-identical to the pre-farm loop.
+    """
+    specs = build_churn_grid(
+        node_counts=node_counts, loss_probabilities=loss_probabilities,
+        kill_fraction=kill_fraction, duration=duration, seed=seed,
+        **point_kwargs)
+    return ChurnSweepResult(points=run_specs(specs, jobs=jobs))
 
 
 def format_churn_report(result: ChurnSweepResult) -> str:

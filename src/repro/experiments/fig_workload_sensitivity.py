@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.config import AdaptationMode, IdeaConfig
 from repro.core.deployment import DeploymentBuilder, IdeaDeployment
 from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
 from repro.sim.timers import PeriodicTimer
 from repro.workloads import (
     ClientPopulation,
@@ -233,20 +234,38 @@ def fingerprint(point: WorkloadPointResult) -> Dict[str, object]:
     }
 
 
-def run_workload_sensitivity(*, zipf_skews: Sequence[float] = (0.0, 0.99, 1.2),
-                             read_fractions: Sequence[float] = (0.5, 0.9, 0.99),
-                             shapes: Sequence[str] = SHAPES,
-                             seed: int = 23,
-                             **point_kwargs) -> WorkloadSweepResult:
-    """Sweep Zipf skew × read mix × traffic shape."""
-    points: List[WorkloadPointResult] = []
+def build_workload_grid(*, zipf_skews: Sequence[float] = (0.0, 0.99, 1.2),
+                        read_fractions: Sequence[float] = (0.5, 0.9, 0.99),
+                        shapes: Sequence[str] = SHAPES, seed: int = 23,
+                        **point_kwargs) -> List[PointSpec]:
+    """The skew × mix × shape grid as farm point specs.
+
+    Every cell keeps the sweep's base seed (the pre-farm behaviour), so a
+    farm run replays the committed traces bit-identically.
+    """
+    specs: List[PointSpec] = []
     for shape in shapes:
         for skew in zipf_skews:
             for read_fraction in read_fractions:
-                points.append(run_workload_point(
+                specs.append(PointSpec.build(
+                    run_workload_point, index=len(specs),
+                    labels=("workload", shape, f"zipf{skew:g}",
+                            f"reads{read_fraction:g}"),
                     zipf_skew=skew, read_fraction=read_fraction, shape=shape,
                     seed=seed, **point_kwargs))
-    return WorkloadSweepResult(points=points)
+    return specs
+
+
+def run_workload_sensitivity(*, zipf_skews: Sequence[float] = (0.0, 0.99, 1.2),
+                             read_fractions: Sequence[float] = (0.5, 0.9, 0.99),
+                             shapes: Sequence[str] = SHAPES,
+                             seed: int = 23, jobs: int = 1,
+                             **point_kwargs) -> WorkloadSweepResult:
+    """Sweep Zipf skew × read mix × traffic shape (``jobs>1`` farms it)."""
+    specs = build_workload_grid(
+        zipf_skews=zipf_skews, read_fractions=read_fractions, shapes=shapes,
+        seed=seed, **point_kwargs)
+    return WorkloadSweepResult(points=run_specs(specs, jobs=jobs))
 
 
 def format_workload_report(result: WorkloadSweepResult) -> str:

@@ -16,12 +16,13 @@ phase 2 linear in the member count — is preserved.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.apps.whiteboard import WhiteboardApp, default_whiteboard_config
 from repro.core.config import AdaptationMode
 from repro.core.deployment import IdeaDeployment
 from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
 
 
 @dataclass
@@ -94,6 +95,25 @@ def run_phase_breakdown(*, num_nodes: int = 40, num_writers: int = 4,
     return PhaseBreakdownResult(runs=len(phase2), top_layer_size=num_writers,
                                 phase1_delays=phase1, phase2_delays=phase2,
                                 per_member_cost=per_member)
+
+
+def build_phase_grid(*, writer_counts: Sequence[int] = (2, 4, 8),
+                     num_nodes: int = 40, seed: int = 17) -> List[PointSpec]:
+    """Table 2 at several top-layer sizes, as farm point specs."""
+    return [PointSpec.build(
+        run_phase_breakdown, index=i, labels=("tab2", f"writers{count}"),
+        num_nodes=max(num_nodes, int(count)), num_writers=int(count),
+        seed=seed)
+        for i, count in enumerate(writer_counts)]
+
+
+def run_phase_sweep(*, writer_counts: Sequence[int] = (2, 4, 8),
+                    num_nodes: int = 40, seed: int = 17,
+                    jobs: int = 1) -> List[PhaseBreakdownResult]:
+    """Phase breakdowns across top-layer sizes, optionally farmed."""
+    specs = build_phase_grid(writer_counts=writer_counts,
+                             num_nodes=num_nodes, seed=seed)
+    return run_specs(specs, jobs=jobs)
 
 
 def format_report(result: PhaseBreakdownResult) -> str:

@@ -22,6 +22,7 @@ from repro.apps.booking import BookingApp, default_booking_config
 from repro.apps.workload import UniformWorkload
 from repro.core.deployment import IdeaDeployment
 from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
 
 
 @dataclass
@@ -123,12 +124,24 @@ def run_booking_scenario(*, background_period: float, duration: float = 100.0,
         undersold=outcome.undersold, sales_accepted=outcome.accepted)
 
 
+def build_overhead_grid(*, periods: Tuple[float, ...] = (20.0, 40.0),
+                        duration: float = 100.0, num_nodes: int = 40,
+                        seed: int = 23, **point_kwargs) -> List[PointSpec]:
+    """One booking run per background period, as farm point specs."""
+    return [PointSpec.build(
+        run_booking_scenario, index=i, labels=("tab3", f"period{period:g}"),
+        background_period=float(period), duration=duration,
+        num_nodes=num_nodes, seed=seed, **point_kwargs)
+        for i, period in enumerate(periods)]
+
+
 def run_overhead_experiment(*, periods: Tuple[float, ...] = (20.0, 40.0),
                             duration: float = 100.0, num_nodes: int = 40,
-                            seed: int = 23) -> OverheadResult:
+                            seed: int = 23, jobs: int = 1) -> OverheadResult:
     """Run the Table 3 comparison across background periods."""
-    runs = [run_booking_scenario(background_period=p, duration=duration,
-                                 num_nodes=num_nodes, seed=seed) for p in periods]
+    specs = build_overhead_grid(periods=periods, duration=duration,
+                                num_nodes=num_nodes, seed=seed)
+    runs = run_specs(specs, jobs=jobs)
     totals = [r.resolution_messages for r in runs]
     round_counts = [max(r.background_rounds, 1) for r in runs]
     per_round = messages_per_round(totals, round_counts)

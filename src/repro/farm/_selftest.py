@@ -1,0 +1,65 @@
+"""Importable toy point functions for farm tests and smoke runs.
+
+Worker processes resolve point functions by ``module:qualname`` reference,
+so test points must live in an importable module — not in a test file or a
+closure.  These are deliberately tiny and dependency-free (no simulator
+import) so farm unit tests measure the farm, not the points.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Dict, List
+
+
+def square(x: int, seed: int = 0) -> Dict[str, int]:
+    """A pure deterministic point."""
+    return {"x": x, "seed": seed, "value": x * x + seed % 97, "pid": os.getpid()}
+
+
+def slow_square(x: int, seed: int = 0, delay: float = 0.05) -> Dict[str, int]:
+    """Like :func:`square`, but holds a worker for ``delay`` seconds."""
+    time.sleep(delay)
+    return square(x, seed)
+
+
+def explode(x: int, message: str = "boom") -> None:
+    """A point that always raises."""
+    raise ValueError(f"{message} (x={x})")
+
+
+def flaky(scratch_dir: str, fail_times: int, x: int = 7) -> Dict[str, int]:
+    """Fails its first ``fail_times`` executions, then succeeds.
+
+    Cross-process attempt counting goes through marker files in
+    ``scratch_dir`` (one per execution), so retries on fresh workers — or
+    even fresh pools — observe earlier attempts.
+    """
+    scratch = Path(scratch_dir)
+    scratch.mkdir(parents=True, exist_ok=True)
+    executions = len(list(scratch.glob("attempt-*")))
+    (scratch / f"attempt-{executions}-{os.getpid()}").touch()
+    if executions < fail_times:
+        raise RuntimeError(f"flaky failure {executions + 1}/{fail_times}")
+    return {"x": x, "executions": executions + 1}
+
+
+def kamikaze(x: int = 0) -> None:
+    """Kills its own worker process mid-point (SIGKILL, no cleanup)."""
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def unpicklable_reply(x: int = 0):
+    """Returns a value that cannot cross the process boundary."""
+    return lambda: x  # noqa: E731 - intentionally unpicklable
+
+
+def seeded_draws(seed: int, count: int = 4) -> List[float]:
+    """Deterministic pseudo-random draws from an explicit seed."""
+    import random
+
+    rng = random.Random(seed)
+    return [rng.random() for _ in range(count)]

@@ -1,0 +1,107 @@
+"""Per-point outcomes and the aggregated sweep result.
+
+Every spec handed to the farm produces exactly one :class:`PointOutcome`
+at its grid index — success or failure, never a silent drop.  A failing
+point carries its exception string and full traceback text (captured inside
+the worker, so it survives the process boundary) plus the attempt counters,
+and :meth:`SweepResult.values` either returns the ordered point values or
+raises :class:`FarmPointError` naming every failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.farm.spec import PointSpec
+
+
+@dataclass
+class PointOutcome:
+    """What happened to one grid point."""
+
+    spec: PointSpec
+    ok: bool = False
+    value: Any = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    #: executions that started (1 for a clean first-try success)
+    attempts: int = 0
+    #: times this point was in flight when the worker pool died
+    pool_breaks: int = 0
+    #: wall/CPU seconds of the attempt that produced this outcome
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    worker_pid: Optional[int] = None
+
+    def telemetry(self) -> Dict[str, object]:
+        return {
+            "index": self.spec.index,
+            "label": self.spec.label,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "pool_breaks": self.pool_breaks,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "cpu_seconds": round(self.cpu_seconds, 6),
+            "worker_pid": self.worker_pid,
+            "error": self.error,
+        }
+
+
+class FarmPointError(RuntimeError):
+    """Raised by :meth:`SweepResult.values` when any point failed."""
+
+    def __init__(self, failures: List[PointOutcome]) -> None:
+        self.failures = failures
+        lines = [f"{len(failures)} sweep point(s) failed:"]
+        for outcome in failures:
+            lines.append(f"  [{outcome.spec.index}] {outcome.spec.label}: "
+                         f"{outcome.error} (attempts={outcome.attempts}, "
+                         f"pool_breaks={outcome.pool_breaks})")
+        first_tb = next((o.traceback for o in failures if o.traceback), None)
+        if first_tb:
+            lines.append("first failure traceback:")
+            lines.append(first_tb.rstrip())
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class SweepResult:
+    """Ordered outcomes of one sweep plus whole-sweep telemetry."""
+
+    outcomes: List[PointOutcome]
+    jobs: int
+    wall_seconds: float = 0.0
+    pool_rebuilds: int = 0
+    executor: str = "serial"
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def failures(self) -> List[PointOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def values(self, strict: bool = True) -> List[Any]:
+        """Point values in grid order; raises on failures unless relaxed."""
+        failures = self.failures
+        if failures and strict:
+            raise FarmPointError(failures)
+        return [outcome.value for outcome in self.outcomes]
+
+    def telemetry(self) -> Dict[str, object]:
+        """A JSON-able summary (per-point timing, attempts, failures)."""
+        return {
+            "executor": self.executor,
+            "jobs": self.jobs,
+            "points": len(self.outcomes),
+            "failed": len(self.failures),
+            "pool_rebuilds": self.pool_rebuilds,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "point_wall_seconds": round(
+                sum(o.wall_seconds for o in self.outcomes), 6),
+            "point_cpu_seconds": round(
+                sum(o.cpu_seconds for o in self.outcomes), 6),
+            "per_point": [outcome.telemetry() for outcome in self.outcomes],
+        }

@@ -1,0 +1,54 @@
+"""Worker-side execution: run one point, return everything as data.
+
+``execute_payload`` is the only function the farm ever submits to a worker
+process.  It resolves the point function by importable reference, times the
+call (wall and CPU), and — crucially — catches ordinary exceptions *inside*
+the worker, returning them as strings.  A future that raises therefore
+means the worker itself died (killed, segfaulted, or its reply failed to
+pickle), which is exactly the signal the farm's pool-rebuild path keys on.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.farm.spec import resolve_callable
+
+#: what travels to a worker: (spec index, callable ref, kwargs)
+Payload = Tuple[int, str, Dict[str, Any]]
+
+
+@dataclass
+class WorkerReply:
+    """One executed point, as returned from a worker (or the serial loop)."""
+
+    index: int
+    value: Any = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    pid: int = 0
+
+
+def execute_payload(payload: Payload) -> WorkerReply:
+    """Run one point; never raises for point-level errors."""
+    index, func_ref, kwargs = payload
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    try:
+        value = resolve_callable(func_ref)(**kwargs)
+        error = tb = None
+    except Exception as exc:
+        value = None
+        error = f"{type(exc).__qualname__}: {exc}"
+        tb = traceback.format_exc()
+    return WorkerReply(
+        index=index, value=value, error=error, traceback=tb,
+        wall_seconds=time.perf_counter() - wall0,
+        cpu_seconds=time.process_time() - cpu0,
+        pid=os.getpid())

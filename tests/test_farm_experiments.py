@@ -1,0 +1,186 @@
+"""Farm integration with the experiment harnesses.
+
+Satellite coverage for the sweep-farm PR:
+
+* **picklability audit** — every experiment grid's specs and every point
+  function's *result* must survive a pickle round trip, because that is
+  exactly what crossing the worker-process boundary does;
+* **jobs=1 oracle** — the farm's serial path reproduces direct point calls
+  bit-for-bit;
+* **worker-boundary smoke** — a representative point from the cheap grids
+  runs through an actual 2-worker farm and matches the in-process value;
+* **CLI** — ``python -m repro.experiments`` lists, runs, applies
+  ``--param`` overrides, and writes JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pickle
+
+import pytest
+
+import repro.experiments as ex
+from repro.experiments import cli, registry
+from repro.experiments.fig2_tradeoff import run_protocol_point
+from repro.experiments.fig7_hint import run_hint_experiment
+from repro.experiments.fig8_hint_change import run_hint_change_experiment
+from repro.experiments.fig9_scalability import (run_multiobject_point,
+                                                run_scalability_point)
+from repro.experiments.fig_churn_availability import (
+    fingerprint as churn_fingerprint, run_churn_point)
+from repro.experiments.fig_workload_sensitivity import run_workload_point
+from repro.experiments.tab2_phases import run_phase_breakdown
+from repro.experiments.tab3_overhead import run_booking_scenario
+from repro.farm import PointSpec, run_specs
+
+#: one representative, seconds-cheap invocation per experiment point
+#: function — the picklability audit executes each and round-trips the result
+CHEAP_POINTS = {
+    "fig2": (run_protocol_point,
+             dict(protocol="optimistic", num_nodes=6, duration=10.0,
+                  settle=5.0)),
+    "fig7": (run_hint_experiment, dict(num_nodes=8, duration=15.0)),
+    "fig8": (run_hint_change_experiment,
+             dict(num_nodes=8, duration=30.0, switch_time=15.0)),
+    "tab2": (run_phase_breakdown, dict(num_nodes=8, num_writers=2)),
+    "tab3": (run_booking_scenario,
+             dict(background_period=20.0, duration=20.0, num_nodes=8)),
+    "fig9": (run_scalability_point, dict(size=2, num_nodes=8, seed=19)),
+    "multiobject": (run_multiobject_point,
+                    dict(num_nodes=4, num_objects=1, writers_per_object=2,
+                         write_period=2.0, duration=10.0, seed=11,
+                         shared_cache=True)),
+    "churn": (run_churn_point, dict(num_nodes=8, duration=20.0)),
+    "workload": (run_workload_point,
+                 dict(num_nodes=8, num_clients=8, duration=15.0)),
+}
+
+ALL_GRIDS = {
+    "fig2": ex.build_tradeoff_grid,
+    "fig7": ex.build_hint_grid,
+    "fig8": ex.build_hint_change_grid,
+    "tab2": ex.build_phase_grid,
+    "tab3": ex.build_overhead_grid,
+    "fig9": ex.build_scalability_grid,
+    "multiobject": ex.build_multiobject_grid,
+    "churn": ex.build_churn_grid,
+    "workload": ex.build_workload_grid,
+}
+
+
+def _normalize(value):
+    """Nested primitives with NaN made comparable (NaN != NaN otherwise)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _normalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    return value
+
+
+# ---------------------------------------------------------------------------
+# picklability audit
+
+
+@pytest.mark.parametrize("name", sorted(ALL_GRIDS))
+def test_every_grid_builds_picklable_specs(name):
+    specs = ALL_GRIDS[name]()
+    assert specs, name
+    for spec in specs:
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        # Per-point provenance: every grid records the seed it runs with.
+        assert spec.seed is not None
+        assert spec.kwargs.get("seed") == spec.seed
+
+
+@pytest.mark.parametrize("name", sorted(CHEAP_POINTS))
+def test_point_results_survive_the_process_boundary(name):
+    fn, kwargs = CHEAP_POINTS[name]
+    result = fn(**kwargs)
+    clone = pickle.loads(pickle.dumps(result))
+    assert _normalize(clone) == _normalize(result)
+
+
+# ---------------------------------------------------------------------------
+# the serial oracle and the worker boundary
+
+
+def test_jobs1_matches_direct_point_calls():
+    sweep = ex.run_churn_experiment(node_counts=(8,),
+                                    loss_probabilities=(0.0, 0.01),
+                                    duration=20.0, jobs=1)
+    direct = [run_churn_point(num_nodes=8, loss_probability=loss,
+                              kill_fraction=0.25, duration=20.0, seed=29 + 8)
+              for loss in (0.0, 0.01)]
+    assert ([churn_fingerprint(p) for p in sweep.points]
+            == [churn_fingerprint(p) for p in direct])
+
+
+def test_experiment_point_through_real_workers():
+    spec = PointSpec.build(run_churn_point, index=0, labels=("smoke",),
+                           num_nodes=8, duration=20.0, seed=41)
+    (farmed,) = run_specs([spec], jobs=2)
+    direct = run_churn_point(num_nodes=8, duration=20.0, seed=41)
+    assert churn_fingerprint(farmed) == churn_fingerprint(direct)
+
+
+def test_phase_sweep_farms_and_matches_serial():
+    serial = ex.run_phase_sweep(writer_counts=(2, 3), num_nodes=8)
+    farmed = ex.run_phase_sweep(writer_counts=(2, 3), num_nodes=8, jobs=2)
+    assert _normalize(serial) == _normalize(farmed)
+
+
+# ---------------------------------------------------------------------------
+# registry + CLI
+
+
+def test_registry_covers_every_experiment_module():
+    assert set(registry.REGISTRY) == {"fig2", "fig7", "fig8", "tab2", "fig9",
+                                      "multiobject", "tab3", "fig10", "churn",
+                                      "workload"}
+    for entry in registry.REGISTRY.values():
+        assert entry.description
+        assert callable(entry.run) and callable(entry.report)
+        assert entry.smoke, f"{entry.name} has no smoke parameters"
+
+
+def test_cli_list(capsys):
+    assert cli.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in registry.REGISTRY:
+        assert name in out
+
+
+def test_cli_unknown_experiment(capsys):
+    assert cli.main(["--run", "nope"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_cli_run_with_params_and_json(tmp_path, capsys):
+    out_path = tmp_path / "result.json"
+    rc = cli.main(["--run", "tab2", "--jobs", "1", "--quiet",
+                   "--param", "writer_counts=(2,)", "--param", "num_nodes=8",
+                   "--json", str(out_path)])
+    assert rc == 0
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["experiment"] == "tab2"
+    assert payload["jobs"] == 1
+    assert payload["parameters"]["writer_counts"] == [2]
+    (result,) = payload["result"]
+    assert result["top_layer_size"] == 2
+    assert result["phase2_delays"]
+
+
+def test_cli_defaults_jobs_from_env(monkeypatch, capsys):
+    monkeypatch.setenv("FARM_JOBS", "2")
+    rc = cli.main(["--run", "tab2", "--quiet",
+                   "--param", "writer_counts=(2,)", "--param", "num_nodes=8"])
+    assert rc == 0

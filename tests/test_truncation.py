@@ -458,7 +458,7 @@ class TestGoldenTraceReplay:
         from repro.core.deployment import DeploymentBuilder
         from repro.sim.timers import PeriodicTimer
 
-        # Mirror fig9_scalability._run_multiobject_point at the gated 8-object
+        # Mirror fig9_scalability.run_multiobject_point at the gated 8-object
         # point, but advance in chunks with a truncation sweep in between.
         num_nodes, num_objects, writers_per_object = baseline["num_nodes"], 8, 4
         write_period = 0.4
