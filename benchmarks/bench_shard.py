@@ -1,0 +1,110 @@
+"""Space-partitioned backend benchmark: speedup with bit-identical state.
+
+Runs the 512-node Figure 9 workload point (512 objects, 4 writers each,
+250 ms write period, 15 s simulated) twice:
+
+* once on the **single-process oracle** (``shards=1`` — today's engine), and
+* once **space-partitioned** over 4 spawn-started shard processes under the
+  conservative lookahead window,
+
+then asserts the sharded run reproduces the oracle's fingerprint exactly
+(events executed, writes applied, messages sent/delivered, and the SHA-256
+over every replica's final vector/metadata state).  Wall clocks, per-window
+telemetry and the fingerprints are persisted to ``BENCH_shard.json`` for
+the regression gate, together with a seconds-sized **probe point** whose
+oracle fingerprint the gate re-runs live at shards=1 and shards=2.
+
+The speedup floor (≥ 1.8× at 4 shards) is only asserted on hosts with at
+least 4 CPU cores — on a 1-core runner the lockstep windows cannot overlap,
+but the determinism contract is gated unconditionally, and the recorded
+numbers always include ``cpu_count`` so readers can interpret them honestly.
+
+``SHARD_BENCH_SMOKE=1`` shrinks the point to a 64-node/2-shard run in
+seconds and writes ``BENCH_shard_smoke.json`` instead (CI smoke path; the
+committed ``BENCH_shard.json`` is only ever produced by the full point).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.shard.scenarios import run_shard_point
+
+#: the measured point: dense enough that each ~7 ms lookahead window holds
+#: hundreds of events, so IPC barriers amortise and sharding can win
+MAIN_POINT = dict(num_nodes=512, num_objects=512, writers_per_object=4,
+                  write_period=0.25, duration=15.0, seed=2029)
+SMOKE_POINT = dict(num_nodes=64, num_objects=16, writers_per_object=4,
+                   write_period=0.25, duration=5.0, seed=2029)
+#: seconds-sized point the regression gate re-runs live against the
+#: committed fingerprint (shards=1 and shards=2 must both reproduce it)
+PROBE_POINT = dict(num_nodes=64, num_objects=16, writers_per_object=4,
+                   write_period=0.5, duration=5.0, seed=2029)
+
+SHARDS = 4
+MIN_SPEEDUP = 1.8
+MIN_SPEEDUP_CORES = 4
+
+_SMOKE = os.environ.get("SHARD_BENCH_SMOKE", "") not in ("", "0")
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_shard_smoke.json" if _SMOKE else "BENCH_shard.json")
+
+
+def bench_shard(benchmark):
+    point = SMOKE_POINT if _SMOKE else MAIN_POINT
+    shards = 2 if _SMOKE else SHARDS
+    cpu_count = os.cpu_count() or 1
+
+    # Single-process oracle: ground truth the sharded run must reproduce.
+    serial_started = time.perf_counter()
+    serial = run_shard_point(**point, shards=1)
+    serial_wall = time.perf_counter() - serial_started
+
+    # Sharded leg, timed as the benchmark's measured operation.
+    sharded = benchmark.pedantic(
+        lambda: run_shard_point(**point, shards=shards),
+        rounds=1, iterations=1)
+
+    # Determinism contract, gated unconditionally.
+    fingerprint_match = sharded.fingerprint() == serial.fingerprint()
+    assert fingerprint_match, (
+        f"sharded run diverged from the oracle:\n"
+        f"  oracle : {serial.fingerprint()}\n"
+        f"  sharded: {sharded.fingerprint()}")
+
+    speedup = serial_wall / sharded.wall_seconds if sharded.wall_seconds else 0.0
+    print(f"\nserial {serial_wall:.2f}s, sharded (shards={shards}) "
+          f"{sharded.wall_seconds:.2f}s, speedup {speedup:.2f}x "
+          f"on {cpu_count} core(s); window {sharded.window * 1e3:.2f} ms, "
+          f"{sharded.windows} windows, "
+          f"{sharded.mean_window_events:.0f} events/window")
+
+    # The probe the regression gate replays live (cheap on any host).
+    probe = run_shard_point(**PROBE_POINT, shards=1)
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "experiment": "shard_fig9_point",
+        "smoke": _SMOKE,
+        "point": point,
+        "shards": shards,
+        "cpu_count": cpu_count,
+        "serial_wall_seconds": serial_wall,
+        "sharded_wall_seconds": sharded.wall_seconds,
+        "speedup": speedup,
+        "fingerprint_match": fingerprint_match,
+        "fingerprints": serial.fingerprint(),
+        "telemetry": sharded.telemetry(),
+        "probe": {"point": PROBE_POINT,
+                  "fingerprints": probe.fingerprint()},
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH.name}")
+
+    # Honest speedup gate: only where the cores exist to deliver it.
+    if cpu_count >= MIN_SPEEDUP_CORES:
+        assert speedup >= MIN_SPEEDUP, (
+            f"shard speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+            f"on a {cpu_count}-core host")

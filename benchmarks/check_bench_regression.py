@@ -24,7 +24,13 @@ Reruns the committed benchmark scenarios and fails when drift is detected:
   serial-vs-``jobs=2`` rerun of a grid subset must reproduce the committed
   per-point fingerprints exactly, serial wall-clock is held to the
   threshold when the committed grid is long enough, and the committed
-  speedup must clear its floor when the committed host had the cores.
+  speedup must clear its floor when the committed host had the cores;
+* ``BENCH_shard.json`` — the space-partitioned 512-node Figure 9 point:
+  the committed run must record ``fingerprint_match`` (sharded == serial
+  oracle), a live rerun of the seconds-sized probe point at ``shards=1``
+  and ``shards=2`` must reproduce the committed probe fingerprints
+  exactly, and the committed 4-shard speedup must clear its floor when
+  the committed host had the cores.
 
 Usage::
 
@@ -50,11 +56,17 @@ CHURN_PATH = ROOT / "BENCH_churn.json"
 WORKLOAD_PATH = ROOT / "BENCH_workload.json"
 LONGRUN_PATH = ROOT / "BENCH_longrun.json"
 FARM_PATH = ROOT / "BENCH_farm.json"
+SHARD_PATH = ROOT / "BENCH_shard.json"
 
 #: speedup floor the committed farm benchmark must clear, provided the host
 #: that produced it had at least this many cores (mirrors bench_farm.py)
 FARM_MIN_SPEEDUP = 3.0
 FARM_MIN_SPEEDUP_CORES = 4
+
+#: speedup floor the committed shard benchmark must clear, provided the
+#: host that produced it had the cores (mirrors bench_shard.py)
+SHARD_MIN_SPEEDUP = 1.8
+SHARD_MIN_SPEEDUP_CORES = 4
 #: grid points to re-execute live (serial + jobs=2); the full grid is the
 #: benchmark's job, the gate just needs enough to catch drift
 FARM_RERUN_POINTS = 2
@@ -312,6 +324,60 @@ def check_farm(threshold: float) -> bool:
     return failed
 
 
+def check_shard(threshold: float) -> bool:
+    """Gate the committed space-partitioned Figure 9 point."""
+    del threshold  # wall-clock is host-bound; the gate is determinism + floor
+    if not SHARD_PATH.exists():
+        print("== shard == (no committed BENCH_shard.json, skipping)")
+        return False
+    from repro.shard.scenarios import run_shard_point
+
+    committed = json.loads(SHARD_PATH.read_text(encoding="utf-8"))
+
+    print("== shard ==")
+    print(f"committed: {committed['point']['num_nodes']} nodes, "
+          f"serial {committed['serial_wall_seconds']:.2f}s, "
+          f"shards={committed['shards']} "
+          f"{committed['sharded_wall_seconds']:.2f}s, "
+          f"speedup {committed['speedup']:.2f}x "
+          f"on {committed['cpu_count']} core(s)")
+
+    failed = False
+    if not committed.get("fingerprint_match"):
+        print("FAIL: committed run did not record fingerprint_match "
+              "(sharded run diverged from the serial oracle)")
+        failed = True
+
+    # Live determinism probe: replay the committed probe point on today's
+    # engine, in-process (shards=1) and across a real 2-shard worker pair,
+    # and hold both against the committed fingerprint.
+    probe = committed["probe"]
+    base_print = probe["fingerprints"]
+    for shards in (1, 2):
+        rerun = run_shard_point(**probe["point"], shards=shards)
+        if rerun.fingerprint() != base_print:
+            print(f"FAIL: probe rerun at shards={shards} diverged from the "
+                  f"committed fingerprint (determinism broken):\n"
+                  f"  committed: {base_print}\n"
+                  f"  rerun    : {rerun.fingerprint()}")
+            failed = True
+    if not failed:
+        print("probe re-run at shards=1 and shards=2: fingerprints match "
+              "the committed trace")
+
+    # Speedup floor, honoured only when the committed host could deliver it.
+    if committed["cpu_count"] >= SHARD_MIN_SPEEDUP_CORES:
+        if committed["speedup"] < SHARD_MIN_SPEEDUP:
+            print(f"FAIL: committed speedup {committed['speedup']:.2f}x is "
+                  f"below the {SHARD_MIN_SPEEDUP}x floor despite "
+                  f"{committed['cpu_count']} cores")
+            failed = True
+    else:
+        print(f"speedup floor waived: committed host had only "
+              f"{committed['cpu_count']} core(s)")
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.25,
@@ -319,9 +385,9 @@ def main(argv: list[str] | None = None) -> int:
                              "committed baselines (default 0.25 = +25%%)")
     parser.add_argument("--only",
                         choices=("multiobject", "churn", "workload", "longrun",
-                                 "farm"),
+                                 "farm", "shard"),
                         default=None,
-                        help="run a single gate instead of all five")
+                        help="run a single gate instead of all six")
     args = parser.parse_args(argv)
 
     gates = {
@@ -330,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
         "workload": check_workload,
         "longrun": check_longrun,
         "farm": check_farm,
+        "shard": check_shard,
     }
     selected = [args.only] if args.only else list(gates)
     failed = False

@@ -10,7 +10,22 @@ substrate itself.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+def pytest_benchmark_update_machine_info(config, machine_info):
+    """Record host shape and parallelism config in ``--benchmark-json`` runs.
+
+    ``BENCH_fig9.json`` (and any other pytest-benchmark JSON artefact) then
+    carries enough context for regression gates to condition on the host —
+    a 1-core runner cannot clear speedup floors, and the farm/shard worker
+    counts explain the wall-clocks the numbers were taken under.
+    """
+    machine_info["cpu_count"] = os.cpu_count() or 1
+    machine_info["farm_jobs"] = os.environ.get("FARM_JOBS", "")
+    machine_info["shard_procs"] = os.environ.get("SHARD_PROCS", "")
 
 
 def run_once(benchmark, fn):

@@ -29,7 +29,10 @@ private callbacks anywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (shard -> deployment)
+    from repro.shard.partition import ShardPlan
 
 from repro.core.adaptive import AutomaticController
 from repro.core.config import AdaptationMode, IdeaConfig
@@ -49,7 +52,8 @@ from repro.runtime.events import (
 from repro.runtime.node_runtime import NodeRuntime
 from repro.sim.clock import ClockModel
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel, PlanetLabLatencyModel
+from repro.sim.latency import (LatencyModel, PerSourceLatencyModel,
+                               PlanetLabLatencyModel)
 from repro.sim.network import Network
 from repro.sim.node import Node
 from repro.sim.timers import PeriodicTimer
@@ -86,6 +90,7 @@ class _ObjectSpec:
     participants: Optional[Sequence[str]]
     policy: Optional[ResolutionPolicy]
     start_background: bool
+    top_layer: Optional[Sequence[str]] = None
 
 
 @dataclass
@@ -141,16 +146,46 @@ class DeploymentBuilder:
         self._object_specs: List[_ObjectSpec] = []
         self._traffic_spec: Optional[_TrafficSpec] = None
         self._start_services = False
+        self._shard_plan: Optional["ShardPlan"] = None
+        self._shard_index = 0
 
     # ------------------------------------------------------------- fluent API
     def add_object(self, object_id: str, config: IdeaConfig, *,
                    participants: Optional[Sequence[str]] = None,
                    policy: Optional[ResolutionPolicy] = None,
-                   start_background: bool = True) -> "DeploymentBuilder":
-        """Queue an object placement for the placement pass."""
+                   start_background: bool = True,
+                   top_layer: Optional[Sequence[str]] = None) -> "DeploymentBuilder":
+        """Queue an object placement for the placement pass.
+
+        ``top_layer`` pins the object to a static top layer instead of the
+        shared temperature overlay — required in partitioned builds, where
+        no shard sees the whole overlay (see :meth:`partition`).
+        """
         self._object_specs.append(_ObjectSpec(
             object_id=object_id, config=config, participants=participants,
-            policy=policy, start_background=start_background))
+            policy=policy, start_background=start_background,
+            top_layer=top_layer))
+        return self
+
+    def partition(self, plan: "ShardPlan",
+                  shard_index: int = 0) -> "DeploymentBuilder":
+        """Build only ``shard_index``'s slice of a space-partitioned deployment.
+
+        The passes then host node/store/runtime stacks for the shard's local
+        nodes only, swap the network for a
+        :class:`~repro.shard.network.ShardedNetwork` proxy that outboxes
+        cross-shard sends, and default the latency model to the
+        shard-decomposition-safe :class:`PerSourceLatencyModel`.  Features
+        whose determinism depends on seeing every node in one process —
+        message loss, gossip, RanSub/dynamic overlays (objects must pin a
+        static ``top_layer``), runtime partitions — raise during the build.
+        """
+        if not 0 <= shard_index < plan.num_shards:
+            raise ValueError(
+                f"shard_index {shard_index} out of range for "
+                f"{plan.num_shards}-shard plan")
+        self._shard_plan = plan
+        self._shard_index = shard_index
         return self
 
     def start_overlay_services(self) -> "DeploymentBuilder":
@@ -198,21 +233,61 @@ class DeploymentBuilder:
         d.topology = (self.topology if self.topology is not None
                       else planetlab_topology(self.num_nodes))
         d.node_ids = list(d.topology.node_ids)
+        d.shard_plan = self._shard_plan
+        d.shard_index = self._shard_index
+        if self._shard_plan is None:
+            d.local_node_ids = list(d.node_ids)
+        else:
+            missing = [n for n in d.node_ids
+                       if n not in self._shard_plan.node_shard]
+            if missing:
+                raise ValueError(
+                    f"shard plan does not cover node(s) {missing[:3]}; "
+                    f"build the plan from the same topology")
+            d.local_node_ids = self._shard_plan.local_nodes(
+                self._shard_index, d.node_ids)
 
     def _network_pass(self, d: "IdeaDeployment") -> None:
-        """Latency model, network, and per-host node/store/runtime."""
-        d.latency = (self.latency if self.latency is not None
-                     else PlanetLabLatencyModel(
-                         d.topology, d.sim.random.stream("latency")))
-        d.network = Network(d.sim, d.latency,
-                            loss_probability=self.loss_probability)
+        """Latency model, network, and per-host node/store/runtime.
+
+        In partitioned builds only the shard's local nodes get full stacks;
+        the remaining ids register on the :class:`ShardedNetwork` proxy as
+        remote, so sends to them are outboxed instead of raising.
+        """
+        if self._shard_plan is not None:
+            from repro.shard.network import ShardedNetwork
+
+            if self.loss_probability > 0:
+                raise ValueError(
+                    "message loss is not supported in partitioned builds "
+                    "(loss draws consume a shared global RNG stream)")
+            if self.use_gossip:
+                raise ValueError(
+                    "gossip is not supported in partitioned builds "
+                    "(membership spans shard boundaries)")
+            d.latency = (self.latency if self.latency is not None
+                         else PerSourceLatencyModel(d.topology, d.sim.random))
+            if (isinstance(d.latency, PerSourceLatencyModel)
+                    and d.latency.streams is None):
+                d.latency.streams = d.sim.random
+            d.network = ShardedNetwork(d.sim, d.latency,
+                                       shard_index=self._shard_index)
+        else:
+            d.latency = (self.latency if self.latency is not None
+                         else PlanetLabLatencyModel(
+                             d.topology, d.sim.random.stream("latency")))
+            if (isinstance(d.latency, PerSourceLatencyModel)
+                    and d.latency.streams is None):
+                d.latency.streams = d.sim.random
+            d.network = Network(d.sim, d.latency,
+                                loss_probability=self.loss_probability)
         d.clock_model = (self.clock_model if self.clock_model is not None
                          else ClockModel())
         d.bus = self.bus if self.bus is not None else EventBus()
         d.nodes = {}
         d.stores = {}
         d.runtimes = {}
-        for node_id in d.node_ids:
+        for node_id in d.local_node_ids:
             node = Node(d.sim, d.network, node_id, clock_model=d.clock_model,
                         processing_delay=self.processing_delay)
             store = ReplicatedStore(node_id)
@@ -221,14 +296,23 @@ class DeploymentBuilder:
             d.runtimes[node_id] = NodeRuntime(
                 node, store, bus=d.bus,
                 cache_digests=self.shared_digest_cache)
+        if self._shard_plan is not None:
+            d.network.register_remote(
+                n for n in d.node_ids if n not in d.nodes)
 
     def _overlay_pass(self, d: "IdeaDeployment") -> None:
         """RanSub, the two-layer temperature overlay, optional gossip."""
         d.ransub = None
         if self.use_ransub:
+            if self._shard_plan is not None:
+                raise ValueError(
+                    "RanSub is not supported in partitioned builds: its "
+                    "candidate-set sampling needs every node in one process; "
+                    "build with use_ransub=False and pin static top layers")
             d.ransub = RanSubService(d.sim, d.network, d.node_ids,
                                      round_period=self.ransub_period)
-        d.overlay = TwoLayerOverlay(d.node_ids, config=self.overlay_config,
+        d.overlay = TwoLayerOverlay(d.local_node_ids,
+                                    config=self.overlay_config,
                                     ransub=d.ransub)
         d.gossip = None
         if self.use_gossip:
@@ -257,7 +341,8 @@ class DeploymentBuilder:
             d.register_object(spec.object_id, spec.config,
                               participants=spec.participants,
                               policy=spec.policy,
-                              start_background=spec.start_background)
+                              start_background=spec.start_background,
+                              top_layer=spec.top_layer)
 
     def _scheduling_pass(self, d: "IdeaDeployment") -> None:
         """Start the periodic overlay services when requested."""
@@ -281,6 +366,11 @@ class IdeaDeployment:
     sim: Simulator
     topology: Topology
     node_ids: List[str]
+    #: the shard plan when this is one slice of a partitioned deployment
+    shard_plan: Optional["ShardPlan"]
+    shard_index: int
+    #: node ids hosted *in this process* (== node_ids when unpartitioned)
+    local_node_ids: List[str]
     latency: LatencyModel
     network: Network
     clock_model: ClockModel
@@ -322,22 +412,44 @@ class IdeaDeployment:
     def register_object(self, object_id: str, config: IdeaConfig, *,
                         participants: Optional[Sequence[str]] = None,
                         policy: Optional[ResolutionPolicy] = None,
-                        start_background: bool = True) -> ManagedObject:
+                        start_background: bool = True,
+                        top_layer: Optional[Sequence[str]] = None) -> ManagedObject:
         """Create replicas and middleware for a shared object.
 
         ``participants`` restricts which nodes run IDEA middleware for the
         object (defaults to every node).  All participants get a replica;
         each middleware is attached through its node's shared runtime.
+
+        ``top_layer`` pins a static top layer for the object instead of the
+        shared temperature overlay.  Partitioned deployments *require* it:
+        the overlay is per-process, so a dynamic top layer would diverge
+        between shards.  In a partitioned deployment participants hosted by
+        other shards are skipped — they get their middleware in their own
+        shard's process.
         """
         if object_id in self.objects:
             raise ValueError(f"object {object_id!r} already registered")
         participants = list(participants) if participants is not None else list(self.node_ids)
+        if top_layer is not None:
+            static_top = list(top_layer)
+            provider = lambda: list(static_top)  # noqa: E731 - tiny closure
+        elif self.shard_plan is not None:
+            raise ValueError(
+                f"object {object_id!r} needs a static top_layer in a "
+                f"partitioned deployment (the temperature overlay is "
+                f"per-process)")
+        else:
+            provider = lambda oid=object_id: self.top_layer(oid)  # noqa: E731
         managed = ManagedObject(object_id=object_id, config=config)
         for node_id in participants:
-            managed.middlewares[node_id] = self.runtimes[node_id].attach(
-                object_id, config,
-                top_layer_provider=lambda oid=object_id: self.top_layer(oid),
-                policy=policy)
+            runtime = self.runtimes.get(node_id)
+            if runtime is None:
+                if (self.shard_plan is not None
+                        and node_id in self.shard_plan.node_shard):
+                    continue  # hosted by another shard
+                raise KeyError(f"participant {node_id!r} is not a deployment node")
+            managed.middlewares[node_id] = runtime.attach(
+                object_id, config, top_layer_provider=provider, policy=policy)
         self.objects[object_id] = managed
         if self.gossip is not None:
             self.gossip.watch_object(object_id)
@@ -453,7 +565,7 @@ class IdeaDeployment:
         self.trace.increment("faults.recover")
 
     def alive_node_ids(self) -> List[str]:
-        return [n for n in self.node_ids if self.nodes[n].alive]
+        return [n for n in self.local_node_ids if self.nodes[n].alive]
 
     # --------------------------------------------------------------- overlay
     def top_layer(self, object_id: str) -> List[str]:

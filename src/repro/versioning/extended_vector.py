@@ -523,6 +523,21 @@ class ExtendedVersionVector:
         staleness = max(0.0, reference.latest_update_time() - self._last_consistent_time)
         return ErrorTriple(numerical=numerical, order=order, staleness=staleness)
 
+    # ------------------------------------------------------------- pickling
+    def __reduce__(self):
+        """Pickle content fields only, dropping every memoised cache.
+
+        ``_counts_cache`` holds a :class:`VersionVector` whose own ``dense()``
+        cache indexes the process-local ``GLOBAL_WRITERS`` table, so default
+        ``__slots__`` pickling would smuggle one process's interning order
+        into another (see ``VersionVector.__reduce__``).  Rebuilding from the
+        five content fields keeps cross-process transfer — ``repro.shard``
+        IPC — independent of either side's interning history.
+        """
+        return (_restore_extended,
+                (self._updates, self._base, self._metadata,
+                 self._last_consistent_time, self._triple))
+
     # -------------------------------------------------------------- dunder
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ExtendedVersionVector):
@@ -567,3 +582,11 @@ class ExtendedVersionVector:
             for record in sorted(grouped[writer], key=lambda r: r.seq):
                 vector = vector.apply(record)
         return vector
+
+
+def _restore_extended(updates, base, metadata, last_consistent_time,
+                      triple) -> ExtendedVersionVector:
+    """Pickle reconstructor: rebuild from content fields with empty caches."""
+    return ExtendedVersionVector._from_trusted(
+        updates, metadata=metadata, last_consistent_time=last_consistent_time,
+        triple=triple, base=base)

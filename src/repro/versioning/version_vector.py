@@ -205,6 +205,20 @@ class VersionVector:
             distance += sum(b[len(a):])
         return distance
 
+    # ------------------------------------------------------------ pickling
+    def __reduce__(self):
+        """Pickle the counts only, never the memoised caches.
+
+        ``dense()`` memoises a projection indexed by the *process-local*
+        :data:`~repro.versioning.writers.GLOBAL_WRITERS` interning order.
+        Default ``__slots__`` pickling would carry that projection across a
+        process boundary — e.g. inside a ``repro.shard`` cross-shard message
+        — where the receiving process's table may have interned writers in a
+        different order.  Reconstructing from the counts alone makes every
+        unpickled vector re-derive its caches against the local table.
+        """
+        return (_restore_vector, (self._counts,))
+
     # ------------------------------------------------------------- dunder
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, VersionVector):
@@ -225,3 +239,8 @@ class VersionVector:
     @classmethod
     def from_items(cls, items: Iterable[Tuple[str, int]]) -> "VersionVector":
         return cls(dict(items))
+
+
+def _restore_vector(counts: Dict[str, int]) -> VersionVector:
+    """Pickle reconstructor: rebuild from plain counts with empty caches."""
+    return VersionVector._from_trusted(counts)
