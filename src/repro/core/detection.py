@@ -33,7 +33,7 @@ from typing import (
 
 from repro.core.config import ConsistencyMetricSpec, MetricWeights
 from repro.core.quantify import consistency_level
-from repro.sim.network import Message
+from repro.transport import Message
 from repro.store.replica import Replica
 from repro.versioning.extended_vector import (
     ErrorTriple,
@@ -196,7 +196,8 @@ class DetectionService:
         Parameters
         ----------
         node:
-            The :class:`repro.sim.node.Node` hosting this service.
+            The :class:`~repro.transport.endpoint.ProtocolEndpoint` hosting this
+            service (a simulated or live node).
         top_layer_provider:
             Returns the current top-layer membership for the object.
         replica_provider:
@@ -298,7 +299,7 @@ class DetectionService:
         manner" in the top layer.
         """
         replica = self._replica_provider()
-        now = self.node.sim.now
+        now = self.node.clock.now
         digest = self._local_digest(replica, now)
         if digest.issued_at != now:
             # A cache hit may carry an old issue time; peers order digests by
@@ -408,7 +409,7 @@ class DetectionService:
         truncation period.
         """
         replica = self._replica_provider()
-        local_digest = self._local_digest(replica, self.node.sim.now)
+        local_digest = self._local_digest(replica, self.node.clock.now)
         if required_sources is None:
             required = None
         else:
@@ -579,7 +580,7 @@ class DetectionService:
         """
         self._detections_run += 1
         replica = self._replica_provider()
-        now = self.node.sim.now
+        now = self.node.clock.now
         local_digest = self._local_digest(replica, now)
         memo = self._eval_memo
         version = self._peer_version
@@ -621,7 +622,7 @@ class DetectionService:
     def current_level(self) -> float:
         """Consistency level without counting as a detection run."""
         replica = self._replica_provider()
-        now = self.node.sim.now
+        now = self.node.clock.now
         local_digest = self._local_digest(replica, now)
         memo = self._eval_memo
         version = self._peer_version
@@ -636,4 +637,4 @@ class DetectionService:
     def local_counts(self) -> VersionVector:
         """The local replica's current per-writer counts (cached digest view)."""
         replica = self._replica_provider()
-        return self._local_digest(replica, self.node.sim.now).counts()
+        return self._local_digest(replica, self.node.clock.now).counts()

@@ -36,7 +36,7 @@ from repro.core.resolution import ResolutionManager, ResolutionResult
 from repro.core.rollback import RollbackManager
 from repro.runtime.events import DetectionEvaluated, ResolutionCompleted, WriteRecorded
 from repro.runtime.node_runtime import NodeRuntime
-from repro.sim.node import Node
+from repro.transport import ProtocolEndpoint
 from repro.store.filesystem import ReplicatedStore
 from repro.store.replica import Replica
 from repro.versioning.extended_vector import UpdateRecord
@@ -70,7 +70,7 @@ class IdeaMiddleware:
     #: flight and its installs are still propagating
     RESOLUTION_COOLDOWN = 1.0
 
-    def __init__(self, node: Node, store: ReplicatedStore, object_id: str, *,
+    def __init__(self, node: ProtocolEndpoint, store: ReplicatedStore, object_id: str, *,
                  config: IdeaConfig,
                  top_layer_provider: Callable[[], Sequence[str]],
                  on_update_recorded: Optional[Callable[[str, str, float], None]] = None,
@@ -131,10 +131,10 @@ class IdeaMiddleware:
         writer = writer or self.node.node_id
         record = self.store.write(self.object_id, writer, self.node.local_time(),
                                   metadata_delta=metadata_delta, payload=payload,
-                                  applied_at=self.node.sim.now)
+                                  applied_at=self.node.clock.now)
         if record is None:
             return None
-        now = self.node.sim.now
+        now = self.node.clock.now
         if self._on_update_recorded is not None:
             self._on_update_recorded(self.object_id, self.node.node_id, now)
         if self.bus.wants(WriteRecorded):
@@ -164,7 +164,7 @@ class IdeaMiddleware:
         unbounded pending-verification queue.  Both default to the full
         Figure 3 semantics.
         """
-        now = self.node.sim.now
+        now = self.node.clock.now
         trigger = new_snapshot
         if not trigger and quiet_threshold is not None:
             # Floor with the checkpoint's fold horizon: truncation may have
@@ -204,7 +204,7 @@ class IdeaMiddleware:
             success = digest.counts() == self.detection.local_counts()
             self.bus.publish(DetectionEvaluated(
                 object_id=self.object_id, node_id=self.node.node_id,
-                success=success, level=level, time=self.node.sim.now))
+                success=success, level=level, time=self.node.clock.now))
         self._consult_controller(level)
 
     def _record_outcome(self, outcome: DetectionOutcome) -> None:
@@ -237,7 +237,7 @@ class IdeaMiddleware:
         Returns True when a round was actually started (False when suppressed
         by the cooldown or an already-running round).
         """
-        now = self.node.sim.now
+        now = self.node.clock.now
         if self.resolution.resolving:
             return False
         if auto and now - self._last_auto_resolution < self.RESOLUTION_COOLDOWN:
@@ -273,7 +273,7 @@ class IdeaMiddleware:
                  boost: bool = True) -> None:
         """The user is unhappy with the current consistency level."""
         level = self.detection.current_level()
-        now = self.node.sim.now
+        now = self.node.clock.now
         if isinstance(self.controller, HintBasedController):
             self.controller.complain(now, level)
         elif isinstance(self.controller, OnDemandController):
@@ -291,7 +291,7 @@ class IdeaMiddleware:
 
     def set_hint(self, hint_level: float) -> None:
         if isinstance(self.controller, HintBasedController):
-            self.controller.set_hint(self.node.sim.now, hint_level)
+            self.controller.set_hint(self.node.clock.now, hint_level)
         elif isinstance(self.controller, OnDemandController):
             self.controller.learned_threshold = hint_level
         else:
@@ -314,7 +314,7 @@ class IdeaMiddleware:
         frontier = self.detection.stability_frontier(participants)
         if frontier is None or not frontier:
             return 0
-        keep_after = self.node.sim.now - keep_window
+        keep_after = self.node.clock.now - keep_window
         return self.replica.truncate_stable(frontier, keep_after=keep_after,
                                             keep_content=keep_content)
 

@@ -32,10 +32,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import IdeaConfig
 from repro.core.policies import PolicyDecision, ResolutionPolicy
-from repro.sim.network import Message
-from repro.sim.node import RPCError, unwrap_response
-from repro.sim.process import Process, Waiter, sleep
 from repro.store.replica import Replica
+from repro.transport import (Message, Process, RPCError, Waiter, sleep,
+                             unwrap_response)
 from repro.versioning.conflict import merge_vectors
 from repro.versioning.extended_vector import ExtendedVersionVector, UpdateRecord
 
@@ -101,7 +100,7 @@ class ResolutionManager:
         #: a NodeRuntime shares one backoff stream across all its objects;
         #: standalone managers spawn a private per-object stream
         self._backoff_rng = backoff_rng if backoff_rng is not None else (
-            node.sim.random.stream(
+            node.clock.random.stream(
                 f"resolution.backoff.{node.node_id}.{object_id}"))
         #: bumped whenever the member-side write block is released or renewed;
         #: outstanding stale-block guard events check it and no-op when stale
@@ -144,13 +143,13 @@ class ResolutionManager:
         merged: ExtendedVersionVector = payload["merged"]
         invalidated: List[Tuple[str, int]] = payload["invalidated"]
         replica = self._replica_provider()
-        replica.install_merged(merged, now=self.node.sim.now)
+        replica.install_merged(merged, now=self.node.clock.now)
         if invalidated:
             replica.invalidate_updates(list(invalidated))
         replica.unblock_writes()
         self._yielded_to = None
         self._block_guard_seq += 1
-        self._last_install_at = self.node.sim.now
+        self._last_install_at = self.node.clock.now
 
     # --------------------------------------------------- failure cleanliness
     def _arm_block_guard(self) -> None:
@@ -166,7 +165,7 @@ class ResolutionManager:
             return
         self._block_guard_seq += 1
         seq = self._block_guard_seq
-        self.node.sim.call_after(
+        self.node.clock.call_after(
             timeout, lambda: self._release_stale_block(seq),
             label=f"{self.node.node_id}:block-guard:{self.object_id}")
 
@@ -206,7 +205,7 @@ class ResolutionManager:
 
     def start_background_resolution(self) -> Process:
         """Run one background-resolution round as a simulation process."""
-        return self.node.sim.spawn(self._background_round(),
+        return self.node.clock.spawn(self._background_round(),
                                    label=f"bg-resolution:{self.node.node_id}")
 
     def start_active_resolution(self, *, suppression_jitter: float = 0.0) -> Process:
@@ -219,13 +218,13 @@ class ResolutionManager:
         tries, it will simply cancel its own resolution process", §4.5.2).
         The jitter is not part of the measured phase delays.
         """
-        return self.node.sim.spawn(
+        return self.node.clock.spawn(
             self._active_round(suppression_jitter=suppression_jitter),
             label=f"active-resolution:{self.node.node_id}")
 
     # --------------------------------------------------------------- rounds
     def _background_round(self):
-        started = self.node.sim.now
+        started = self.node.clock.now
         members = self.members()
         if not self.node.alive:
             return self._aborted("background", started, members,
@@ -244,7 +243,7 @@ class ResolutionManager:
                                  "initiator crashed mid-round")
         result = ResolutionResult(
             object_id=self.object_id, initiator=self.node.node_id,
-            kind="background", started_at=started, finished_at=self.node.sim.now,
+            kind="background", started_at=started, finished_at=self.node.clock.now,
             phase1_delay=0.0, phase2_delay=phase2["delay"], members=tuple(members),
             merged_updates=phase2["merged_updates"],
             invalidated=tuple(phase2["invalidated"]))
@@ -252,7 +251,7 @@ class ResolutionManager:
         return result
 
     def _active_round(self, suppression_jitter: float = 0.0):
-        started = self.node.sim.now
+        started = self.node.clock.now
 
         if suppression_jitter > 0:
             jitter = float(self._backoff_rng.uniform(0.0, suppression_jitter))
@@ -291,7 +290,7 @@ class ResolutionManager:
         self._resolving = True
         try:
             # ----------------------------------------------------- phase one
-            phase1_start = self.node.sim.now
+            phase1_start = self.node.clock.now
             ack_waiters: List[Waiter] = []
             for peer in peers:
                 # Local dispatch cost: the calls go out in parallel, so the
@@ -302,7 +301,7 @@ class ResolutionManager:
                     {"initiator": self.node.node_id},
                     protocol=PROTOCOL_ACTIVE, size_bytes=128)
                 ack_waiters.append(waiter)
-            phase1_delay = self.node.sim.now - phase1_start
+            phase1_delay = self.node.clock.now - phase1_start
 
             if self.config.wait_for_attention_acks:
                 for waiter in ack_waiters:
@@ -330,7 +329,7 @@ class ResolutionManager:
                                  "initiator crashed mid-round")
         result = ResolutionResult(
             object_id=self.object_id, initiator=self.node.node_id,
-            kind="active", started_at=started, finished_at=self.node.sim.now,
+            kind="active", started_at=started, finished_at=self.node.clock.now,
             phase1_delay=phase1_delay, phase2_delay=phase2["delay"],
             members=tuple(members), merged_updates=phase2["merged_updates"],
             invalidated=tuple(phase2["invalidated"]))
@@ -346,7 +345,7 @@ class ResolutionManager:
         mid-round the procedure reports an aborted phase instead of
         installing an image from beyond the grave.
         """
-        phase2_start = self.node.sim.now
+        phase2_start = self.node.clock.now
         local_replica = self._replica_provider()
         local_replica.block_writes()
 
@@ -358,7 +357,7 @@ class ResolutionManager:
             if member == self.node.node_id:
                 continue
             if not self.node.alive:
-                return {"delay": self.node.sim.now - phase2_start,
+                return {"delay": self.node.clock.now - phase2_start,
                         "merged_updates": 0, "invalidated": [],
                         "aborted": True}
             waiter = self.node.request(member, f"idea_collect:{self.object_id}",
@@ -375,7 +374,7 @@ class ResolutionManager:
             collected[member] = payload["vector"]
 
         if not self.node.alive:
-            return {"delay": self.node.sim.now - phase2_start,
+            return {"delay": self.node.clock.now - phase2_start,
                     "merged_updates": 0, "invalidated": [], "aborted": True}
 
         merged, decision = self._merge_and_decide(list(collected.values()))
@@ -391,13 +390,13 @@ class ResolutionManager:
                            msg_type=f"idea_install:{self.object_id}",
                            payload={"merged": merged, "invalidated": invalidated},
                            size_bytes=1024)
-        local_replica.install_merged(merged, now=self.node.sim.now)
+        local_replica.install_merged(merged, now=self.node.clock.now)
         if invalidated:
             local_replica.invalidate_updates(invalidated)
         local_replica.unblock_writes()
 
         return {
-            "delay": self.node.sim.now - phase2_start,
+            "delay": self.node.clock.now - phase2_start,
             "merged_updates": merged.total_updates(),
             "invalidated": invalidated,
             "aborted": False,
@@ -406,7 +405,7 @@ class ResolutionManager:
     # ------------------------------------------------------------- merging
     def _merge_and_decide(self, vectors: List[ExtendedVersionVector]
                           ) -> Tuple[ExtendedVersionVector, Optional[PolicyDecision]]:
-        now = self.node.sim.now
+        now = self.node.clock.now
         merged = merge_vectors(vectors, consistent_time=now)
         conflicting = self._conflicting_updates(vectors)
         decision: Optional[PolicyDecision] = None
@@ -458,7 +457,7 @@ class ResolutionManager:
                  reason: str) -> ResolutionResult:
         result = ResolutionResult(
             object_id=self.object_id, initiator=self.node.node_id, kind=kind,
-            started_at=started, finished_at=self.node.sim.now,
+            started_at=started, finished_at=self.node.clock.now,
             phase1_delay=0.0, phase2_delay=0.0, members=tuple(members),
             merged_updates=0, invalidated=(), aborted=True, abort_reason=reason)
         self.history.append(result)

@@ -28,6 +28,7 @@ import sys
 from typing import Any, Dict, List, Optional
 
 from repro.experiments import registry
+from repro.experiments.conformance import ConformanceError
 from repro.farm import FarmPointError, default_jobs
 from repro.shard import ShardError, default_shards
 
@@ -84,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="shard processes for space-partitioned "
                              "experiments (default: $SHARD_PROCS)")
+    parser.add_argument("--backend", choices=("sim", "live"), default=None,
+                        help="execution backend for backend-aware "
+                             "experiments: the discrete-event simulator or "
+                             "the socket-backed live transport")
     parser.add_argument("--json", metavar="PATH", dest="json_path",
                         help="also write the result as JSON to PATH ('-' for stdout)")
     parser.add_argument("--smoke", action="store_true",
@@ -134,9 +139,17 @@ def main(argv: Optional[List[str]] = None) -> int:
           and default_shards(0)):
         kwargs["shards"] = default_shards(0)
 
+    accepts_backend = "backend" in inspect.signature(entry.run).parameters
+    if args.backend is not None:
+        if not accepts_backend:
+            print(f"error: experiment {args.run!r} does not take --backend",
+                  file=sys.stderr)
+            return 2
+        kwargs["backend"] = args.backend
+
     try:
         result = entry.run(**kwargs)
-    except (FarmPointError, ShardError) as exc:
+    except (FarmPointError, ShardError, ConformanceError) as exc:
         print(f"error: experiment {args.run!r} failed: {exc}", file=sys.stderr)
         return 1
 

@@ -1,0 +1,80 @@
+"""Transport-conformance experiment: run the oracle scenario on a backend.
+
+``--backend sim`` runs the seeded conformance scenario on the simulator and
+reports its protocol outcomes.  ``--backend live`` runs the *same* scenario
+over real sockets (in-process, one transport per node) and checks the
+outcomes against the simulator oracle — a mismatch fails the experiment
+(nonzero CLI exit), making this the scriptable twin of ``python -m
+repro.live``.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Dict
+
+from repro.live.scenario import (default_scenario, oracle_diff,
+                                 run_live_scenario_inprocess,
+                                 run_sim_scenario)
+
+
+class ConformanceError(RuntimeError):
+    """The live backend's protocol outcomes diverged from the oracle."""
+
+
+def run_conformance_experiment(*, backend: str = "sim", num_nodes: int = 4,
+                               num_objects: int = 2, seed: int = 7,
+                               transport: str = "uds",
+                               time_scale: float = 1.0,
+                               jobs: int = 1) -> Dict[str, Any]:
+    """Run the conformance scenario on ``backend`` ("sim" or "live").
+
+    ``jobs`` is accepted for CLI uniformity; the scenario is a single
+    deployment, not a sweep.
+    """
+    if backend not in ("sim", "live"):
+        raise ValueError(f"unknown backend {backend!r} (sim or live)")
+    spec = default_scenario(num_nodes, num_objects, seed=seed,
+                            time_scale=time_scale)
+    sim = run_sim_scenario(spec)
+    result: Dict[str, Any] = {
+        "backend": backend,
+        "transport": transport if backend == "live" else None,
+        "nodes": len(spec.nodes),
+        "objects": len(spec.objects),
+        "seed": seed,
+        "outcomes": sim,
+        "oracle_problems": [],
+    }
+    if backend == "live":
+        with tempfile.TemporaryDirectory(prefix="repro-conformance-") as d:
+            live = run_live_scenario_inprocess(spec, d, kind=transport)
+        problems = oracle_diff(sim, live)
+        result["outcomes"] = live
+        result["oracle_problems"] = problems
+        if problems:
+            raise ConformanceError(
+                "live outcomes diverged from the simulator oracle: "
+                + "; ".join(problems))
+    return result
+
+
+def format_conformance_report(result: Dict[str, Any]) -> str:
+    outcomes = result["outcomes"]
+    writes = sum(sum(o["writes_applied"].values()) for o in outcomes.values())
+    gossip = sum(o["gossip_rounds"] for o in outcomes.values())
+    resolutions = sum(len(o["resolutions"]) for o in outcomes.values())
+    folded = sum(sum(o["folded"].values()) for o in outcomes.values())
+    lines = [
+        f"conformance scenario on backend={result['backend']}"
+        + (f" ({result['transport']})" if result["transport"] else ""),
+        f"  nodes={result['nodes']} objects={result['objects']} "
+        f"seed={result['seed']}",
+        f"  writes applied:        {writes}",
+        f"  gossip rounds:         {gossip}",
+        f"  resolutions completed: {resolutions}",
+        f"  log entries folded:    {folded}",
+    ]
+    if result["backend"] == "live":
+        lines.append("  oracle: outcomes match the simulator")
+    return "\n".join(lines)

@@ -12,9 +12,9 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
-from repro.experiments import (fig2_tradeoff, fig7_hint, fig8_hint_change,
-                               fig9_scalability, fig10_automatic,
-                               fig_churn_availability,
+from repro.experiments import (conformance, fig2_tradeoff, fig7_hint,
+                               fig8_hint_change, fig9_scalability,
+                               fig10_automatic, fig_churn_availability,
                                fig_workload_sensitivity, tab2_phases,
                                tab3_overhead)
 
@@ -110,6 +110,12 @@ _ENTRIES: List[ExperimentEntry] = [
         grid=fig_churn_availability.build_churn_grid,
         smoke={"node_counts": (8,), "loss_probabilities": (0.0, 0.01),
                "duration": 30.0}),
+    ExperimentEntry(
+        name="conformance",
+        description="transport conformance: a backend vs the simulator oracle",
+        run=conformance.run_conformance_experiment,
+        report=conformance.format_conformance_report,
+        smoke={"num_nodes": 3, "num_objects": 2, "time_scale": 0.6}),
     ExperimentEntry(
         name="workload",
         description="detection accuracy vs Zipf skew x read mix (beyond paper)",

@@ -1,0 +1,25 @@
+"""Live (wall-clock, socket-backed) backend for the transport seam.
+
+The protocol layers (``repro.core``, ``repro.overlay``, ``repro.runtime``,
+``repro.store``) speak only the :mod:`repro.transport` interfaces; this
+package provides their real-network implementation:
+
+* :class:`~repro.live.clock.LiveClock` — ``Clock`` over an asyncio loop;
+* :class:`~repro.live.transport.LiveTransport` — ``Transport`` over
+  length-prefixed frames (:mod:`repro.live.wire`) on UNIX or TCP sockets;
+* :class:`~repro.live.node.LiveNode` — a
+  :class:`~repro.transport.endpoint.ProtocolEndpoint` on wall-clock time;
+* :mod:`repro.live.scenario` — the backend-neutral conformance scenario and
+  the simulator-as-oracle comparison;
+* :class:`~repro.live.deployment.LiveDeployment` +
+  :mod:`repro.live.node_main` — one-process-per-node bring-up/teardown;
+* ``python -m repro.live`` — CLI running a seeded localhost deployment and
+  checking it against the simulator oracle.
+"""
+
+from repro.live.clock import LiveClock
+from repro.live.node import LiveNode
+from repro.live.transport import LiveTransport
+from repro.live.wire import WireError
+
+__all__ = ["LiveClock", "LiveNode", "LiveTransport", "WireError"]

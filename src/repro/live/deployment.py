@@ -1,0 +1,163 @@
+"""Multiprocess live deployment: bring-up, barrier, run, collect, teardown.
+
+:class:`LiveDeployment` boots one OS process per node (``python -m
+repro.live.node_main <spec.json> <node_id>``), each running the per-node
+stack from :mod:`repro.live.scenario` over UNIX sockets or localhost TCP.
+
+Bring-up protocol: the parent writes ``spec.json`` (scenario + address book
++ run directory) and spawns the children; each child binds its listening
+socket, touches ``ready/<node_id>``, then polls until *every* ready file
+exists; only then does it rebase its clock to t=0 and start the scenario
+schedule, so all nodes enter the workload within the barrier's polling
+jitter.  On completion each child writes ``out/<node_id>.json`` with its
+protocol outcomes and exits 0.
+
+The parent waits (with a hard deadline), collects the outcome files, and
+tears everything down — surviving children get SIGTERM, then SIGKILL.
+Per-node stdout/stderr land in ``log/<node_id>.log`` for post-mortems (the
+CI smoke job uploads them as artifacts).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.live.scenario import ScenarioSpec, make_addresses
+from repro.transport.errors import TransportError
+
+
+class DeploymentError(TransportError):
+    """A live deployment failed to come up, run, or report outcomes."""
+
+
+class LiveDeployment:
+    """Runs a :class:`ScenarioSpec` as one process per node on localhost."""
+
+    def __init__(self, spec: ScenarioSpec, rundir: str, *,
+                 kind: str = "uds") -> None:
+        if kind not in ("uds", "tcp"):
+            raise DeploymentError(f"unknown transport kind {kind!r}")
+        self.spec = spec
+        self.rundir = os.path.abspath(rundir)
+        self.kind = kind
+        self.addresses = None
+        self._procs: Dict[str, subprocess.Popen] = {}
+        self._logs: List[Any] = []
+
+    # ------------------------------------------------------------ file layout
+    @property
+    def spec_path(self) -> str:
+        return os.path.join(self.rundir, "spec.json")
+
+    def ready_path(self, node_id: str) -> str:
+        return os.path.join(self.rundir, "ready", node_id)
+
+    def out_path(self, node_id: str) -> str:
+        return os.path.join(self.rundir, "out", f"{node_id}.json")
+
+    def log_path(self, node_id: str) -> str:
+        return os.path.join(self.rundir, "log", f"{node_id}.log")
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Write the spec and spawn one node process per node id."""
+        for sub in ("ready", "out", "log"):
+            os.makedirs(os.path.join(self.rundir, sub), exist_ok=True)
+        self.addresses = make_addresses(self.spec.nodes, self.kind,
+                                        self.rundir)
+        document = {
+            "spec": self.spec.to_dict(),
+            "kind": self.kind,
+            "rundir": self.rundir,
+            "addresses": {n: list(a) if isinstance(a, tuple) else a
+                          for n, a in self.addresses.items()},
+        }
+        with open(self.spec_path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_root if not existing
+                             else src_root + os.pathsep + existing)
+        for node_id in self.spec.nodes:
+            log = open(self.log_path(node_id), "w", encoding="utf-8")
+            self._logs.append(log)
+            self._procs[node_id] = subprocess.Popen(
+                [sys.executable, "-m", "repro.live.node_main",
+                 self.spec_path, node_id],
+                stdout=log, stderr=subprocess.STDOUT, env=env)
+
+    def wait(self, *, grace: float = 30.0) -> Dict[str, Dict[str, Any]]:
+        """Wait for every node to exit and return the per-node outcomes.
+
+        The deadline is the scenario duration plus barrier/teardown grace;
+        a node that misses it (or exits nonzero) fails the deployment with
+        its log tail in the error message.
+        """
+        deadline = time.monotonic() + self.spec.duration + grace
+        failures = []
+        for node_id, proc in self._procs.items():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                code = proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                failures.append(f"{node_id}: still running at deadline")
+                continue
+            if code != 0:
+                failures.append(
+                    f"{node_id}: exit {code}\n{self._log_tail(node_id)}")
+        if failures:
+            self.terminate()
+            raise DeploymentError("live deployment failed:\n"
+                                  + "\n".join(failures))
+        outcomes = {}
+        for node_id in self.spec.nodes:
+            path = self.out_path(node_id)
+            if not os.path.exists(path):
+                raise DeploymentError(f"{node_id} exited 0 without writing "
+                                      f"{path}")
+            with open(path, "r", encoding="utf-8") as fh:
+                outcomes[node_id] = json.load(fh)
+        return outcomes
+
+    def run(self, *, grace: float = 30.0) -> Dict[str, Dict[str, Any]]:
+        """start() + wait() + teardown, returning the collected outcomes."""
+        self.start()
+        try:
+            return self.wait(grace=grace)
+        finally:
+            self.terminate()
+
+    def terminate(self) -> None:
+        """Stop any still-running node processes (TERM, then KILL)."""
+        for proc in self._procs.values():
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 5.0
+        for proc in self._procs.values():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        for log in self._logs:
+            try:
+                log.close()
+            except OSError:
+                pass
+        self._logs.clear()
+
+    def _log_tail(self, node_id: str, lines: int = 20) -> str:
+        try:
+            with open(self.log_path(node_id), "r", encoding="utf-8") as fh:
+                return "".join(fh.readlines()[-lines:])
+        except OSError:
+            return "<no log>"

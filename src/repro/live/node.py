@@ -1,0 +1,27 @@
+"""Live protocol endpoint.
+
+The whole point of the transport seam is that nothing is needed here: a
+live node *is* a :class:`~repro.transport.endpoint.ProtocolEndpoint` wired
+to a :class:`~repro.live.clock.LiveClock` and a
+:class:`~repro.live.transport.LiveTransport`.  Its ``local_time`` is the
+wall clock — real deployments get real clock skew instead of the
+simulator's :class:`~repro.sim.clock.DriftingClock` model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.live.clock import LiveClock
+from repro.live.transport import LiveTransport
+from repro.transport.endpoint import ProtocolEndpoint
+
+
+class LiveNode(ProtocolEndpoint):
+    """A protocol endpoint running on wall-clock time over sockets."""
+
+    def __init__(self, clock: LiveClock, transport: LiveTransport,
+                 node_id: str, *,
+                 processing_delay: Optional[float] = None) -> None:
+        super().__init__(clock, transport, node_id,
+                         processing_delay=processing_delay)

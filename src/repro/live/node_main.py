@@ -1,0 +1,88 @@
+"""Per-node process entrypoint for a live deployment.
+
+``python -m repro.live.node_main <spec.json> <node_id>``
+
+Reads the deployment document written by
+:class:`~repro.live.deployment.LiveDeployment`, builds this node's stack,
+binds its listening socket, joins the ready-file barrier, runs the scenario
+schedule on wall-clock time, and writes its protocol outcomes to
+``out/<node_id>.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+
+from repro.live.scenario import ScenarioSpec, build_live_stack
+from repro.transport.errors import TransportError
+
+#: how long a node waits for the rest of the deployment to come up
+BARRIER_TIMEOUT = 30.0
+BARRIER_POLL = 0.01
+
+
+async def _barrier(rundir: str, node_id: str, nodes) -> None:
+    """Signal readiness and wait until every node has done the same."""
+    ready_dir = os.path.join(rundir, "ready")
+    own = os.path.join(ready_dir, node_id)
+    with open(own, "w", encoding="utf-8") as fh:
+        fh.write(str(os.getpid()))
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + BARRIER_TIMEOUT
+    paths = [os.path.join(ready_dir, n) for n in nodes]
+    while not all(os.path.exists(p) for p in paths):
+        if loop.time() > deadline:
+            missing = [p for p in paths if not os.path.exists(p)]
+            raise TransportError(f"{node_id}: barrier timeout; "
+                                 f"missing {missing}")
+        await asyncio.sleep(BARRIER_POLL)
+
+
+async def run_node(document: dict, node_id: str) -> dict:
+    spec = ScenarioSpec.from_dict(document["spec"])
+    kind = document["kind"]
+    rundir = document["rundir"]
+    addresses = {n: tuple(a) if isinstance(a, list) else a
+                 for n, a in document["addresses"].items()}
+
+    stack = build_live_stack(spec, node_id, addresses, kind=kind,
+                             loop=asyncio.get_running_loop())
+    transport = stack.node.transport
+    await transport.start()
+    await _barrier(rundir, node_id, spec.nodes)
+    # All listening sockets are up: rebase to t=0 and start the schedule.
+    stack.node.clock._t0 = stack.node.clock._loop.time()
+    stack.schedule()
+    await asyncio.sleep(spec.duration)
+    stack.shutdown()
+    outcome = stack.outcome()
+    await transport.stop()
+    return outcome
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 2:
+        print("usage: python -m repro.live.node_main <spec.json> <node_id>",
+              file=sys.stderr)
+        return 2
+    spec_path, node_id = argv
+    with open(spec_path, "r", encoding="utf-8") as fh:
+        document = json.load(fh)
+    if node_id not in document["spec"]["nodes"]:
+        print(f"unknown node id {node_id!r}", file=sys.stderr)
+        return 2
+    outcome = asyncio.run(run_node(document, node_id))
+    out_path = os.path.join(document["rundir"], "out", f"{node_id}.json")
+    tmp_path = out_path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as fh:
+        json.dump(outcome, fh, indent=2)
+    os.replace(tmp_path, out_path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

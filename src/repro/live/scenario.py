@@ -1,0 +1,401 @@
+"""Backend-agnostic conformance scenario: the simulator as oracle.
+
+One :class:`ScenarioSpec` — a fixed schedule of local writes, demanded
+resolutions and end-of-run truncations over a small replica group — runs on
+either backend:
+
+* :func:`run_sim_scenario` executes it on the discrete-event simulator
+  (``repro.sim``), producing per-node protocol outcomes;
+* :func:`run_live_scenario_inprocess` executes the same spec over real
+  sockets (one :class:`~repro.live.transport.LiveTransport` per node on one
+  event loop — the multiprocess deployment reuses the same per-node stack
+  via :mod:`repro.live.deployment`).
+
+The spec is phase-separated so its *protocol outcomes* are functions of the
+schedule, not of message timing: all initial writes finish well before the
+demanded resolutions; every node then issues one post-resolution write, so
+every peer's final announced digest carries the merged per-writer counts
+and the stability frontier each node computes at truncation time is exactly
+the merged vector — identical on any backend whose transport delivers
+messages within the (generous) phase gaps.
+
+What the oracle compares (counts and sets, never timings):
+
+* writes attempted/applied per node and object,
+* detection evaluations run per node and object (one per local write),
+* resolutions completed — the ``(object, initiator)`` multiset published as
+  :class:`~repro.runtime.events.ResolutionCompleted`,
+* final per-writer version-vector counts on every node,
+* log entries folded by stability-driven truncation on every node.
+
+What it deliberately excludes: gossip round/message counts (wall-clock
+periodic timers drift against the workload; both backends must merely show
+*nonzero* gossip activity), latencies, and anything carrying timestamps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.config import AdaptationMode, IdeaConfig
+from repro.live.clock import LiveClock
+from repro.live.node import LiveNode
+from repro.live.transport import Address, LiveTransport
+from repro.overlay.gossip import GossipConfig, GossipDigest, GossipService
+from repro.runtime.events import ResolutionCompleted
+from repro.runtime.node_runtime import NodeRuntime
+from repro.store.filesystem import ReplicatedStore
+
+#: gossip parameters used by conformance scenarios: fast rounds so even a
+#: few-second run shows bottom-layer activity
+SCENARIO_GOSSIP = GossipConfig(round_period=0.5, fanout=2, ttl=2)
+
+
+@dataclass
+class ScenarioSpec:
+    """A deterministic, backend-neutral workload schedule.
+
+    ``writes`` entries are ``(time, node, object, metadata_delta)``;
+    ``resolutions`` entries are ``(time, node, object)`` — the node calls
+    ``demand_active_resolution`` on the object.  At ``truncate_at`` every
+    node truncates every object over the full participant set with
+    ``keep_window=0.0``.
+    """
+
+    nodes: List[str]
+    objects: List[str]
+    writes: List[Tuple[float, str, str, float]]
+    resolutions: List[Tuple[float, str, str]]
+    truncate_at: float
+    duration: float
+    seed: int = 7
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScenarioSpec":
+        return cls(nodes=list(data["nodes"]), objects=list(data["objects"]),
+                   writes=[tuple(w) for w in data["writes"]],
+                   resolutions=[tuple(r) for r in data["resolutions"]],
+                   truncate_at=data["truncate_at"],
+                   duration=data["duration"], seed=data["seed"])
+
+
+def default_scenario(n_nodes: int = 4, n_objects: int = 2, *,
+                     seed: int = 7, time_scale: float = 1.0) -> ScenarioSpec:
+    """Build the standard conformance schedule.
+
+    Phases (times scaled by ``time_scale``): initial writes in [0.3, 1.6),
+    one demanded resolution per object at ~2.0, one post-resolution write
+    per (node, object) at ~3.0 (so every final digest carries the merged
+    counts), truncation at 3.9, run ends at 4.4.
+    """
+    nodes = [f"n{i:02d}" for i in range(n_nodes)]
+    objects = [f"obj{j}" for j in range(n_objects)]
+    writes: List[Tuple[float, str, str, float]] = []
+    for i, node in enumerate(nodes):
+        for j, obj in enumerate(objects):
+            for k in range(2):
+                t = (0.3 + 0.08 * i + 0.35 * k + 0.05 * j) * time_scale
+                writes.append((t, node, obj, 1.0 + i + 0.5 * k))
+            # Post-resolution write: refreshes every peer's digest of this
+            # node with the merged counts, making the stability frontier a
+            # deterministic function of the schedule.
+            writes.append(((3.0 + 0.02 * i + 0.01 * j) * time_scale,
+                           node, obj, 0.25))
+    resolutions = [((2.0 + 0.15 * j) * time_scale, nodes[j % n_nodes], obj)
+                   for j, obj in enumerate(objects)]
+    return ScenarioSpec(nodes=nodes, objects=objects, writes=writes,
+                        resolutions=resolutions,
+                        truncate_at=3.9 * time_scale,
+                        duration=4.4 * time_scale, seed=seed)
+
+
+def scenario_config() -> IdeaConfig:
+    """Middleware config for oracle runs: no background rounds, no
+    hint-driven auto resolution — every resolution in the outcome set was
+    demanded by the schedule."""
+    return IdeaConfig(mode=AdaptationMode.HINT_BASED, hint_level=0.0,
+                      background_period=None)
+
+
+# --------------------------------------------------------------------------
+# per-node stack (backend-agnostic once the endpoint exists)
+# --------------------------------------------------------------------------
+
+class NodeStack:
+    """Everything one node runs: store, runtime, per-object middleware,
+    and the outcome counters the oracle compares.
+
+    The gossip service is attached by the backend runner (``self.gossip``):
+    the simulator mirrors the deployment with *one* service routing to
+    every stack, while live mode runs one service per node (only the local
+    node's digests leave each process)."""
+
+    def __init__(self, node, spec: ScenarioSpec) -> None:
+        self.node = node
+        self.spec = spec
+        self.store = ReplicatedStore(node.node_id)
+        self.runtime = NodeRuntime(node, self.store)
+        self.middlewares = {
+            obj: self.runtime.attach(obj, scenario_config(),
+                                     top_layer_provider=lambda: spec.nodes)
+            for obj in spec.objects
+        }
+        self.writes_attempted: Dict[str, int] = {o: 0 for o in spec.objects}
+        self.writes_applied: Dict[str, int] = {o: 0 for o in spec.objects}
+        self.folded: Dict[str, int] = {o: 0 for o in spec.objects}
+        self.resolutions: List[Tuple[str, str, str]] = []
+        self.digests_observed = 0
+        self.gossip: Optional[GossipService] = None
+        self.runtime.bus.subscribe(ResolutionCompleted, self._on_resolved)
+
+    # ------------------------------------------------------------- protocol
+    def _on_resolved(self, event: ResolutionCompleted) -> None:
+        self.resolutions.append((event.object_id, event.initiator, event.kind))
+
+    def local_gossip_digest(self, object_id: str) -> Optional[GossipDigest]:
+        """This node's current gossip digest (None while it has no replica)."""
+        if not self.node.alive or not self.store.has_replica(object_id):
+            return None
+        replica = self.store.replica(object_id)
+        counts = tuple(sorted(replica.vector.counts().as_dict().items()))
+        return GossipDigest(
+            object_id=object_id, origin=self.node.node_id, counts=counts,
+            metadata=replica.metadata,
+            last_consistent_time=replica.vector.last_consistent_time,
+            issued_at=self.node.clock.now, ttl=SCENARIO_GOSSIP.ttl)
+
+    def observe_gossip(self, digest: GossipDigest) -> None:
+        """A gossip digest arrived at this node: feed the frontier."""
+        self.digests_observed += 1
+        middleware = self.middlewares.get(digest.object_id)
+        if middleware is not None:
+            middleware.detection.observe_counts(digest.origin,
+                                                digest.version_vector())
+
+    # ------------------------------------------------------------- schedule
+    def schedule(self) -> None:
+        """Install this node's share of the spec onto its clock."""
+        clock = self.node.clock
+        node_id = self.node.node_id
+        for when, node, obj, delta in self.spec.writes:
+            if node == node_id:
+                clock.call_after(when, self._do_write, arg=(obj, delta))
+        for when, node, obj in self.spec.resolutions:
+            if node == node_id:
+                clock.call_after(
+                    when, self.middlewares[obj].demand_active_resolution)
+        clock.call_after(self.spec.truncate_at, self._do_truncate)
+        if self.gossip is not None:
+            self.gossip.start()
+
+    def _do_write(self, write: Tuple[str, float]) -> None:
+        obj, delta = write
+        self.writes_attempted[obj] += 1
+        outcome = self.middlewares[obj].write(
+            payload={"writer": self.node.node_id,
+                     "n": self.writes_attempted[obj]},
+            metadata_delta=delta)
+        if outcome is not None:
+            self.writes_applied[obj] += 1
+
+    def _do_truncate(self) -> None:
+        for obj, middleware in self.middlewares.items():
+            self.folded[obj] = middleware.truncate_stable(self.spec.nodes,
+                                                          keep_window=0.0)
+
+    # -------------------------------------------------------------- outcome
+    def outcome(self) -> Dict[str, Any]:
+        final_counts = {}
+        for obj in self.spec.objects:
+            replica = self.store.replica(obj)
+            final_counts[obj] = dict(sorted(
+                replica.vector.counts().as_dict().items()))
+        return {
+            "node_id": self.node.node_id,
+            "writes_attempted": dict(self.writes_attempted),
+            "writes_applied": dict(self.writes_applied),
+            "detections_run": {
+                obj: self.middlewares[obj].detection.detections_run
+                for obj in self.spec.objects},
+            "resolutions": sorted(list(r) for r in self.resolutions),
+            "final_counts": final_counts,
+            "folded": dict(self.folded),
+            "gossip_rounds": (self.gossip.rounds_completed
+                              if self.gossip is not None else 0),
+            "digests_observed": self.digests_observed,
+            "messages_sent": {k: v for k, v
+                              in self.node.transport.stats.sent.items()},
+        }
+
+    def shutdown(self) -> None:
+        if self.gossip is not None:
+            self.gossip.stop()  # idempotent: sim stacks share one service
+
+
+# --------------------------------------------------------------------------
+# simulator backend (the oracle)
+# --------------------------------------------------------------------------
+
+def run_sim_scenario(spec: ScenarioSpec, *,
+                     latency: float = 0.02) -> Dict[str, Dict[str, Any]]:
+    """Run the spec on the discrete-event simulator; returns per-node
+    outcomes keyed by node id."""
+    from repro.sim.clock import ClockModel
+    from repro.sim.engine import Simulator
+    from repro.sim.latency import FixedLatencyModel
+    from repro.sim.network import Network
+    from repro.sim.node import Node
+
+    sim = Simulator(seed=spec.seed)
+    network = Network(sim, FixedLatencyModel(latency))
+    perfect = ClockModel().perfect()
+    stacks = {}
+    for node_id in spec.nodes:
+        node = Node(sim, network, node_id, clock_model=perfect)
+        stacks[node_id] = NodeStack(node, spec)
+    # One shared service, deployment-style: it gossips on behalf of every
+    # node (all are transport-local in the sim) and routes digests to the
+    # receiving stack.
+    gossip = GossipService(
+        sim, network, config=SCENARIO_GOSSIP,
+        membership=lambda object_id: spec.nodes,
+        local_digest=lambda nid, obj: stacks[nid].local_gossip_digest(obj),
+        on_digest=lambda receiver, digest:
+            stacks[receiver].observe_gossip(digest))
+    for obj in spec.objects:
+        gossip.watch_object(obj)
+    for stack in stacks.values():
+        stack.gossip = gossip
+        stack.schedule()
+    sim.run(until=spec.duration)
+    for stack in stacks.values():
+        stack.shutdown()
+    return {node_id: stack.outcome() for node_id, stack in stacks.items()}
+
+
+# --------------------------------------------------------------------------
+# live backend helpers
+# --------------------------------------------------------------------------
+
+def make_addresses(nodes: List[str], kind: str,
+                   rundir: str) -> Dict[str, Address]:
+    """Build an address book: UNIX-socket paths under ``rundir``, or
+    localhost TCP ports picked by the OS and pinned."""
+    if kind == "uds":
+        return {n: os.path.join(rundir, f"{n}.sock") for n in nodes}
+    import socket
+    addresses: Dict[str, Address] = {}
+    held = []
+    for n in nodes:
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        addresses[n] = ("127.0.0.1", s.getsockname()[1])
+        held.append(s)
+    for s in held:
+        s.close()
+    return addresses
+
+
+def build_live_stack(spec: ScenarioSpec, node_id: str,
+                     addresses: Dict[str, Address], *,
+                     kind: str = "uds",
+                     loop: Optional[asyncio.AbstractEventLoop] = None
+                     ) -> NodeStack:
+    """Wire one live node: its own clock (as a real per-process deployment
+    would have), transport, endpoint, and protocol stack."""
+    clock = LiveClock(seed=spec.seed, loop=loop)
+    transport = LiveTransport(clock, addresses, kind=kind)
+    node = LiveNode(clock, transport, node_id, processing_delay=0.0)
+    stack = NodeStack(node, spec)
+    # Per-node service: only the local node's digests leave this process
+    # (``has_node`` is local-only on a LiveTransport).
+    stack.gossip = GossipService(
+        clock, transport, config=SCENARIO_GOSSIP,
+        membership=lambda object_id: spec.nodes,
+        local_digest=lambda nid, obj: (stack.local_gossip_digest(obj)
+                                       if nid == node_id else None),
+        on_digest=lambda receiver, digest: stack.observe_gossip(digest))
+    for obj in spec.objects:
+        stack.gossip.watch_object(obj)
+    # The simulator registers the receive handler lazily through the shared
+    # service; in live mode each process registers its own node's handler.
+    node.register_handler("gossip_digest", stack.gossip._handle_digest)
+    return stack
+
+
+async def run_live_stack(stack: NodeStack) -> Dict[str, Any]:
+    """Bring one live stack up, run its schedule to completion, tear down."""
+    transport = stack.node.transport
+    await transport.start()
+    stack.node.clock._t0 = stack.node.clock._loop.time()  # rebase: t=0 now
+    stack.schedule()
+    await asyncio.sleep(stack.spec.duration)
+    stack.shutdown()
+    outcome = stack.outcome()
+    await transport.stop()
+    return outcome
+
+
+def run_live_scenario_inprocess(spec: ScenarioSpec, rundir: str, *,
+                                kind: str = "uds"
+                                ) -> Dict[str, Dict[str, Any]]:
+    """Run every node of the spec over real sockets on one event loop.
+
+    Each node still gets its own clock and transport (socket servers and
+    connections are real); only the process boundary is collapsed.  The
+    multiprocess path lives in :mod:`repro.live.deployment`.
+    """
+    addresses = make_addresses(spec.nodes, kind, rundir)
+
+    async def _run() -> Dict[str, Dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        stacks = {node_id: build_live_stack(spec, node_id, addresses,
+                                            kind=kind, loop=loop)
+                  for node_id in spec.nodes}
+        results = await asyncio.gather(
+            *(run_live_stack(stack) for stack in stacks.values()))
+        return {outcome["node_id"]: outcome for outcome in results}
+
+    return asyncio.run(_run())
+
+
+# --------------------------------------------------------------------------
+# the oracle comparison
+# --------------------------------------------------------------------------
+
+#: per-node outcome keys that must match the simulator exactly
+ORACLE_KEYS = ("writes_attempted", "writes_applied", "detections_run",
+               "final_counts", "folded")
+
+
+def oracle_diff(sim_outcomes: Dict[str, Dict[str, Any]],
+                live_outcomes: Dict[str, Dict[str, Any]]) -> List[str]:
+    """Compare protocol outcomes; returns a list of human-readable
+    mismatches (empty = conformant)."""
+    problems: List[str] = []
+    if set(sim_outcomes) != set(live_outcomes):
+        return [f"node sets differ: sim={sorted(sim_outcomes)} "
+                f"live={sorted(live_outcomes)}"]
+    for node_id in sorted(sim_outcomes):
+        sim_o, live_o = sim_outcomes[node_id], live_outcomes[node_id]
+        for key in ORACLE_KEYS:
+            if sim_o[key] != live_o[key]:
+                problems.append(f"{node_id}.{key}: sim={sim_o[key]!r} "
+                                f"live={live_o[key]!r}")
+    sim_res = sorted(tuple(r) for o in sim_outcomes.values()
+                     for r in o["resolutions"])
+    live_res = sorted(tuple(r) for o in live_outcomes.values()
+                      for r in o["resolutions"])
+    if sim_res != live_res:
+        problems.append(f"resolutions: sim={sim_res!r} live={live_res!r}")
+    for label, outcomes in (("sim", sim_outcomes), ("live", live_outcomes)):
+        if sum(o["gossip_rounds"] for o in outcomes.values()) == 0:
+            problems.append(f"{label}: no gossip rounds ran")
+    return problems

@@ -1,0 +1,313 @@
+"""Socket-backed implementation of the transport seam.
+
+One :class:`LiveTransport` serves one process.  It keeps an address book
+for the whole deployment (node id → UNIX-socket path or TCP ``(host,
+port)``), hosts the locally registered :class:`ProtocolEndpoint` objects,
+and moves messages as length-prefixed frames (:mod:`repro.live.wire`):
+
+* a send to a **local** endpoint short-circuits through
+  ``clock.call_after(0, ...)`` — same queue-hop a simulated zero-latency
+  delivery takes, so handlers never run re-entrantly inside ``send``;
+* a send to a **remote** id is encoded once and handed to a per-peer sender
+  task that lazily connects (with bounded retries, since peers come up in
+  arbitrary order) and streams frames over one long-lived connection;
+* each local endpoint with an address gets a listening server; inbound
+  frames are decoded into :class:`~repro.transport.message.Message` objects
+  and dispatched to the endpoint's ``deliver``.
+
+Semantics mirror the simulated :class:`~repro.sim.network.Network` where a
+real network can honour them: sending to an id absent from the address book
+and never registered locally raises ``KeyError`` (a wiring bug); sends
+involving known-but-down endpoints are counted drops (``src-down`` /
+``dst-down`` / ``departed``), never errors.  What a real network cannot
+honour — deterministic latency, global delivery order — is exactly the
+divergence the conformance oracle excludes (DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.live import wire
+from repro.live.clock import LiveClock
+from repro.transport.errors import TransportError
+from repro.transport.message import Message, NetworkStats
+
+#: node address: a UNIX-socket path, or a ``(host, port)`` pair for TCP
+Address = Union[str, Tuple[str, int]]
+
+
+class _PeerLink:
+    """Outbound frame queue plus the sender task draining it."""
+
+    __slots__ = ("queue", "task")
+
+    def __init__(self, queue: "asyncio.Queue[Optional[bytes]]",
+                 task: "asyncio.Task[None]") -> None:
+        self.queue = queue
+        self.task = task
+
+
+class LiveTransport:
+    """Seam ``Transport`` over asyncio stream connections."""
+
+    DEFAULT_MESSAGE_BYTES = 1024
+
+    #: how long a sender task keeps retrying its first connect; deployments
+    #: start all processes concurrently, so early sends must tolerate peers
+    #: whose listening socket is not up yet
+    CONNECT_RETRY_WINDOW = 10.0
+    CONNECT_RETRY_DELAY = 0.05
+
+    def __init__(self, clock: LiveClock, addresses: Dict[str, Address], *,
+                 kind: str = "uds") -> None:
+        if kind not in ("uds", "tcp"):
+            raise TransportError(f"unknown transport kind {kind!r}")
+        self.clock = clock
+        self.kind = kind
+        self.addresses: Dict[str, Address] = dict(addresses)
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, Any] = {}
+        #: every id this transport can name — address book plus anything
+        #: registered locally; sends to other ids raise (wiring bug)
+        self._known: Set[str] = set(self.addresses)
+        self._peers: Dict[str, _PeerLink] = {}
+        self._servers: List[asyncio.AbstractServer] = []
+        self._reader_tasks: Set["asyncio.Task[None]"] = set()
+        self._next_msg_id = 0
+        self._closing = False
+        self.delivery_hooks: List[Any] = []
+
+    # ------------------------------------------------------------ membership
+    def register(self, node: Any) -> None:
+        node_id = node.node_id
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._nodes[node_id] = node
+        self._known.add(node_id)
+
+    def unregister(self, node_id: str) -> None:
+        self._nodes.pop(node_id, None)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return list(self._nodes)
+
+    def node(self, node_id: str) -> Any:
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: str) -> bool:
+        """True only for endpoints hosted by *this* process."""
+        return node_id in self._nodes
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        """Bind one listening server per locally hosted endpoint address."""
+        for node_id in self._nodes:
+            address = self.addresses.get(node_id)
+            if address is None:
+                continue  # purely in-process endpoint (tests)
+            if self.kind == "uds":
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(address)  # stale socket from a previous run
+                server = await asyncio.start_unix_server(
+                    self._serve_connection, path=address)
+            else:
+                host, port = address
+                server = await asyncio.start_server(
+                    self._serve_connection, host=host, port=port)
+            self._servers.append(server)
+
+    async def stop(self) -> None:
+        """Tear down sender tasks, inbound readers and listening servers."""
+        self._closing = True
+        for link in self._peers.values():
+            link.queue.put_nowait(None)  # sender sentinel: flush and exit
+        for link in self._peers.values():
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(link.task, timeout=2.0)
+            if not link.task.done():
+                link.task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await link.task
+        self._peers.clear()
+        for task in list(self._reader_tasks):
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._reader_tasks.clear()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        if self.kind == "uds":
+            for node_id in self._nodes:
+                address = self.addresses.get(node_id)
+                if isinstance(address, str):
+                    with contextlib.suppress(OSError):
+                        os.unlink(address)
+
+    # ---------------------------------------------------------------- sending
+    def send(self, src: str, dst: str, *, protocol: str, msg_type: str,
+             payload: Any = None,
+             size_bytes: Optional[int] = None) -> Optional[Message]:
+        size = (self.DEFAULT_MESSAGE_BYTES if size_bytes is None
+                else int(size_bytes))
+        if src not in self._nodes:
+            if src not in self._known:
+                raise KeyError(f"source node {src!r} is not registered")
+            self._drop(protocol, size, "src-down")
+            return None
+        stats = self.stats
+        if dst in self._nodes:
+            # Local fast path: one queue hop through the clock, mirroring a
+            # zero-latency simulated delivery (no re-entrant handler calls).
+            stats.sent[protocol] += 1
+            stats.bytes_sent[protocol] += size
+            message = self._make_message(src, dst, protocol, msg_type,
+                                         payload, size)
+            self.clock.call_after(0.0, self._deliver_local, arg=message)
+            return message
+        if dst not in self.addresses:
+            raise KeyError(f"destination node {dst!r} is not registered")
+        stats.sent[protocol] += 1
+        stats.bytes_sent[protocol] += size
+        try:
+            frame = wire.encode_envelope(src, dst, protocol, msg_type,
+                                         payload, size, self.clock.now)
+        except wire.WireError:
+            self.stats.dropped[protocol] += 1
+            self.stats.drop_reasons["encode-error"] += 1
+            raise
+        self._peer(dst).queue.put_nowait(frame)
+        return self._make_message(src, dst, protocol, msg_type, payload, size)
+
+    def send_many(self, src: str, dsts: Sequence[str], *, protocol: str,
+                  msg_type: str, payload: Any = None,
+                  size_bytes: Optional[int] = None) -> List[Message]:
+        return [m for dst in dsts
+                if (m := self.send(src, dst, protocol=protocol,
+                                   msg_type=msg_type, payload=payload,
+                                   size_bytes=size_bytes)) is not None]
+
+    def _make_message(self, src: str, dst: str, protocol: str, msg_type: str,
+                      payload: Any, size: int) -> Message:
+        msg_id = self._next_msg_id
+        self._next_msg_id = msg_id + 1
+        now = self.clock.now
+        return Message(msg_id=msg_id, src=src, dst=dst, protocol=protocol,
+                       msg_type=msg_type, payload=payload, size_bytes=size,
+                       sent_at=now, deliver_at=now)
+
+    def _drop(self, protocol: str, size: int, reason: str) -> None:
+        stats = self.stats
+        stats.sent[protocol] += 1
+        stats.bytes_sent[protocol] += size
+        stats.dropped[protocol] += 1
+        stats.drop_reasons[reason] += 1
+
+    # ------------------------------------------------------- local delivery
+    def _deliver_local(self, message: Message) -> None:
+        node = self._nodes.get(message.dst)
+        if node is None:
+            self.stats.dropped[message.protocol] += 1
+            self.stats.drop_reasons["departed"] += 1
+            return
+        self.stats.delivered[message.protocol] += 1
+        for hook in self.delivery_hooks:
+            hook(message)
+        node.deliver(message)
+
+    # ------------------------------------------------------- outbound peers
+    def _peer(self, dst: str) -> _PeerLink:
+        link = self._peers.get(dst)
+        if link is None:
+            queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+            task = asyncio.get_event_loop().create_task(
+                self._sender_loop(dst, queue))
+            link = self._peers[dst] = _PeerLink(queue, task)
+        return link
+
+    async def _connect(self, address: Address):
+        if self.kind == "uds":
+            return await asyncio.open_unix_connection(path=address)
+        host, port = address
+        return await asyncio.open_connection(host=host, port=port)
+
+    async def _sender_loop(self, dst: str,
+                           queue: "asyncio.Queue[Optional[bytes]]") -> None:
+        address = self.addresses[dst]
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            while True:
+                frame = await queue.get()
+                if frame is None:
+                    break
+                if writer is None:
+                    writer = await self._connect_with_retry(address)
+                if writer is None:
+                    self.stats.dropped["live"] += 1
+                    self.stats.drop_reasons["dst-down"] += 1
+                    continue
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    writer = None
+                    self.stats.dropped["live"] += 1
+                    self.stats.drop_reasons["dst-down"] += 1
+        finally:
+            if writer is not None:
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+
+    async def _connect_with_retry(
+            self, address: Address) -> Optional[asyncio.StreamWriter]:
+        deadline = self.clock.now + self.CONNECT_RETRY_WINDOW
+        while not self._closing:
+            try:
+                _, writer = await self._connect(address)
+                return writer
+            except (ConnectionError, OSError, FileNotFoundError):
+                if self.clock.now >= deadline:
+                    return None
+                await asyncio.sleep(self.CONNECT_RETRY_DELAY)
+        return None
+
+    # -------------------------------------------------------- inbound frames
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                stream_writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+            task.add_done_callback(self._reader_tasks.discard)
+        try:
+            while True:
+                try:
+                    body = await wire.read_frame(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                    break
+                (src, dst, protocol, msg_type, payload, size_bytes,
+                 _sent_at) = wire.decode_envelope(body)
+                message = Message(
+                    msg_id=self._next_msg_id, src=src, dst=dst,
+                    protocol=protocol, msg_type=msg_type, payload=payload,
+                    size_bytes=size_bytes, sent_at=self.clock.now,
+                    deliver_at=self.clock.now)
+                self._next_msg_id += 1
+                self._deliver_local(message)
+        finally:
+            stream_writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await stream_writer.wait_closed()
+
+    # ------------------------------------------------------------- accounting
+    def messages_sent(self, protocol_prefix: str = "") -> int:
+        return self.stats.total_sent(protocol_prefix)
+
+    def bytes_sent(self, protocol_prefix: str = "") -> int:
+        return self.stats.total_bytes(protocol_prefix)

@@ -1,0 +1,214 @@
+"""Length-prefixed tagged-JSON frame codec for the live backend.
+
+Every payload that crosses ``Transport.send`` in the protocol layers —
+version digests, gossip digests, RanSub views, resolution rounds (extended
+version vectors, invalidation lists), detection announcements, truncation
+counts — must survive a trip through this codec *losslessly*: decode(encode
+(x)) == x, including container types (the resolution installer uses
+``(writer, seq)`` tuples as dict keys downstream, so tuples must come back
+as tuples, not lists).
+
+The format follows the ``repro.shard`` ``WireMessage`` discipline: a frame
+is ``struct.pack(">I", len(body))`` followed by a UTF-8 JSON body.  JSON
+alone cannot represent tuples, non-string dict keys, or our dataclasses, so
+the encoder rewrites them into tagged objects:
+
+* tuple ``(a, b)``            → ``{"__t": [a', b']}``
+* dict with non-string keys   → ``{"__d": [[k', v'], ...]}``
+  (or with a key starting ``"__"`` that would collide with a tag)
+* registered class instance   → ``{"__c": "<name>", "f": [field', ...]}``
+
+Registered classes are exactly the payload value types; each entry names
+the fields to pull and a reconstructor.  :class:`ExtendedVersionVector` is
+rebuilt through ``_restore_extended`` — the same cache-free content-field
+path its ``__reduce__`` uses for shard IPC, so interning/memoisation state
+never crosses a process boundary.
+
+Floats round-trip exactly: Python's ``json`` emits ``repr(float)`` (shortest
+round-trip form) and parses it back to the identical IEEE-754 double.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.detection import VersionDigest, WriterSummary
+from repro.overlay.gossip import GossipDigest
+from repro.overlay.ransub import RanSubView
+from repro.transport.errors import TransportError
+from repro.versioning.extended_vector import (ErrorTriple,
+                                              ExtendedVersionVector,
+                                              UpdateRecord, WriterBase,
+                                              _restore_extended)
+from repro.versioning.version_vector import VersionVector
+
+#: frame header: big-endian unsigned 32-bit body length
+_HEADER = struct.Struct(">I")
+
+#: refuse frames beyond this size — a corrupt header must not OOM the reader
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+class WireError(TransportError):
+    """A frame or payload could not be encoded/decoded."""
+
+
+# --------------------------------------------------------------------------
+# registered payload classes: name -> (class, field extractor, reconstructor)
+# --------------------------------------------------------------------------
+
+def _evv_fields(v: ExtendedVersionVector) -> Tuple[Any, ...]:
+    # The five content fields of __reduce__; caches are process-local.
+    return (v._updates, v._base, v._metadata, v._last_consistent_time,
+            v._triple)
+
+
+_REGISTRY: Dict[str, Tuple[type, Callable[[Any], Tuple[Any, ...]],
+                           Callable[..., Any]]] = {
+    "ErrorTriple": (
+        ErrorTriple,
+        lambda v: (v.numerical, v.order, v.staleness),
+        ErrorTriple),
+    "UpdateRecord": (
+        UpdateRecord,
+        lambda v: (v.writer, v.seq, v.timestamp, v.metadata_delta, v.payload),
+        UpdateRecord),
+    "WriterBase": (
+        WriterBase,
+        lambda v: (v.count, v.cum_metadata, v.last_timestamp),
+        WriterBase),
+    "VersionVector": (
+        VersionVector,
+        lambda v: (v.as_dict(),),
+        lambda counts: VersionVector._from_trusted(counts)),
+    "ExtendedVersionVector": (
+        ExtendedVersionVector, _evv_fields, _restore_extended),
+    "WriterSummary": (
+        WriterSummary,
+        lambda v: (v.count, v.cumulative_metadata, v.last_timestamp),
+        WriterSummary),
+    "VersionDigest": (
+        VersionDigest,
+        lambda v: (v.object_id, v.node_id, v.issued_at, v.writers,
+                   v.metadata, v.last_consistent_time),
+        VersionDigest),
+    "GossipDigest": (
+        GossipDigest,
+        lambda v: (v.object_id, v.origin, v.counts, v.metadata,
+                   v.last_consistent_time, v.issued_at, v.ttl),
+        GossipDigest),
+    "RanSubView": (
+        RanSubView,
+        lambda v: (v.round_number, v.members, v.received_at),
+        RanSubView),
+}
+
+#: exact-type lookup for the encoder (subclasses are not payload types)
+_BY_TYPE: Dict[type, str] = {cls: name for name, (cls, _, _) in
+                             _REGISTRY.items()}
+
+
+# --------------------------------------------------------------------------
+# value <-> jsonable
+# --------------------------------------------------------------------------
+
+def _to_jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    name = _BY_TYPE.get(type(value))
+    if name is not None:
+        _, extract, _ = _REGISTRY[name]
+        return {"__c": name, "f": [_to_jsonable(f) for f in extract(value)]}
+    if isinstance(value, tuple):
+        return {"__t": [_to_jsonable(v) for v in value]}
+    if isinstance(value, list):
+        return [_to_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if all(isinstance(k, str) and not k.startswith("__") for k in value):
+            return {k: _to_jsonable(v) for k, v in value.items()}
+        return {"__d": [[_to_jsonable(k), _to_jsonable(v)]
+                        for k, v in value.items()]}
+    raise WireError(f"cannot encode {type(value).__name__} for the wire")
+
+
+def _from_jsonable(value: Any) -> Any:
+    if isinstance(value, list):
+        return [_from_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        if "__c" in value:
+            name = value["__c"]
+            entry = _REGISTRY.get(name)
+            if entry is None:
+                raise WireError(f"unknown wire class {name!r}")
+            _, _, rebuild = entry
+            return rebuild(*[_from_jsonable(f) for f in value["f"]])
+        if "__t" in value:
+            return tuple(_from_jsonable(v) for v in value["__t"])
+        if "__d" in value:
+            return {_make_key(_from_jsonable(k)): _from_jsonable(v)
+                    for k, v in value["__d"]}
+        return {k: _from_jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _make_key(key: Any) -> Any:
+    # Lists decoded inside a __d key position must be hashable again.
+    return tuple(key) if isinstance(key, list) else key
+
+
+# --------------------------------------------------------------------------
+# envelope <-> frame bytes
+# --------------------------------------------------------------------------
+
+def encode_envelope(src: str, dst: str, protocol: str, msg_type: str,
+                    payload: Any, size_bytes: int, sent_at: float) -> bytes:
+    """Encode one message envelope into a length-prefixed frame."""
+    body = json.dumps(
+        [src, dst, protocol, msg_type, _to_jsonable(payload), size_bytes,
+         sent_at],
+        separators=(",", ":"), allow_nan=False).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame body {len(body)} bytes exceeds "
+                        f"{MAX_FRAME_BYTES}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_envelope(body: bytes) -> Tuple[str, str, str, str, Any, int, float]:
+    """Decode a frame body back into ``(src, dst, protocol, msg_type,
+    payload, size_bytes, sent_at)``."""
+    try:
+        fields = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed frame body: {exc}") from exc
+    if not isinstance(fields, list) or len(fields) != 7:
+        raise WireError("frame body is not a 7-field envelope")
+    src, dst, protocol, msg_type, payload, size_bytes, sent_at = fields
+    return (src, dst, protocol, msg_type, _from_jsonable(payload),
+            size_bytes, sent_at)
+
+
+def roundtrip(value: Any) -> Any:
+    """Encode then decode a payload value (test helper)."""
+    frame = encode_envelope("a", "b", "p", "t", value, 0, 0.0)
+    return decode_envelope(frame[_HEADER.size:])[4]
+
+
+# --------------------------------------------------------------------------
+# async stream helpers
+# --------------------------------------------------------------------------
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one frame body from ``reader``; raises ``IncompleteReadError``
+    at clean EOF between frames."""
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"incoming frame claims {length} bytes")
+    return await reader.readexactly(length)
+
+
+def write_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    writer.write(frame)

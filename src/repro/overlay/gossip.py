@@ -16,9 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.sim.engine import Simulator
-from repro.sim.network import Message, Network
-from repro.sim.timers import PeriodicTimer
+from repro.transport import Clock, Message, PeriodicTimer, Transport
 from repro.versioning.version_vector import Ordering, VersionVector
 
 
@@ -81,7 +79,7 @@ class GossipService:
     SEEN_SWEEP_THRESHOLD = 4096
     SEEN_HORIZON_ROUNDS = 8
 
-    def __init__(self, sim: Simulator, network: Network, *,
+    def __init__(self, clock: Clock, transport: Transport, *,
                  config: Optional[GossipConfig] = None,
                  membership: Callable[[str], Sequence[str]],
                  local_digest: Callable[[str, str], Optional[GossipDigest]],
@@ -104,14 +102,14 @@ class GossipService:
             the piggyback hook the stability frontier rides (it must not
             schedule events; bookkeeping only).
         """
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.config = config or GossipConfig()
         self._membership = membership
         self._local_digest = local_digest
         self._on_inconsistency = on_inconsistency
         self._on_digest = on_digest
-        self._rng = sim.random.stream("overlay.gossip")
+        self._rng = clock.random.stream("overlay.gossip")
         self._objects: List[str] = []
         self._timer: Optional[PeriodicTimer] = None
         self._rounds = 0
@@ -133,7 +131,7 @@ class GossipService:
     def start(self) -> None:
         if self._timer is not None:
             return
-        self._timer = PeriodicTimer(self.sim, self.run_round,
+        self._timer = PeriodicTimer(self.clock, self.run_round,
                                     period=self.config.round_period,
                                     label="gossip-round").start()
 
@@ -151,7 +149,7 @@ class GossipService:
         for object_id in self._objects:
             members = list(self._membership(object_id))
             for node_id in members:
-                if not self.network.has_node(node_id):
+                if not self.transport.has_node(node_id):
                     continue  # crashed member gossips nothing this round
                 digest = self._local_digest(node_id, object_id)
                 if digest is None:
@@ -160,7 +158,7 @@ class GossipService:
                     object_id=digest.object_id, origin=digest.origin,
                     counts=digest.counts, metadata=digest.metadata,
                     last_consistent_time=digest.last_consistent_time,
-                    issued_at=self.sim.now, ttl=self.config.ttl)
+                    issued_at=self.clock.now, ttl=self.config.ttl)
                 sent += self._forward(node_id, digest, members)
         return sent
 
@@ -175,7 +173,7 @@ class GossipService:
             self._ensure_handler(peer)
         # One shared payload for the whole fan-out; receivers treat both the
         # digest and the member list as read-only.
-        self.network.send_many(sender, chosen, protocol=PROTOCOL,
+        self.transport.send_many(sender, chosen, protocol=PROTOCOL,
                                msg_type="gossip_digest",
                                payload={"digest": digest,
                                         "members": list(members)},
@@ -185,11 +183,11 @@ class GossipService:
     def _ensure_handler(self, node_id: str) -> None:
         if node_id in self._registered_nodes:
             return
-        if not self.network.has_node(node_id):
+        if not self.transport.has_node(node_id):
             # Peer is down; the send will be a counted drop, and the handler
             # is registered on its first post-recovery selection instead.
             return
-        node = self.network.node(node_id)
+        node = self.transport.node(node_id)
         node.register_handler("gossip_digest", self._handle_digest)
         self._registered_nodes.add(node_id)
 
@@ -207,7 +205,7 @@ class GossipService:
             # Bounded-state sweep: a digest issued many round periods ago can
             # no longer be in flight, so forgetting its sighting cannot
             # resurrect a duplicate forward.
-            horizon = self.sim.now - (self.SEEN_HORIZON_ROUNDS
+            horizon = self.clock.now - (self.SEEN_HORIZON_ROUNDS
                                       * self.config.round_period)
             kept = {k for k in seen if k[2] >= horizon}
             self._seen[receiver] = kept
@@ -220,7 +218,7 @@ class GossipService:
         if local is not None:
             local_vv = local.version_vector()
             if local_vv.compare(digest.version_vector()) is not Ordering.EQUAL:
-                self._detections.append((self.sim.now, receiver, digest.object_id))
+                self._detections.append((self.clock.now, receiver, digest.object_id))
                 if self._on_inconsistency is not None:
                     self._on_inconsistency(receiver, digest, local_vv)
 

@@ -21,9 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.sim.engine import Simulator
-from repro.sim.network import Message, Network
-from repro.sim.timers import PeriodicTimer
+from repro.transport import Clock, Message, PeriodicTimer, Transport
 
 
 PROTOCOL = "overlay.ransub"
@@ -56,7 +54,7 @@ class RanSubService:
     callback per node to receive that node's :class:`RanSubView` each round.
     """
 
-    def __init__(self, sim: Simulator, network: Network, node_ids: Sequence[str], *,
+    def __init__(self, clock: Clock, transport: Transport, node_ids: Sequence[str], *,
                  round_period: float = 5.0, subset_size: int = 8,
                  branching: int = 4) -> None:
         if not node_ids:
@@ -65,13 +63,13 @@ class RanSubService:
             raise ValueError("subset_size must be >= 1")
         if branching < 2:
             raise ValueError("branching must be >= 2")
-        self.sim = sim
-        self.network = network
+        self.clock = clock
+        self.transport = transport
         self.node_ids = list(node_ids)
         self.round_period = round_period
         self.subset_size = subset_size
         self.branching = branching
-        self._rng = sim.random.stream("overlay.ransub")
+        self._rng = clock.random.stream("overlay.ransub")
         self._round = 0
         self._views: Dict[str, RanSubView] = {}
         self._subscribers: Dict[str, List[Callable[[RanSubView], None]]] = {}
@@ -84,7 +82,7 @@ class RanSubService:
         # computation happens centrally, so receivers simply absorb the
         # collect/distribute messages.
         for node_id in self.node_ids:
-            node = self.network.node(node_id)
+            node = self.transport.node(node_id)
             node.register_handler("ransub_collect", lambda message: None)
             node.register_handler("ransub_distribute", lambda message: None)
 
@@ -126,7 +124,7 @@ class RanSubService:
         """Begin periodic rounds (the first runs after one period)."""
         if self._timer is not None:
             return
-        self._timer = PeriodicTimer(self.sim, self.run_round,
+        self._timer = PeriodicTimer(self.clock, self.run_round,
                                     period=self.round_period,
                                     label="ransub-round").start()
 
@@ -154,11 +152,11 @@ class RanSubService:
         # Crashed nodes send nothing; sends *to* a crashed parent are counted
         # drops (the tree is static, so a dead interior node silences its
         # subtree's control traffic until it recovers — as on a real overlay).
-        has_node = self.network.has_node
+        has_node = self.transport.has_node
         for node in self.node_ids:
             parent = self._parent.get(node)
             if parent is not None and has_node(node):
-                self.network.send(node, parent, protocol=PROTOCOL,
+                self.transport.send(node, parent, protocol=PROTOCOL,
                                   msg_type="ransub_collect",
                                   payload={"round": round_number, "member": node},
                                   size_bytes=64)
@@ -173,12 +171,12 @@ class RanSubService:
             parent = self._parent.get(node)
             sender = parent if parent is not None else node
             if parent is not None:
-                self.network.send(sender, node, protocol=PROTOCOL,
+                self.transport.send(sender, node, protocol=PROTOCOL,
                                   msg_type="ransub_distribute",
                                   payload={"round": round_number, "sample": sample},
                                   size_bytes=32 * max(len(sample), 1))
             view = RanSubView(round_number=round_number, members=sample,
-                              received_at=self.sim.now + base_delay)
+                              received_at=self.clock.now + base_delay)
             self._deliver_view(node, view)
         return round_number
 

@@ -68,7 +68,8 @@ class NodeRuntime:
         Parameters
         ----------
         node:
-            The :class:`repro.sim.node.Node` this runtime manages.
+            The :class:`~repro.transport.endpoint.ProtocolEndpoint` this runtime
+            manages (a simulated or live node).
         store:
             The node's :class:`repro.store.filesystem.ReplicatedStore`.
         bus:
@@ -85,7 +86,7 @@ class NodeRuntime:
         self.digests: Optional[DigestCache] = DigestCache() if cache_digests else None
         #: one backoff stream per node, shared by every object's resolution
         #: manager instead of spawning a stream per (node, object)
-        self.backoff_rng = node.sim.random.stream(
+        self.backoff_rng = node.clock.random.stream(
             f"runtime.backoff.{node.node_id}")
         self.registry = ObjectRegistry()
 

@@ -17,8 +17,10 @@ discrete-event simulator with
   (:mod:`repro.sim.trace`).
 
 All protocol logic in :mod:`repro.core`, :mod:`repro.overlay` and
-:mod:`repro.baselines` is written against these primitives only, so the same
-code could in principle be re-targeted at a real network layer.
+:mod:`repro.baselines` is written against the :mod:`repro.transport` seam;
+this subpackage is the discrete-event implementation of it (``Simulator`` is
+the ``Clock``, ``Network``/``SimTransport`` the ``Transport``), and
+:mod:`repro.live` re-targets the same protocol code at real sockets.
 """
 
 from repro.sim.engine import Event, EventQueue, Simulator
@@ -27,7 +29,7 @@ from repro.sim.random import RandomStreams
 from repro.sim.clock import DriftingClock, ClockModel
 from repro.sim.latency import LatencyModel, PlanetLabLatencyModel, UniformLatencyModel
 from repro.sim.topology import Site, Topology, planetlab_topology
-from repro.sim.network import Message, Network, NetworkStats
+from repro.sim.network import Message, Network, NetworkStats, SimTransport
 from repro.sim.node import Node, RPCError
 from repro.sim.trace import Counter, TimeSeries, TraceRecorder
 
@@ -49,6 +51,7 @@ __all__ = [
     "Message",
     "Network",
     "NetworkStats",
+    "SimTransport",
     "Node",
     "RPCError",
     "Counter",

@@ -31,9 +31,16 @@ import math
 from heapq import heappop, heappush, heapify
 from typing import Any, Callable, Iterable, Optional
 
+from repro.transport.errors import TransportError
 
-class SimulationError(RuntimeError):
-    """Raised for invalid uses of the simulation engine."""
+
+class SimulationError(TransportError):
+    """Raised for invalid uses of the simulation engine.
+
+    Subclasses the seam-level :class:`~repro.transport.errors.TransportError`
+    so backend-agnostic code can catch scheduling misuse without importing
+    the engine.
+    """
 
 
 #: sentinel distinguishing "no argument" from an argument of ``None``

@@ -1,302 +1,48 @@
-"""Simulated node framework.
+"""Simulated node: the discrete-event backend of the endpoint seam.
 
-:class:`Node` provides the plumbing every protocol participant needs:
+All the protocol plumbing — handler dispatch, the request/response RPC
+layer, crash-stop lifecycle with adopted restartable timers — lives in the
+backend-neutral :class:`~repro.transport.endpoint.ProtocolEndpoint`.
+:class:`Node` binds it to the simulator and adds the one genuinely
+simulated concern: a local :class:`~repro.sim.clock.DriftingClock`, so
+``local_time()`` reads a skewed clock the way a real host's would drift.
 
-* registration with the :class:`~repro.sim.network.Network`,
-* a dispatch table from message type to handler method,
-* a request/response RPC layer built on top of one-way messages (used by the
-  resolution protocols: call-for-attention, version-info collection, update
-  push),
-* a local :class:`~repro.sim.clock.DriftingClock`, and
-* convenience timer helpers.
-
-Protocol components (detection module, resolution manager, overlay manager,
-application logic) are attached to a node as collaborators rather than
-subclasses, keeping each module small and testable.
+``RPCError`` and ``unwrap_response`` are re-exported from the seam for
+backward compatibility with pre-seam imports.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Optional
 
 from repro.sim.clock import ClockModel, DriftingClock
 from repro.sim.engine import Simulator
-from repro.sim.network import Message, Network
-from repro.sim.process import Waiter
+from repro.sim.network import Network
+from repro.transport.endpoint import (ProtocolEndpoint, _PendingRequest,
+                                      unwrap_response)
+from repro.transport.errors import RPCError
+
+__all__ = ["Node", "RPCError", "unwrap_response", "_PendingRequest"]
 
 
-class RPCError(RuntimeError):
-    """Raised when a request times out or the remote handler failed."""
-
-
-@dataclass
-class _PendingRequest:
-    waiter: Waiter
-    timeout_event: Any
-
-
-class Node:
+class Node(ProtocolEndpoint):
     """A host participating in the simulated deployment."""
-
-    #: per-message processing overhead (seconds) charged before a reply is
-    #: issued, standing in for the "computing overhead" the paper attributes
-    #: to phase two of active resolution (version-vector comparison etc.).
-    DEFAULT_PROCESSING_DELAY = 0.002
 
     def __init__(self, sim: Simulator, network: Network, node_id: str, *,
                  clock_model: Optional[ClockModel] = None,
                  processing_delay: Optional[float] = None) -> None:
+        #: backward-compatible aliases — the scheduling clock *is* the
+        #: simulator and the transport *is* the simulated network, and a
+        #: decade of call sites (and tests) spell them ``sim``/``network``
         self.sim = sim
         self.network = network
-        self.node_id = node_id
         model = clock_model if clock_model is not None else ClockModel()
-        self.clock = DriftingClock(node_id, model,
-                                   sim.random.stream(f"clock.{node_id}"))
-        self.processing_delay = (self.DEFAULT_PROCESSING_DELAY
-                                 if processing_delay is None else processing_delay)
-        self._handlers: Dict[str, Callable[[Message], Any]] = {}
-        self._pending: Dict[int, _PendingRequest] = {}
-        self._request_counter = itertools.count()
-        self._alive = True
-        #: periodic protocol timers owned by this node; stopped on fail() and
-        #: restarted on recover() so a recovered node resumes its rounds
-        self._periodic_timers: List[Any] = []
-        #: observers of lifecycle transitions (e.g. a resolution manager
-        #: resetting its in-flight state when its host crashes)
-        self.fail_hooks: List[Callable[[], None]] = []
-        self.recover_hooks: List[Callable[[], None]] = []
-        network.register(self)
-        self.register_handler("__rpc_request__", self._handle_rpc_request)
-        self.register_handler("__rpc_response__", self._handle_rpc_response)
-
-    # -------------------------------------------------------------- lifecycle
-    @property
-    def alive(self) -> bool:
-        return self._alive
-
-    def fail(self) -> None:
-        """Take the node offline (crash-stop model).
-
-        Beyond unregistering from the network, a crash is made *clean*:
-        pending RPCs are failed promptly (their waiters fire with an error
-        instead of dangling forever), and every adopted periodic timer is
-        paused so no protocol round ticks on a dead node.
-        """
-        if not self._alive:
-            return
-        self._alive = False
-        self.network.unregister(self.node_id)
-        pending, self._pending = self._pending, {}
-        for request in pending.values():
-            if request.timeout_event is not None:
-                request.timeout_event.cancel()
-            request.waiter.trigger(("error", f"{self.node_id} crashed"))
-        for timer in self._periodic_timers:
-            timer.stop()
-        for hook in self.fail_hooks:
-            hook()
-
-    def recover(self) -> None:
-        """Bring a failed node back online and resume its periodic protocols."""
-        if self._alive:
-            return
-        self._alive = True
-        self.network.register(self)
-        # Any request state surviving the crash is stale; a late
-        # __rpc_response__ for a pre-crash request must not be mis-routed.
-        self._pending.clear()
-        for timer in self._periodic_timers:
-            if not timer.cancelled:
-                timer.start()
-        for hook in self.recover_hooks:
-            hook()
-
-    def adopt_timer(self, timer: Any) -> None:
-        """Tie a :class:`~repro.sim.timers.PeriodicTimer` to this node's life.
-
-        Adopted timers are paused by :meth:`fail` and resumed by
-        :meth:`recover`; :meth:`call_every` adopts its timer automatically.
-        """
-        self._periodic_timers.append(timer)
-
-    def disown_timer(self, timer: Any) -> None:
-        try:
-            self._periodic_timers.remove(timer)
-        except ValueError:
-            pass
+        self.local_clock = DriftingClock(node_id, model,
+                                         sim.random.stream(f"clock.{node_id}"))
+        super().__init__(sim, network, node_id,
+                         processing_delay=processing_delay)
 
     # ------------------------------------------------------------------ time
     def local_time(self) -> float:
         """This node's (possibly skewed) clock reading."""
-        return self.clock.read(self.sim.now)
-
-    def call_after(self, delay: float, callback: Callable[[], None], *,
-                   label: str = "") -> Any:
-        return self.sim.call_after(delay, callback, label=f"{self.node_id}:{label}")
-
-    def call_every(self, period: float, callback: Callable[[], None], *,
-                   label: str = "", jitter: float = 0.0) -> Callable[[], None]:
-        """Run ``callback`` every ``period`` seconds until the returned
-        cancel function is invoked.
-
-        The timer is adopted by the node: a crash pauses it (restartably —
-        not the old permanent cancel, which left a recovered node silent) and
-        ``recover()`` resumes the schedule.
-        """
-        from repro.sim.timers import PeriodicTimer
-
-        if period <= 0:
-            raise ValueError("period must be positive")
-        rng = (self.sim.random.stream(f"timer.{self.node_id}.{label}")
-               if jitter > 0 else None)
-
-        def guarded() -> None:
-            if not self._alive:
-                # Safety net for a tick already in flight when fail() ran;
-                # stop() keeps the timer restartable for recover().
-                timer.stop()
-                return
-            callback()
-
-        timer = PeriodicTimer(self.sim, guarded, period=period, jitter=jitter,
-                              rng=rng, label=f"{self.node_id}:{label}")
-        self.adopt_timer(timer)
-        timer.start()
-
-        def cancel() -> None:
-            timer.cancel()
-            self.disown_timer(timer)
-
-        return cancel
-
-    # ------------------------------------------------------------- messaging
-    def register_handler(self, msg_type: str, handler: Callable[[Message], Any]) -> None:
-        """Register a handler for one-way messages of type ``msg_type``."""
-        self._handlers[msg_type] = handler
-
-    def register_rpc(self, method: str, handler: Callable[[Any], Any]) -> None:
-        """Register an RPC method callable via :meth:`request`."""
-        self._handlers[f"rpc:{method}"] = handler
-
-    def send(self, dst: str, *, protocol: str, msg_type: str, payload: Any = None,
-             size_bytes: Optional[int] = None) -> Optional[Message]:
-        """Send a one-way message."""
-        if not self._alive:
-            return None
-        return self.network.send(self.node_id, dst, protocol=protocol,
-                                 msg_type=msg_type, payload=payload,
-                                 size_bytes=size_bytes)
-
-    def send_many(self, dsts, *, protocol: str, msg_type: str,
-                  payload: Any = None, size_bytes: Optional[int] = None) -> list:
-        """Fan one payload out to many destinations (see Network.send_many)."""
-        if not self._alive:
-            return []
-        return self.network.send_many(self.node_id, dsts, protocol=protocol,
-                                      msg_type=msg_type, payload=payload,
-                                      size_bytes=size_bytes)
-
-    def deliver(self, message: Message) -> None:
-        """Entry point used by the network to hand over a message."""
-        if not self._alive:
-            return
-        handler = self._handlers.get(message.msg_type)
-        if handler is None:
-            raise KeyError(
-                f"node {self.node_id!r} has no handler for {message.msg_type!r}")
-        handler(message)
-
-    # ------------------------------------------------------------------- rpc
-    def request(self, dst: str, method: str, payload: Any = None, *,
-                protocol: str, timeout: Optional[float] = None,
-                size_bytes: Optional[int] = None) -> Waiter:
-        """Issue an RPC; the returned waiter is triggered with the response.
-
-        The waiter's value is ``("ok", result)`` on success, ``("error", msg)``
-        if the remote handler raised, or ``("timeout", None)`` if ``timeout``
-        elapsed first.  :func:`unwrap_response` converts this into a value or
-        an :class:`RPCError`.
-        """
-        waiter = Waiter(self.sim)
-        if not self._alive:
-            waiter.trigger(("error", f"{self.node_id} is offline"))
-            return waiter
-        request_id = next(self._request_counter)
-        timeout_event = None
-        if timeout is not None:
-            timeout_event = self.sim.call_after(
-                timeout, lambda: self._timeout_request(request_id),
-                label=f"{self.node_id}:rpc-timeout")
-        self._pending[request_id] = _PendingRequest(waiter, timeout_event)
-        try:
-            message = self.send(dst, protocol=protocol,
-                                msg_type="__rpc_request__",
-                                payload={"request_id": request_id,
-                                         "method": method,
-                                         "args": payload,
-                                         "reply_to": self.node_id,
-                                         "protocol": protocol},
-                                size_bytes=size_bytes)
-        except KeyError:
-            # Destination id was never registered (strict network): fail the
-            # RPC rather than blowing up the caller.
-            self._pending.pop(request_id, None)
-            if timeout_event is not None:
-                timeout_event.cancel()
-            waiter.trigger(("error", f"destination {dst!r} is unreachable"))
-            return waiter
-        if message is None and timeout is None:
-            # The request was dropped at send time (crashed or partitioned
-            # destination, or a loss-model drop) and no timeout is armed.
-            # Without this the waiter would dangle forever; erring on the
-            # side of sender-side omniscience keeps the simulation hang-free.
-            self._pending.pop(request_id, None)
-            waiter.trigger(("error", f"destination {dst!r} is unreachable"))
-        return waiter
-
-    def _timeout_request(self, request_id: int) -> None:
-        pending = self._pending.pop(request_id, None)
-        if pending is not None:
-            pending.waiter.trigger(("timeout", None))
-
-    def _handle_rpc_request(self, message: Message) -> None:
-        payload = message.payload
-        method = payload["method"]
-        handler = self._handlers.get(f"rpc:{method}")
-
-        def respond() -> None:
-            if handler is None:
-                result = ("error", f"unknown RPC method {method!r} on {self.node_id}")
-            else:
-                try:
-                    result = ("ok", handler(payload["args"]))
-                except Exception as exc:  # noqa: BLE001 - propagate to caller
-                    result = ("error", f"{type(exc).__name__}: {exc}")
-            self.send(payload["reply_to"], protocol=payload["protocol"],
-                      msg_type="__rpc_response__",
-                      payload={"request_id": payload["request_id"], "result": result})
-
-        if self.processing_delay > 0:
-            self.sim.call_after(self.processing_delay, respond,
-                                label=f"{self.node_id}:rpc-process:{method}")
-        else:
-            respond()
-
-    def _handle_rpc_response(self, message: Message) -> None:
-        payload = message.payload
-        pending = self._pending.pop(payload["request_id"], None)
-        if pending is None:
-            return  # response after timeout; ignore
-        if pending.timeout_event is not None:
-            pending.timeout_event.cancel()
-        pending.waiter.trigger(payload["result"])
-
-
-def unwrap_response(result: Any) -> Any:
-    """Convert an RPC waiter value into the handler result or raise RPCError."""
-    status, value = result
-    if status == "ok":
-        return value
-    raise RPCError(str(value) if value is not None else status)
+        return self.local_clock.read(self.sim.now)

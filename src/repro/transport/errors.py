@@ -1,0 +1,19 @@
+"""Error hierarchy shared by every transport backend.
+
+``TransportError`` is the root: backend-independent protocol plumbing
+(endpoints, timers, RPC) raises it, so callers written against the seam
+never need to know which backend is underneath.  The simulation engine's
+``SimulationError`` subclasses it, keeping two decades of ``except
+SimulationError`` call sites valid while letting seam-level code catch the
+portable parent.
+"""
+
+from __future__ import annotations
+
+
+class TransportError(RuntimeError):
+    """Raised for invalid uses of a transport backend or the seam plumbing."""
+
+
+class RPCError(TransportError):
+    """Raised when a request times out or the remote handler failed."""

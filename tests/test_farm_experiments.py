@@ -145,7 +145,8 @@ def test_phase_sweep_farms_and_matches_serial():
 def test_registry_covers_every_experiment_module():
     assert set(registry.REGISTRY) == {"fig2", "fig7", "fig8", "tab2", "fig9",
                                       "fig9_sharded", "multiobject", "tab3",
-                                      "fig10", "churn", "workload"}
+                                      "fig10", "churn", "conformance",
+                                      "workload"}
     for entry in registry.REGISTRY.values():
         assert entry.description
         assert callable(entry.run) and callable(entry.report)
@@ -257,3 +258,66 @@ def test_cli_exits_nonzero_on_shard_error(monkeypatch, capsys):
     _register_fake(monkeypatch, "stub_shard_fail", run)
     assert cli.main(["--run", "stub_shard_fail", "--quiet"]) == 1
     assert "shard 1 died" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# --backend plumbing: exit 2 for unsupported combos, pass-through otherwise
+
+
+def test_cli_rejects_backend_on_unaware_experiment(capsys):
+    rc = cli.main(["--run", "tab2", "--backend", "live", "--quiet",
+                   "--param", "writer_counts=(2,)", "--param", "num_nodes=8"])
+    assert rc == 2
+    assert "does not take --backend" in capsys.readouterr().err
+
+
+def test_cli_rejects_unknown_backend_value(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        cli.main(["--run", "conformance", "--backend", "quantum", "--quiet"])
+    assert excinfo.value.code == 2
+    assert "invalid choice" in capsys.readouterr().err
+
+
+def test_cli_passes_backend_through(monkeypatch, capsys):
+    seen = {}
+
+    def run(*, jobs, backend="sim"):
+        seen.update(jobs=jobs, backend=backend)
+        return "ok"
+
+    _register_fake(monkeypatch, "stub_backed", run)
+    assert cli.main(["--run", "stub_backed", "--backend", "live",
+                     "--quiet"]) == 0
+    assert seen == {"jobs": 1, "backend": "live"}
+
+
+def test_cli_backend_defaults_to_run_signature_default(monkeypatch, capsys):
+    seen = {}
+
+    def run(*, jobs, backend="sim"):
+        seen.update(backend=backend)
+        return "ok"
+
+    _register_fake(monkeypatch, "stub_backed", run)
+    assert cli.main(["--run", "stub_backed", "--quiet"]) == 0
+    assert seen == {"backend": "sim"}
+
+
+def test_cli_exits_nonzero_on_conformance_error(monkeypatch, capsys):
+    from repro.experiments.conformance import ConformanceError
+
+    def run(*, jobs, backend="sim"):
+        raise ConformanceError("n01 final_counts diverged")
+
+    _register_fake(monkeypatch, "stub_diverged", run)
+    assert cli.main(["--run", "stub_diverged", "--backend", "live",
+                     "--quiet"]) == 1
+    assert "diverged" in capsys.readouterr().err
+
+
+def test_cli_runs_conformance_sim_smoke(capsys):
+    rc = cli.main(["--run", "conformance", "--backend", "sim", "--smoke"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "backend=sim" in out
+    assert "resolutions completed: 2" in out

@@ -1,0 +1,94 @@
+"""Simulator-as-oracle conformance: the same seeded scenario runs on the
+discrete-event backend and on real sockets, and the protocol-level outcomes
+must match — writes applied, detection evaluations, completed resolutions,
+final per-writer counts, truncation-fold counts.  Counts and sets only,
+never timings (DESIGN.md §13 lists the legitimate divergences).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.live.deployment import LiveDeployment
+from repro.live.scenario import (ScenarioSpec, default_scenario, oracle_diff,
+                                 run_live_scenario_inprocess,
+                                 run_sim_scenario)
+
+#: a compressed schedule keeps the wall-clock cost of each live run ~2.6 s
+#: while preserving the phase gaps the oracle's determinism relies on
+SCALE = 0.6
+
+
+def small_spec(seed: int = 7) -> ScenarioSpec:
+    return default_scenario(3, 2, seed=seed, time_scale=SCALE)
+
+
+class TestScenarioSpec:
+    def test_roundtrips_through_json(self):
+        spec = small_spec()
+        data = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(data) == spec
+
+    def test_sim_backend_is_deterministic(self):
+        spec = small_spec()
+        assert run_sim_scenario(spec) == run_sim_scenario(spec)
+
+    def test_sim_outcomes_have_expected_shape(self):
+        out = run_sim_scenario(small_spec())
+        # 3 writes per (node, object): 2 initial + 1 post-resolution.
+        for outcome in out.values():
+            assert outcome["writes_applied"] == {"obj0": 3, "obj1": 3}
+            assert outcome["detections_run"] == {"obj0": 3, "obj1": 3}
+            # Truncation folded the merged (pre-final-write) records.
+            assert all(folded > 0 for folded in outcome["folded"].values())
+        resolutions = sorted(tuple(r) for o in out.values()
+                             for r in o["resolutions"])
+        assert resolutions == [("obj0", "n00", "active"),
+                               ("obj1", "n01", "active")]
+
+
+class TestLiveMatchesOracle:
+    @pytest.mark.parametrize("kind", ["uds", "tcp"])
+    def test_inprocess_sockets_match_oracle(self, kind, tmp_path):
+        spec = small_spec(seed=13)
+        live = run_live_scenario_inprocess(spec, str(tmp_path), kind=kind)
+        sim = run_sim_scenario(spec)
+        assert oracle_diff(sim, live) == []
+
+    def test_multiprocess_deployment_matches_oracle(self, tmp_path):
+        """The full bring-up path: one OS process per node over UNIX
+        sockets, ready-file barrier, outcome collection, teardown."""
+        spec = small_spec(seed=21)
+        deployment = LiveDeployment(spec, str(tmp_path), kind="uds")
+        live = deployment.run()
+        sim = run_sim_scenario(spec)
+        assert oracle_diff(sim, live) == []
+        # Teardown was clean: every node exited by itself.
+        assert all(proc.returncode == 0
+                   for proc in deployment._procs.values())
+
+
+class TestOracleDiff:
+    def test_flags_node_set_mismatch(self):
+        out = run_sim_scenario(small_spec())
+        subset = {k: v for k, v in out.items() if k != "n00"}
+        assert oracle_diff(out, subset)
+
+    def test_flags_count_mismatch(self):
+        out = run_sim_scenario(small_spec())
+        import copy
+        broken = copy.deepcopy(out)
+        broken["n01"]["final_counts"]["obj0"]["n00"] += 1
+        problems = oracle_diff(out, broken)
+        assert any("final_counts" in p for p in problems)
+
+    def test_flags_missing_gossip(self):
+        out = run_sim_scenario(small_spec())
+        import copy
+        silent = copy.deepcopy(out)
+        for outcome in silent.values():
+            outcome["gossip_rounds"] = 0
+        problems = oracle_diff(out, silent)
+        assert any("gossip" in p for p in problems)

@@ -1,0 +1,277 @@
+"""Wire-format round-trip tests for the live frame codec.
+
+Every payload type that crosses ``Transport.send`` in the protocol layers
+must survive encode→decode losslessly, containers included: the resolution
+installer uses ``(writer, seq)`` tuples as dict keys downstream, so tuples
+must come back as tuples, and non-string dict keys must be restored.
+
+The generators below are hypothesis-driven where the shape space is wide
+(vectors, digests, nested containers) and example-based for the exact
+payload envelopes each protocol sends.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.detection import VersionDigest, WriterSummary
+from repro.live import wire
+from repro.overlay.gossip import GossipDigest
+from repro.overlay.ransub import RanSubView
+from repro.versioning.extended_vector import (ErrorTriple,
+                                              ExtendedVersionVector,
+                                              UpdateRecord, WriterBase)
+from repro.versioning.version_vector import VersionVector
+
+# --------------------------------------------------------------------------
+# strategies
+# --------------------------------------------------------------------------
+
+#: finite doubles only — the envelope uses allow_nan=False (NaN never
+#: appears in protocol payloads, and NaN != NaN would break equality)
+finite = st.floats(allow_nan=False, allow_infinity=False)
+non_negative = st.floats(min_value=0.0, allow_nan=False, allow_infinity=False)
+names = st.text(st.characters(codec="utf-8",
+                              blacklist_categories=("Cs",)), max_size=12)
+writer_ids = st.sampled_from(["A", "B", "C", "n00", "n01", "writer-7"])
+
+json_scalars = st.one_of(st.none(), st.booleans(), st.integers(), finite,
+                         names)
+
+
+def payloads(depth: int = 3):
+    """Arbitrary nested payload values the codec claims to support."""
+    if depth == 0:
+        return json_scalars
+    sub = payloads(depth - 1)
+    return st.one_of(
+        json_scalars,
+        st.lists(sub, max_size=3),
+        st.lists(sub, max_size=3).map(tuple),
+        st.dictionaries(names, sub, max_size=3),
+        # non-string keys force the __d encoding
+        st.dictionaries(st.tuples(writer_ids, st.integers(0, 9)), sub,
+                        max_size=3),
+    )
+
+
+error_triples = st.builds(ErrorTriple, numerical=non_negative,
+                          order=non_negative, staleness=non_negative)
+
+update_records = st.builds(
+    UpdateRecord, writer=writer_ids, seq=st.integers(1, 50),
+    timestamp=finite, metadata_delta=finite,
+    payload=st.one_of(st.none(), names, st.dictionaries(names, json_scalars,
+                                                        max_size=2)))
+
+writer_bases = st.builds(WriterBase, count=st.integers(0, 100),
+                         cum_metadata=finite, last_timestamp=finite)
+
+version_vectors = st.dictionaries(
+    writer_ids, st.integers(1, 100), max_size=4).map(VersionVector)
+
+writer_summaries = st.builds(WriterSummary, count=st.integers(1, 100),
+                             cumulative_metadata=finite,
+                             last_timestamp=finite)
+
+version_digests = st.builds(
+    VersionDigest, object_id=names, node_id=writer_ids, issued_at=finite,
+    writers=st.lists(st.tuples(writer_ids, writer_summaries),
+                     max_size=3, unique_by=lambda t: t[0]).map(tuple),
+    metadata=finite, last_consistent_time=finite)
+
+gossip_digests = st.builds(
+    GossipDigest, object_id=names, origin=writer_ids,
+    counts=st.lists(st.tuples(writer_ids, st.integers(1, 100)),
+                    max_size=3, unique_by=lambda t: t[0]).map(tuple),
+    metadata=finite, last_consistent_time=finite, issued_at=finite,
+    ttl=st.integers(1, 5))
+
+ransub_views = st.builds(RanSubView, round_number=st.integers(0, 1000),
+                         members=st.lists(writer_ids, max_size=5),
+                         received_at=finite)
+
+
+@st.composite
+def extended_vectors(draw):
+    """Well-formed EVVs: contiguous per-writer seqs continuing a base."""
+    writers = draw(st.lists(writer_ids, min_size=0, max_size=3, unique=True))
+    updates = {}
+    base = {}
+    for writer in writers:
+        base_count = draw(st.integers(0, 3))
+        if base_count:
+            base[writer] = WriterBase(count=base_count,
+                                      cum_metadata=draw(finite),
+                                      last_timestamp=draw(finite))
+        tail = draw(st.integers(0 if base_count else 1, 3))
+        if tail:
+            updates[writer] = tuple(
+                UpdateRecord(writer=writer, seq=base_count + 1 + i,
+                             timestamp=draw(finite),
+                             metadata_delta=draw(finite),
+                             payload=draw(st.one_of(st.none(), names)))
+                for i in range(tail))
+    return ExtendedVersionVector(updates=updates, metadata=draw(finite),
+                                 last_consistent_time=draw(finite),
+                                 triple=draw(error_triples), base=base)
+
+
+# --------------------------------------------------------------------------
+# property tests: every registered type round-trips losslessly
+# --------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(payloads())
+def test_arbitrary_containers_roundtrip(value):
+    assert wire.roundtrip(value) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.one_of(error_triples, update_records, writer_bases,
+                 writer_summaries, version_vectors, version_digests,
+                 gossip_digests, ransub_views))
+def test_registered_payload_types_roundtrip(value):
+    assert wire.roundtrip(value) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(extended_vectors())
+def test_extended_version_vectors_roundtrip(vector):
+    restored = wire.roundtrip(vector)
+    assert restored == vector
+    assert restored.counts() == vector.counts()
+    assert restored.triple == vector.triple
+    assert restored.last_consistent_time == vector.last_consistent_time
+
+
+@settings(max_examples=30, deadline=None)
+@given(extended_vectors(), st.lists(st.tuples(writer_ids,
+                                              st.integers(1, 20)),
+                                    max_size=3))
+def test_resolution_install_payload_roundtrips(vector, invalidated):
+    """The exact payload shape ``idea_install`` pushes to every member."""
+    payload = {"merged": vector, "invalidated": invalidated}
+    restored = wire.roundtrip(payload)
+    assert restored["merged"] == vector
+    # (writer, seq) pairs must come back as tuples — they are used as dict
+    # keys by the rollback bookkeeping downstream.
+    assert restored["invalidated"] == invalidated
+    assert all(isinstance(p, tuple) for p in restored["invalidated"])
+
+
+# --------------------------------------------------------------------------
+# protocol envelope examples (one per payload family crossing the wire)
+# --------------------------------------------------------------------------
+
+def _example_digest():
+    return VersionDigest(
+        object_id="obj0", node_id="n01", issued_at=1.25,
+        writers=(("n00", WriterSummary(count=2, cumulative_metadata=3.5,
+                                       last_timestamp=1.0)),
+                 ("n01", WriterSummary(count=1, cumulative_metadata=1.0,
+                                       last_timestamp=1.2))),
+        metadata=4.5, last_consistent_time=0.0)
+
+
+PROTOCOL_PAYLOADS = [
+    # detection announcements
+    ("idea.detection", "idea_digest:obj0", {"digest": _example_digest()}),
+    # gossip digests (digest + member list shared across the fan-out)
+    ("overlay.gossip", "gossip_digest",
+     {"digest": GossipDigest(object_id="obj0", origin="n02",
+                             counts=(("n00", 2), ("n02", 1)), metadata=3.0,
+                             last_consistent_time=0.5, issued_at=2.0, ttl=3),
+      "members": ["n00", "n01", "n02"]}),
+    # RanSub views
+    ("overlay.ransub", "ransub_view",
+     {"view": RanSubView(round_number=4, members=["n01", "n03"],
+                         received_at=8.0)}),
+    # resolution rounds: collect response and install push
+    ("idea.resolution", "idea_collect:obj0",
+     {"vector": ExtendedVersionVector(
+         updates={"n00": (UpdateRecord("n00", 1, 0.5, 1.0, {"k": "v"}),)},
+         metadata=1.0, triple=ErrorTriple(1.0, 2.0, 0.25)),
+      "node_id": "n00"}),
+    ("idea.resolution", "idea_install:obj0",
+     {"merged": ExtendedVersionVector(
+         updates={"n00": (UpdateRecord("n00", 2, 1.5),),
+                  "n01": (UpdateRecord("n01", 1, 0.25),)},
+         base={"n00": WriterBase(count=1, cum_metadata=2.0,
+                                 last_timestamp=0.5)},
+         metadata=2.0),
+      "invalidated": [("n01", 1)]}),
+    # truncation/stability counts piggybacked as plain vectors
+    ("idea.truncation", "stability_counts",
+     {"counts": VersionVector({"n00": 5, "n01": 3}), "node_id": "n00"}),
+]
+
+
+@pytest.mark.parametrize("protocol,msg_type,payload", PROTOCOL_PAYLOADS,
+                         ids=[p[1] for p in PROTOCOL_PAYLOADS])
+def test_protocol_envelope_roundtrips(protocol, msg_type, payload):
+    frame = wire.encode_envelope("n00", "n01", protocol, msg_type, payload,
+                                 1024, 3.25)
+    (length,) = struct.unpack(">I", frame[:4])
+    assert length == len(frame) - 4
+    src, dst, proto, mtype, restored, size, sent_at = \
+        wire.decode_envelope(frame[4:])
+    assert (src, dst, proto, mtype, size, sent_at) == \
+        ("n00", "n01", protocol, msg_type, 1024, 3.25)
+    assert restored == payload
+
+
+# --------------------------------------------------------------------------
+# edge cases
+# --------------------------------------------------------------------------
+
+def test_floats_roundtrip_bit_exactly():
+    values = [0.1 + 0.2, 1e-308, 1.7976931348623157e308, -0.0,
+              math.pi, 2.0 ** -1074]
+    restored = wire.roundtrip(values)
+    for original, back in zip(values, restored):
+        assert struct.pack(">d", original) == struct.pack(">d", back)
+
+
+def test_tagged_dict_keys_survive():
+    payload = {("n00", 3): "a", ("n01", 1): "b"}
+    assert wire.roundtrip(payload) == payload
+
+
+def test_reserved_looking_string_keys_survive():
+    payload = {"__t": 1, "__c": [2], "__d": {"x": 3}, "__anything": (4,)}
+    assert wire.roundtrip(payload) == payload
+
+
+def test_unknown_class_raises():
+    class Mystery:
+        pass
+
+    with pytest.raises(wire.WireError):
+        wire.encode_envelope("a", "b", "p", "t", Mystery(), 0, 0.0)
+
+
+def test_unknown_tag_raises():
+    import json
+    body = json.dumps(["a", "b", "p", "t", {"__c": "Nope", "f": []}, 0,
+                       0.0]).encode()
+    with pytest.raises(wire.WireError):
+        wire.decode_envelope(body)
+
+
+def test_malformed_body_raises():
+    with pytest.raises(wire.WireError):
+        wire.decode_envelope(b"\xff\xfe not json")
+    with pytest.raises(wire.WireError):
+        wire.decode_envelope(b'{"not": "an envelope"}')
+
+
+def test_oversized_frame_refused():
+    with pytest.raises(wire.WireError):
+        wire.encode_envelope("a", "b", "p", "t",
+                             "x" * (wire.MAX_FRAME_BYTES + 1), 0, 0.0)

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import Simulator
+from repro.transport import TransportError
 from repro.sim.timers import PeriodicTimer
 
 
@@ -83,7 +84,7 @@ class TestPeriodicTimer:
         sim = Simulator()
         timer = PeriodicTimer(sim, lambda: None, period=1.0).start()
         timer.cancel()
-        with pytest.raises(SimulationError):
+        with pytest.raises(TransportError):
             timer.start()
 
     def test_stop_then_start_resumes(self):
@@ -135,7 +136,7 @@ class TestPeriodicTimer:
         timer.stop()
         timer.cancel()
         assert not timer.stopped  # cancelled is the terminal state
-        with pytest.raises(SimulationError):
+        with pytest.raises(TransportError):
             timer.start()
 
     def test_needs_exactly_one_period_source(self):
