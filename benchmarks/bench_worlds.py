@@ -1,0 +1,88 @@
+"""World-catalog benchmark: every committed world, serial vs farmed.
+
+Runs the whole ``repro/worlds/catalog`` through the world matrix twice —
+once through the serial in-process oracle (``jobs=1``) and once through a
+multiprocess farm — and asserts three things:
+
+* every world's fingerprint matches its **committed pin** (the
+  ``fingerprint`` block inside the catalog JSON),
+* the farmed run reproduces the serial run point for point, and
+* the whole catalog stays cheap enough to gate in CI.
+
+Per-world fingerprints and wall-clocks are persisted to
+``BENCH_worlds.json`` for the ``worlds`` regression gate.  After an
+intentional behaviour change, re-pin the catalog
+(``python -m repro.worlds --fingerprint <world> --write`` per world) and
+re-run this benchmark to refresh the committed trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.fig_world_matrix import build_world_matrix_grid
+from repro.farm import SweepFarm
+from repro.worlds import catalog_names, load_world
+
+PARALLEL_JOBS = 4
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_worlds.json"
+
+
+def bench_worlds(benchmark):
+    names = catalog_names()
+    specs = build_world_matrix_grid(worlds=names)
+    cpu_count = os.cpu_count() or 1
+
+    serial_started = time.perf_counter()
+    serial = SweepFarm(specs, jobs=1).run()
+    serial_wall = time.perf_counter() - serial_started
+
+    parallel = benchmark.pedantic(
+        lambda: SweepFarm(specs, jobs=PARALLEL_JOBS).run(),
+        rounds=1, iterations=1)
+
+    assert serial.ok and parallel.ok
+    serial_points = list(serial.values())
+    parallel_points = list(parallel.values())
+    assert [p.fingerprint for p in parallel_points] == \
+        [p.fingerprint for p in serial_points], \
+        "farmed catalog run diverged from the serial oracle"
+
+    pin_match = True
+    for name, point in zip(names, serial_points):
+        pinned = load_world(name).fingerprint
+        assert pinned is not None, f"catalog world {name} carries no pin"
+        if point.fingerprint != dict(pinned.values):
+            pin_match = False
+            print(f"PIN MISMATCH: {name}")
+    assert pin_match, "catalog worlds diverged from their committed pins"
+
+    speedup = serial_wall / parallel.wall_seconds if parallel.wall_seconds else 0.0
+    print(f"\n{len(names)} worlds: serial {serial_wall:.2f}s, "
+          f"parallel (jobs={PARALLEL_JOBS}) {parallel.wall_seconds:.2f}s, "
+          f"speedup {speedup:.2f}x on {cpu_count} core(s)")
+
+    OUTPUT_PATH.write_text(json.dumps({
+        "experiment": "world_catalog",
+        "cpu_count": cpu_count,
+        "jobs": PARALLEL_JOBS,
+        "serial_wall_seconds": serial_wall,
+        "parallel_wall_seconds": parallel.wall_seconds,
+        "speedup": speedup,
+        "pin_match": pin_match,
+        "worlds": {
+            point.world: {
+                "seed": point.seed,
+                "horizon_s": point.horizon,
+                "num_nodes": point.num_nodes,
+                "fingerprint": dict(point.fingerprint),
+                "wall_seconds": round(point.wall_seconds, 6),
+            }
+            for point in serial_points
+        },
+    }, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(f"wrote {OUTPUT_PATH.name}")

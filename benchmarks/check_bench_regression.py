@@ -30,7 +30,12 @@ Reruns the committed benchmark scenarios and fails when drift is detected:
   oracle), a live rerun of the seconds-sized probe point at ``shards=1``
   and ``shards=2`` must reproduce the committed probe fingerprints
   exactly, and the committed 4-shard speedup must clear its floor when
-  the committed host had the cores.
+  the committed host had the cores;
+* ``BENCH_worlds.json`` — the committed world catalog: every catalog
+  world's pinned fingerprint must match the committed trace (no silent
+  re-pins), a live serial + ``jobs=2`` rerun of a catalog subset must
+  reproduce the committed fingerprints bit-identically, and the subset's
+  serial wall-clock is held to the threshold when long enough.
 
 Usage::
 
@@ -57,6 +62,12 @@ WORKLOAD_PATH = ROOT / "BENCH_workload.json"
 LONGRUN_PATH = ROOT / "BENCH_longrun.json"
 FARM_PATH = ROOT / "BENCH_farm.json"
 SHARD_PATH = ROOT / "BENCH_shard.json"
+WORLDS_PATH = ROOT / "BENCH_worlds.json"
+
+#: catalog worlds the worlds gate replays live (serial + jobs=2); the full
+#: catalog is bench_worlds' job, the gate needs enough to catch drift across
+#: the scale suite and the stress machinery (loss tiers, fault schedules)
+WORLDS_RERUN = ("wan-20", "edge-lossy", "churn-heavy")
 
 #: speedup floor the committed farm benchmark must clear, provided the host
 #: that produced it had at least this many cores (mirrors bench_farm.py)
@@ -378,6 +389,85 @@ def check_shard(threshold: float) -> bool:
     return failed
 
 
+def check_worlds(threshold: float) -> bool:
+    """Gate the committed world catalog: pins, farm determinism, wall."""
+    if not WORLDS_PATH.exists():
+        print("== worlds == (no committed BENCH_worlds.json, skipping)")
+        return False
+    from repro.experiments.fig_world_matrix import build_world_matrix_grid
+    from repro.worlds import load_catalog
+
+    committed = json.loads(WORLDS_PATH.read_text(encoding="utf-8"))
+    print("== worlds ==")
+    print(f"committed: {len(committed['worlds'])} worlds, "
+          f"serial {committed['serial_wall_seconds']:.2f}s, "
+          f"jobs={committed['jobs']} "
+          f"{committed['parallel_wall_seconds']:.2f}s, "
+          f"speedup {committed['speedup']:.2f}x "
+          f"on {committed['cpu_count']} core(s)")
+
+    failed = False
+    if not committed.get("pin_match"):
+        print("FAIL: committed run recorded catalog pins diverging from "
+              "the benchmark (pin_match false)")
+        failed = True
+
+    # Cross-check every catalog pin against the committed trace without
+    # running anything: a world re-pinned without re-running bench_worlds
+    # (or vice versa) is caught here.
+    catalog = load_catalog()
+    for name, world in sorted(catalog.items()):
+        base = committed["worlds"].get(name)
+        if base is None:
+            print(f"FAIL: catalog world {name!r} is missing from the "
+                  "committed BENCH_worlds.json (re-run bench_worlds)")
+            failed = True
+            continue
+        if world.fingerprint is None:
+            print(f"FAIL: catalog world {name!r} carries no pinned "
+                  "fingerprint")
+            failed = True
+        elif dict(world.fingerprint.values) != base["fingerprint"]:
+            print(f"FAIL: catalog pin for {name!r} diverges from the "
+                  "committed BENCH_worlds.json trace")
+            failed = True
+    for name in committed["worlds"]:
+        if name not in catalog:
+            print(f"FAIL: committed world {name!r} no longer exists in the "
+                  "catalog (re-run bench_worlds)")
+            failed = True
+
+    # Live determinism probe: replay a catalog subset serially AND through
+    # a 2-worker farm, holding both against the committed fingerprints.
+    rerun = [n for n in WORLDS_RERUN if n in committed["worlds"]]
+    specs = build_world_matrix_grid(worlds=rerun)
+    serial = SweepFarm(specs, jobs=1).run()
+    farmed = SweepFarm(specs, jobs=2).run()
+    for name, s, f in zip(rerun, serial.values(), farmed.values()):
+        base_print = committed["worlds"][name]["fingerprint"]
+        for leg, point in (("serial", s), ("jobs=2", f)):
+            if dict(point.fingerprint) != base_print:
+                print(f"FAIL: world {name!r} {leg} rerun diverged from the "
+                      "committed fingerprint (determinism broken)")
+                failed = True
+    if not failed:
+        print(f"{len(rerun)} worlds re-run serial + jobs=2: fingerprints "
+              "match the committed trace")
+
+    base_wall = sum(committed["worlds"][n]["wall_seconds"] for n in rerun)
+    rerun_wall = sum(o.wall_seconds for o in serial.outcomes)
+    if base_wall >= MIN_WALL_GATE_SECONDS:
+        ratio = rerun_wall / base_wall
+        print(f"serial wall ratio {ratio:.2f}x (budget <= {1 + threshold:.2f}x)")
+        if ratio > 1 + threshold:
+            print(f"FAIL: world wall-clock regressed {ratio:.2f}x")
+            failed = True
+    else:
+        print(f"committed subset wall {base_wall:.2f}s < "
+              f"{MIN_WALL_GATE_SECONDS:g}s — noise-dominated, counts only")
+    return failed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--threshold", type=float, default=0.25,
@@ -385,9 +475,9 @@ def main(argv: list[str] | None = None) -> int:
                              "committed baselines (default 0.25 = +25%%)")
     parser.add_argument("--only",
                         choices=("multiobject", "churn", "workload", "longrun",
-                                 "farm", "shard"),
+                                 "farm", "shard", "worlds"),
                         default=None,
-                        help="run a single gate instead of all six")
+                        help="run a single gate instead of all seven")
     args = parser.parse_args(argv)
 
     gates = {
@@ -397,6 +487,7 @@ def main(argv: list[str] | None = None) -> int:
         "longrun": check_longrun,
         "farm": check_farm,
         "shard": check_shard,
+        "worlds": check_worlds,
     }
     selected = [args.only] if args.only else list(gates)
     failed = False

@@ -20,6 +20,7 @@ setup(
     python_requires=">=3.10",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.worlds": ["catalog/*.json"]},
     install_requires=["numpy>=1.24"],
     extras_require={
         "dev": ["pytest>=7.0", "pytest-benchmark>=4.0", "hypothesis>=6.0"],

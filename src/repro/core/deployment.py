@@ -148,6 +148,7 @@ class DeploymentBuilder:
         self._start_services = False
         self._shard_plan: Optional["ShardPlan"] = None
         self._shard_index = 0
+        self._extra_passes: List[Callable[["IdeaDeployment"], None]] = []
 
     # ------------------------------------------------------------- fluent API
     def add_object(self, object_id: str, config: IdeaConfig, *,
@@ -193,6 +194,17 @@ class DeploymentBuilder:
         self._start_services = True
         return self
 
+    def add_pass(self, fn: Callable[["IdeaDeployment"], None]) -> "DeploymentBuilder":
+        """Append a custom build pass, run after the built-in passes.
+
+        Extra passes see the fully wired deployment (network, objects,
+        traffic) and may mutate it — the world compiler uses this seam to
+        apply per-link loss, arm standalone fault plans and attach world
+        metadata without subclassing the builder.
+        """
+        self._extra_passes.append(fn)
+        return self
+
     def add_traffic(self, populations: Sequence, *, autostart: bool = True,
                     **driver_kwargs) -> "DeploymentBuilder":
         """Queue a traffic attachment for the traffic pass.
@@ -224,9 +236,25 @@ class DeploymentBuilder:
         self._placement_pass(deployment)
         self._scheduling_pass(deployment)
         self._traffic_pass(deployment)
+        for extra in self._extra_passes:
+            extra(deployment)
         return deployment
 
     # ---------------------------------------------------------------- passes
+    @staticmethod
+    def _inject_streams(d: "IdeaDeployment") -> None:
+        """Give any streams-carrying latency model the deployment's RNG.
+
+        Models that draw per-source/per-link jitter (PerSourceLatencyModel,
+        HeterogeneousLatencyModel) expose a ``streams`` attribute that may be
+        None when the model was constructed before the simulator existed —
+        e.g. by the world compiler.  Wiring it here keeps construction order
+        irrelevant to determinism.
+        """
+        sentinel = object()
+        if getattr(d.latency, "streams", sentinel) is None:
+            d.latency.streams = d.sim.random
+
     def _topology_pass(self, d: "IdeaDeployment") -> None:
         """Simulator, random streams and the wide-area topology."""
         d.sim = Simulator(seed=self.seed)
@@ -267,18 +295,14 @@ class DeploymentBuilder:
                     "(membership spans shard boundaries)")
             d.latency = (self.latency if self.latency is not None
                          else PerSourceLatencyModel(d.topology, d.sim.random))
-            if (isinstance(d.latency, PerSourceLatencyModel)
-                    and d.latency.streams is None):
-                d.latency.streams = d.sim.random
+            self._inject_streams(d)
             d.network = ShardedNetwork(d.sim, d.latency,
                                        shard_index=self._shard_index)
         else:
             d.latency = (self.latency if self.latency is not None
                          else PlanetLabLatencyModel(
                              d.topology, d.sim.random.stream("latency")))
-            if (isinstance(d.latency, PerSourceLatencyModel)
-                    and d.latency.streams is None):
-                d.latency.streams = d.sim.random
+            self._inject_streams(d)
             d.network = Network(d.sim, d.latency,
                                 loss_probability=self.loss_probability)
         d.clock_model = (self.clock_model if self.clock_model is not None

@@ -85,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="shard processes for space-partitioned "
                              "experiments (default: $SHARD_PROCS)")
+    parser.add_argument("--world", action="append", default=None,
+                        dest="worlds", metavar="NAME|PATH",
+                        help="restrict a world-aware experiment to this "
+                             "catalog world or world JSON file (repeatable)")
     parser.add_argument("--backend", choices=("sim", "live"), default=None,
                         help="execution backend for backend-aware "
                              "experiments: the discrete-event simulator or "
@@ -138,6 +142,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif (accepts_shards and "shards" not in kwargs
           and default_shards(0)):
         kwargs["shards"] = default_shards(0)
+
+    accepts_worlds = "worlds" in inspect.signature(entry.run).parameters
+    if args.worlds is not None:
+        if not accepts_worlds:
+            print(f"error: experiment {args.run!r} does not take --world",
+                  file=sys.stderr)
+            return 2
+        kwargs["worlds"] = tuple(args.worlds)
 
     accepts_backend = "backend" in inspect.signature(entry.run).parameters
     if args.backend is not None:

@@ -1,0 +1,118 @@
+"""World matrix: the committed world catalog swept through the farm.
+
+Every world in ``repro/worlds/catalog`` (or an explicit subset via
+``--world``) is built, run to its horizon and fingerprinted — one farm
+point per world, so ``--jobs N`` fans the catalog over worker processes.
+When a point runs at the world's pinned seed and horizon, its fingerprint
+is checked against the committed ``fingerprint`` block; a divergence shows
+up in the report (and the ``worlds`` bench gate fails CI on it).
+
+This is the catalog's integration sweep: it proves every committed world
+still builds, runs and replays — topology tiers, per-link loss, region
+traffic binding and correlated fault schedules included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.report import format_table
+from repro.farm import PointSpec, run_specs
+from repro.worlds.loader import catalog_names, load_world
+from repro.worlds.model import World
+from repro.worlds.runner import WorldRunResult, run_world_point
+
+
+@dataclass
+class WorldMatrixResult:
+    """The full catalog sweep plus fingerprint verdicts per world."""
+
+    points: List[WorldRunResult]
+    #: world name -> "ok" | "MISMATCH" | "unpinned" | "skipped" (non-default
+    #: seed/horizon, so the pinned fingerprint does not apply)
+    verdicts: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def mismatches(self) -> List[str]:
+        return [name for name, v in self.verdicts.items() if v == "MISMATCH"]
+
+    def as_rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for p in self.points:
+            fp = p.fingerprint
+            drops = sum(p.drop_reasons.values())
+            rows.append([
+                p.world, p.num_nodes, p.num_sites,
+                f"{p.horizon:g}s", fp.get("events", "—"), fp.get("ops", "—"),
+                drops, f"{p.final_alive}/{p.num_nodes}",
+                self.verdicts.get(p.world, "—"),
+            ])
+        return rows
+
+
+def build_world_matrix_grid(*, worlds: Optional[Sequence[str]] = None,
+                            seed: Optional[int] = None,
+                            duration: Optional[float] = None) -> List[PointSpec]:
+    """One farm point per world (catalog order, or the given subset).
+
+    ``worlds`` entries are catalog names or ``*.json`` paths — plain
+    strings, so every spec pickles and each worker re-loads its world from
+    the committed document.
+    """
+    names = list(worlds) if worlds else catalog_names()
+    specs: List[PointSpec] = []
+    for name in names:
+        kwargs: Dict[str, object] = {"world": name}
+        if seed is not None:
+            kwargs["seed"] = seed
+        if duration is not None:
+            kwargs["duration"] = duration
+        specs.append(PointSpec.build(
+            run_world_point, index=len(specs), labels=("world", name),
+            **kwargs))
+    return specs
+
+
+def _verdict(world: World, point: WorldRunResult) -> str:
+    pinned = world.fingerprint
+    if pinned is None:
+        return "unpinned"
+    if point.seed != pinned.seed or point.horizon != pinned.horizon:
+        return "skipped"
+    return "ok" if point.fingerprint == dict(pinned.values) else "MISMATCH"
+
+
+def run_world_matrix(*, worlds: Optional[Sequence[str]] = None,
+                     seed: Optional[int] = None,
+                     duration: Optional[float] = None,
+                     jobs: int = 1) -> WorldMatrixResult:
+    """Run every selected world through the farm and judge its fingerprint.
+
+    With no overrides each world runs at its pinned seed/horizon, so every
+    pinned fingerprint is actually checked; ``seed``/``duration`` overrides
+    mark those verdicts ``skipped`` instead of comparing apples to oranges.
+    """
+    specs = build_world_matrix_grid(worlds=worlds, seed=seed,
+                                    duration=duration)
+    points: List[WorldRunResult] = run_specs(specs, jobs=jobs)
+    names = list(worlds) if worlds else catalog_names()
+    verdicts = {point.world: _verdict(load_world(ref), point)
+                for ref, point in zip(names, points)}
+    return WorldMatrixResult(points=points, verdicts=verdicts)
+
+
+def format_world_matrix_report(result: WorldMatrixResult) -> str:
+    table = format_table(
+        ["world", "nodes", "sites", "horizon", "events", "ops",
+         "drops", "alive", "fingerprint"],
+        result.as_rows(),
+        title="World matrix — catalog worlds end-to-end")
+    if result.mismatches:
+        return table + ("\nFINGERPRINT MISMATCH: "
+                        + ", ".join(sorted(result.mismatches))
+                        + " — re-pin with `python -m repro.worlds "
+                          "--fingerprint <world> --write` if intentional")
+    checked = sum(1 for v in result.verdicts.values() if v == "ok")
+    return table + (f"\n{len(result.points)} worlds ran; "
+                    f"{checked} pinned fingerprints replayed bit-identically")

@@ -15,8 +15,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional
 from repro.experiments import (conformance, fig2_tradeoff, fig7_hint,
                                fig8_hint_change, fig9_scalability,
                                fig10_automatic, fig_churn_availability,
-                               fig_workload_sensitivity, tab2_phases,
-                               tab3_overhead)
+                               fig_workload_sensitivity, fig_world_matrix,
+                               tab2_phases, tab3_overhead)
 
 
 @dataclass(frozen=True)
@@ -111,6 +111,13 @@ _ENTRIES: List[ExperimentEntry] = [
         smoke={"node_counts": (8,), "loss_probabilities": (0.0, 0.01),
                "duration": 30.0}),
     ExperimentEntry(
+        name="world_matrix",
+        description="catalog worlds end-to-end with fingerprint replay checks",
+        run=fig_world_matrix.run_world_matrix,
+        report=fig_world_matrix.format_world_matrix_report,
+        grid=fig_world_matrix.build_world_matrix_grid,
+        smoke={"worlds": ("wan-20", "edge-lossy"), "duration": 6.0}),
+    ExperimentEntry(
         name="conformance",
         description="transport conformance: a backend vs the simulator oracle",
         run=conformance.run_conformance_experiment,
@@ -128,10 +135,13 @@ _ENTRIES: List[ExperimentEntry] = [
 
 REGISTRY: Dict[str, ExperimentEntry] = {e.name: e for e in _ENTRIES}
 
+#: accepted alternate spellings (module-style names) -> registry names
+ALIASES: Dict[str, str] = {"fig_world_matrix": "world_matrix"}
+
 
 def get(name: str) -> ExperimentEntry:
     try:
-        return REGISTRY[name]
+        return REGISTRY[ALIASES.get(name, name)]
     except KeyError:
         known = ", ".join(sorted(REGISTRY))
         raise KeyError(f"unknown experiment {name!r} (known: {known})") from None

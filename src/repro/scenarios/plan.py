@@ -175,6 +175,92 @@ class FaultPlan:
             plan.recover(node_id, recover_at + i * stagger)
         return plan
 
+    @classmethod
+    def site_blast(cls, node_ids: Sequence[str], *, at: float,
+                   down_for: float, stagger: float = 0.5,
+                   crash_stagger: float = 0.0) -> "FaultPlan":
+        """Correlated blast-radius failure: a whole site (or rack) goes down.
+
+        Every node in ``node_ids`` crashes at ``at`` (optionally staggered
+        ``crash_stagger`` seconds apart in list order — a cascading power
+        rail rather than one breaker).  Recovery is *staggered*: nodes come
+        back one every ``stagger`` seconds starting ``down_for`` seconds
+        after the blast, modelling operators bringing a site up gradually
+        rather than thundering-herd restarts.  Fully deterministic — no
+        randomness at all — so the schedule is a pure function of the
+        arguments.
+        """
+        if not node_ids:
+            raise ValueError("site_blast needs at least one node")
+        if down_for <= 0:
+            raise ValueError("down_for must be positive")
+        if stagger < 0 or crash_stagger < 0:
+            raise ValueError("staggers must be non-negative")
+        plan = cls()
+        for i, node_id in enumerate(node_ids):
+            plan.crash(node_id, at + i * crash_stagger)
+            plan.recover(node_id, at + down_for + i * stagger)
+        return plan
+
+    @classmethod
+    def cascade(cls, node_ids: Sequence[str], *, rate: float, duration: float,
+                seed: int, downtime: float = 20.0, amplification: float = 2.0,
+                start: float = 0.0, spare: int = 1) -> "FaultPlan":
+        """Cascading churn: the crash rate ramps up as peers die.
+
+        Like :meth:`churn`, but the instantaneous crash rate is
+        ``rate * (1 + amplification * down_fraction)`` where ``down_fraction``
+        is the share of ``node_ids`` currently crashed — load shed by dead
+        nodes overloads the survivors, so each failure makes the next one
+        more likely.  With ``amplification=0`` this degenerates to
+        :meth:`churn`-like independent failures.  The effective rate is
+        evaluated at each inter-crash draw (piecewise-constant between
+        events), which keeps the schedule a pure, replayable function of the
+        arguments; exact schedules for fixed seeds are pinned by unit tests.
+        """
+        if rate <= 0:
+            raise ValueError("cascade rate must be positive")
+        if downtime <= 0:
+            raise ValueError("downtime must be positive")
+        if amplification < 0:
+            raise ValueError("amplification must be non-negative")
+        if spare < 1:
+            raise ValueError("cascade must spare at least one node")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        total = len(node_ids)
+        down_until: dict = {}
+        t = start
+        while True:
+            down = sum(1 for until in down_until.values() if until > t)
+            effective = rate * (1.0 + amplification * (down / total))
+            t += float(rng.exponential(1.0 / effective))
+            if t >= start + duration:
+                break
+            alive = [n for n in node_ids
+                     if n not in down_until or down_until[n] <= t]
+            if len(alive) <= spare:
+                continue  # cascade has consumed everyone it may; skip
+            victim = alive[int(rng.integers(len(alive)))]
+            plan.crash(victim, t)
+            back = t + downtime
+            plan.recover(victim, back)
+            down_until[victim] = back
+        return plan
+
+    # ------------------------------------------------------------ composition
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Fold another plan's actions into this one (returns ``self``).
+
+        Ordering stays by ``(time, insertion)``: actions from ``other`` keep
+        their relative order and sort after this plan's actions at the same
+        instant.  This is how a world's fault catalog — several generators
+        plus hand-written events — compiles down to one injectable plan.
+        """
+        for action in other._actions:
+            self._add(action)
+        return self
+
     # -------------------------------------------------------------- querying
     def actions(self) -> List[FaultAction]:
         """Actions in application order: by time, insertion order on ties."""

@@ -86,13 +86,15 @@ class ShardedNetwork(Network):
         return node_id in self._remote
 
     # ------------------------------------------------- unsupported features
-    def set_loss_probability(self, loss_probability: float) -> None:
+    def set_loss_probability(self, loss_probability: float, *,
+                             src: Optional[str] = None,
+                             dst: Optional[str] = None) -> None:
         if loss_probability > 0:
             raise ValueError(
                 "message loss is not supported in sharded mode: loss draws "
                 "consume a shared global RNG stream, which would make drops "
                 "depend on the shard decomposition")
-        super().set_loss_probability(loss_probability)
+        super().set_loss_probability(loss_probability, src=src, dst=dst)
 
     def partition(self, groups: Sequence[Sequence[str]]) -> None:
         raise ValueError(

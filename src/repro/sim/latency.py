@@ -12,6 +12,12 @@ delay.  Implementations:
   backend (``repro.shard``) uses: per-source streams make delay sequences
   independent of how nodes are split across shards, and the positive
   ``min_delay`` provides the conservative lookahead window.
+* :class:`HeterogeneousLatencyModel` — topology-driven delays with
+  *per-site-pair* overrides (:class:`LinkProfile`): absolute or scaled base
+  delay, per-link jitter, and a per-link loss annotation the world compiler
+  feeds into :meth:`Network.set_loss_probability`.  This is how declarative
+  worlds (``repro.worlds``) realise geo-WAN long-haul links and lossy
+  edge/wifi-like tiers on top of one site layout.
 * :class:`UniformLatencyModel` — a simple uniform-random delay useful for
   unit tests and for the Figure 2 tradeoff study where only relative protocol
   costs matter.
@@ -22,7 +28,8 @@ All models are deterministic given the simulator seed.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -165,6 +172,170 @@ class PlanetLabLatencyModel(LatencyModel):
         if self.jitter_sigma == 0:
             return max(self.topology.latency_floor(), self.floor)
         return self.floor
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Shape of one site-pair link in a heterogeneous topology.
+
+    ``latency`` pins the one-way base delay absolutely (seconds); when
+    ``None`` the topology's geometric site-pair delay is used, multiplied by
+    ``latency_scale`` (an edge tier might scale it 2×).  ``jitter_sigma``
+    overrides the model's default log-normal sigma for this link (wifi-like
+    links jitter harder than backbone fibre).  ``loss`` is the per-link drop
+    probability — the latency model itself never drops messages; the world
+    compiler reads it and configures
+    :meth:`~repro.sim.network.Network.set_loss_probability` per node pair.
+    """
+
+    latency: Optional[float] = None
+    latency_scale: float = 1.0
+    jitter_sigma: Optional[float] = None
+    loss: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency is not None and self.latency < 0:
+            raise ValueError("link latency must be non-negative")
+        if self.latency_scale <= 0:
+            raise ValueError("latency_scale must be positive")
+        if self.jitter_sigma is not None and self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError("link loss must be in [0, 1)")
+
+
+class HeterogeneousLatencyModel(LatencyModel):
+    """Topology-driven delays with per-site-pair :class:`LinkProfile` overrides.
+
+    The base shape matches :class:`PerSourceLatencyModel`: multiplicative
+    log-normal jitter clamped below at ``min_jitter``, so every link has a
+    *positive* deterministic delay floor (``min_delay`` stays usable as a
+    conservative lookahead source).  On top of that, each (unordered) site
+    pair may carry a :class:`LinkProfile` that pins or scales the base delay
+    and widens or narrows the jitter — one model instance realises a whole
+    heterogeneous WAN: intercontinental long-hauls, regional backbones and
+    lossy last-mile tiers.
+
+    Jitter is drawn from a single named stream (``latency.hetero``) injected
+    via ``streams`` (the deployment builder sets it from the simulator's
+    :class:`~repro.sim.random.RandomStreams`), keeping runs a pure function
+    of the seed.
+    """
+
+    STREAM_NAME = "latency.hetero"
+
+    def __init__(self, topology: Topology,
+                 links: Optional[Mapping[Tuple[str, str], LinkProfile]] = None,
+                 *, streams=None, jitter_sigma: float = 0.25,
+                 floor: float = 0.0005, min_jitter: float = 0.5) -> None:
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+        if not 0 < min_jitter <= 1.0:
+            raise ValueError("min_jitter must be in (0, 1]")
+        self.topology = topology
+        self.jitter_sigma = jitter_sigma
+        self.floor = floor
+        self.min_jitter = min_jitter
+        #: injected RandomStreams registry (see ``DeploymentBuilder``)
+        self.streams = streams
+        self._rng: Optional[np.random.Generator] = None
+        self._links: Dict[Tuple[str, str], LinkProfile] = {}
+        for (site_a, site_b), profile in dict(links or {}).items():
+            for name in (site_a, site_b):
+                if name not in topology.sites:
+                    raise KeyError(f"link profile names unknown site {name!r}")
+            if site_a == site_b:
+                raise ValueError(
+                    f"link profile ({site_a!r}, {site_b!r}) is intra-site; "
+                    f"profiles describe links *between* sites")
+            self._links[self._key(site_a, site_b)] = profile
+        #: (site_a, site_b) -> (base_delay, sigma, mu) resolved lazily
+        self._resolved: Dict[Tuple[str, str], Tuple[float, float, float]] = {}
+
+    @staticmethod
+    def _key(site_a: str, site_b: str) -> Tuple[str, str]:
+        return (site_a, site_b) if site_a <= site_b else (site_b, site_a)
+
+    def link_profile(self, site_a: str, site_b: str) -> Optional[LinkProfile]:
+        """The profile configured for this (unordered) site pair, if any."""
+        return self._links.get(self._key(site_a, site_b))
+
+    def link_profiles(self) -> Dict[Tuple[str, str], LinkProfile]:
+        """Every configured (unordered site pair) -> profile mapping."""
+        return dict(self._links)
+
+    def _resolve(self, site_a: str, site_b: str) -> Tuple[float, float, float]:
+        """(base delay, jitter sigma, lognormal mu) for a site pair."""
+        key = self._key(site_a, site_b)
+        cached = self._resolved.get(key)
+        if cached is None:
+            base = self.topology.latency_floor(site_a, site_b)
+            sigma = self.jitter_sigma
+            profile = self._links.get(key)
+            if profile is not None:
+                if profile.latency is not None:
+                    base = profile.latency
+                else:
+                    base *= profile.latency_scale
+                if profile.jitter_sigma is not None:
+                    sigma = profile.jitter_sigma
+            cached = (base, sigma, -0.5 * sigma ** 2)
+            self._resolved[key] = cached
+        return cached
+
+    def _generator(self) -> np.random.Generator:
+        rng = self._rng
+        if rng is None:
+            if self.streams is None:
+                raise RuntimeError(
+                    "HeterogeneousLatencyModel has no RandomStreams attached; "
+                    "pass streams= or set .streams before sampling delays")
+            rng = self._rng = self.streams.stream(self.STREAM_NAME)
+        return rng
+
+    def delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        node_site = self.topology.node_site
+        base, sigma, mu = self._resolve(node_site[src], node_site[dst])
+        if sigma == 0:
+            return max(base, self.floor)
+        jitter = float(self._generator().lognormal(mu, sigma))
+        if jitter < self.min_jitter:
+            jitter = self.min_jitter
+        return max(base * jitter, self.floor)
+
+    def expected_delay(self, src: str, dst: str) -> float:
+        if src == dst:
+            return 0.0
+        node_site = self.topology.node_site
+        base, _, _ = self._resolve(node_site[src], node_site[dst])
+        return max(base, self.floor)
+
+    def min_delay(self, site_a: Optional[str] = None,
+                  site_b: Optional[str] = None) -> float:
+        if (site_a is None) != (site_b is None):
+            raise ValueError("min_delay takes either two sites or none")
+        if site_a is not None and site_b is not None:
+            base, sigma, _ = self._resolve(site_a, site_b)
+            scale = self.min_jitter if sigma else 1.0
+            return max(base * scale, self.floor)
+        # Global bound: the minimum over every occupied site pair (including
+        # the intra-site delay whenever a site hosts two or more nodes),
+        # each scaled by its own jitter clamp.
+        counts: Dict[str, int] = {}
+        for site in self.topology.node_site.values():
+            counts[site] = counts.get(site, 0) + 1
+        occupied = sorted(counts)
+        floors = []
+        for i, a in enumerate(occupied):
+            if counts[a] >= 2:
+                base, sigma, _ = self._resolve(a, a)
+                floors.append(base * (self.min_jitter if sigma else 1.0))
+            for b in occupied[i + 1:]:
+                base, sigma, _ = self._resolve(a, b)
+                floors.append(base * (self.min_jitter if sigma else 1.0))
+        return max(min(floors), self.floor) if floors else self.floor
 
 
 class PerSourceLatencyModel(LatencyModel):

@@ -69,6 +69,11 @@ class Network:
         self._known: set = set()
         #: node_id -> partition group index while partitioned, else None
         self._partition_of: Optional[Dict[str, int]] = None
+        #: (src, dst) -> extra per-link loss probability (world lossy tiers);
+        #: empty for homogeneous networks, so the hot path pays one falsy
+        #: check.  Per-link drops are accounted under the "link-loss" reason,
+        #: separate from the global "loss" bucket.
+        self._pair_loss: Dict[tuple, float] = {}
         self._next_msg_id = 0
         self._loss_rng = sim.random.stream("network.loss")
         #: (protocol, msg_type) -> interned delivery-event label; the pairs
@@ -139,11 +144,42 @@ class Network:
         return partition_of.get(src, default) == partition_of.get(dst, default)
 
     # ------------------------------------------------------------------ loss
-    def set_loss_probability(self, loss_probability: float) -> None:
-        """Change the per-message loss probability (e.g. for a loss burst)."""
+    def set_loss_probability(self, loss_probability: float, *,
+                             src: Optional[str] = None,
+                             dst: Optional[str] = None) -> None:
+        """Change the message loss probability, globally or per link.
+
+        With no endpoints this sets the global per-message loss (e.g. for a
+        loss burst).  With both ``src`` and ``dst`` it sets an *additional*
+        per-link probability for messages src→dst — the mechanism world
+        lossy tiers (edge/wifi-like links) are built on.  A per-link draw
+        happens only for messages that survive the global draw, and its
+        drops are accounted under the ``"link-loss"`` reason so lossy-tier
+        behaviour is visible separately in :attr:`NetworkStats.drop_reasons`.
+        Setting a link's probability to 0 removes its entry.  Directions are
+        independent: configure (a, b) and (b, a) separately for a symmetric
+        lossy link.
+        """
         if not 0.0 <= loss_probability < 1.0:
             raise ValueError("loss_probability must be in [0, 1)")
-        self.loss_probability = loss_probability
+        if (src is None) != (dst is None):
+            raise ValueError("per-link loss needs both src and dst (or neither)")
+        if src is None:
+            self.loss_probability = loss_probability
+            return
+        if self.strict:
+            for node_id in (src, dst):
+                if node_id not in self._known:
+                    raise KeyError(
+                        f"per-link loss names unknown node {node_id!r}")
+        if loss_probability == 0.0:
+            self._pair_loss.pop((src, dst), None)
+        else:
+            self._pair_loss[(src, dst)] = loss_probability
+
+    def link_loss(self, src: str, dst: str) -> float:
+        """The per-link loss probability configured for src→dst (0 if none)."""
+        return self._pair_loss.get((src, dst), 0.0)
 
     # ---------------------------------------------------------------- sending
     def _unreachable_reason(self, src: str, dst: str) -> Optional[str]:
@@ -194,6 +230,12 @@ class Network:
             stats.dropped[protocol] += 1
             stats.drop_reasons["loss"] += 1
             return None
+        if self._pair_loss:
+            pair_loss = self._pair_loss.get((src, dst))
+            if pair_loss is not None and self._loss_rng.random() < pair_loss:
+                stats.dropped[protocol] += 1
+                stats.drop_reasons["link-loss"] += 1
+                return None
 
         delay = self.latency.delay(src, dst)
         now = self.sim.now
@@ -254,7 +296,7 @@ class Network:
             if not live:
                 return []
             dsts = live
-        delay = (None if self.loss_probability > 0
+        delay = (None if self.loss_probability > 0 or self._pair_loss
                  else self.latency.homogeneous_delay(src, dsts))
         if delay is None:
             return [m for dst in dsts

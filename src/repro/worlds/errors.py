@@ -1,0 +1,44 @@
+"""World-format errors carrying a precise path into the offending document.
+
+Every validation failure names the JSON path of the field that caused it
+(``topology.sites[2].name``, ``faults[1].at``), so a user editing a world
+file gets pointed at the exact line to fix instead of a generic "invalid
+world" message.  The loader tests assert these paths literally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class WorldError(Exception):
+    """Base class for everything the worlds subsystem raises."""
+
+
+class WorldValidationError(WorldError):
+    """A world document failed schema or semantic validation.
+
+    ``path`` is the dotted/indexed JSON path of the offending field (the
+    document root is ``$``); ``reason`` says what is wrong with it.  The
+    rendered message is ``"<path>: <reason>"``.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        self.path = path or "$"
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+class WorldNotFoundError(WorldError):
+    """A world name/path did not resolve to a document.
+
+    ``known`` (when given) lists the catalog names a ``--list`` would show,
+    so a typo'd name comes back with the valid alternatives.
+    """
+
+    def __init__(self, ref: str, known: Optional[list] = None) -> None:
+        self.ref = ref
+        message = f"no world named {ref!r} and no such file"
+        if known:
+            message += f" (catalog worlds: {', '.join(sorted(known))})"
+        super().__init__(message)

@@ -1,0 +1,69 @@
+"""Loading worlds: by dict, by file path, or by catalog name.
+
+The committed catalog lives in ``repro/worlds/catalog/*.json`` — one file
+per named world, shipped with the package.  ``load_world`` accepts any of:
+
+* a JSON-compatible mapping (already in memory),
+* a filesystem path ending in ``.json``,
+* a bare catalog name (``"wan-40"``).
+
+All three funnel through :func:`repro.worlds.schema.parse_world`, so every
+entry point gets the same path-to-field diagnostics.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.worlds.errors import WorldNotFoundError, WorldValidationError
+from repro.worlds.model import World
+from repro.worlds.schema import parse_world
+
+#: directory holding the committed named worlds
+CATALOG_DIR = Path(__file__).resolve().parent / "catalog"
+
+
+def catalog_names() -> List[str]:
+    """Sorted names of every committed catalog world."""
+    if not CATALOG_DIR.is_dir():
+        return []
+    return sorted(p.stem for p in CATALOG_DIR.glob("*.json"))
+
+
+def catalog_path(name: str) -> Path:
+    path = CATALOG_DIR / f"{name}.json"
+    if not path.is_file():
+        raise WorldNotFoundError(name, known=catalog_names())
+    return path
+
+
+def load_world_file(path: Union[str, Path]) -> World:
+    """Load and validate one world JSON file."""
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise WorldValidationError(
+            "$", f"{path} is not valid JSON: {exc}") from exc
+    return parse_world(doc, source=str(path))
+
+
+def load_world(ref: Union[str, Path, Mapping]) -> World:
+    """Resolve ``ref`` — mapping, ``*.json`` path, or catalog name."""
+    if isinstance(ref, Mapping):
+        return parse_world(ref)
+    if isinstance(ref, Path) or str(ref).endswith(".json"):
+        path = Path(ref)
+        if not path.is_file():
+            raise WorldNotFoundError(str(ref), known=catalog_names())
+        return load_world_file(path)
+    return load_world_file(catalog_path(str(ref)))
+
+
+def load_catalog() -> Dict[str, World]:
+    """Every committed world, loaded and validated (name -> World)."""
+    return {name: load_world_file(catalog_path(name))
+            for name in catalog_names()}

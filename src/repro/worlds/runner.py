@@ -1,0 +1,79 @@
+"""Run one world end-to-end: the farm-safe point function.
+
+:func:`run_world_point` is a plain module-level function (importable by
+``"repro.worlds.runner:run_world_point"``), so the ``fig_world_matrix``
+sweep can fan catalog worlds over farm worker processes — each worker
+re-loads the named world from the committed catalog, builds it, runs it to
+its horizon and returns a small picklable result carrying the fingerprint.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.worlds.compile import build_world, world_fingerprint
+from repro.worlds.loader import load_world
+from repro.worlds.model import World
+
+
+@dataclass
+class WorldRunResult:
+    """One finished world run: identity, horizon and its fingerprint."""
+
+    world: str
+    seed: int
+    horizon: float
+    num_nodes: int
+    num_sites: int
+    num_objects: int
+    fingerprint: Dict[str, object] = field(default_factory=dict)
+    final_alive: int = 0
+    drop_reasons: Dict[str, int] = field(default_factory=dict)
+    #: wall-clock seconds (machine-dependent; never part of the fingerprint)
+    wall_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "world": self.world,
+            "seed": self.seed,
+            "horizon_s": self.horizon,
+            "num_nodes": self.num_nodes,
+            "num_sites": self.num_sites,
+            "num_objects": self.num_objects,
+            "fingerprint": dict(self.fingerprint),
+            "final_alive": self.final_alive,
+            "drop_reasons": dict(self.drop_reasons),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+def run_world_point(*, world: str, seed: Optional[int] = None,
+                    duration: Optional[float] = None) -> WorldRunResult:
+    """Load, build and run one world; harvest its fingerprint.
+
+    ``world`` is a catalog name or a ``*.json`` path (a string either way,
+    so the spec pickles); ``seed``/``duration`` default to the world's
+    ``defaults`` block.
+    """
+    wall_start = time.perf_counter()
+    spec: World = load_world(world)
+    if seed is None:
+        seed = spec.default_seed
+    if duration is None:
+        duration = spec.default_duration
+    deployment = build_world(spec, seed, duration=duration)
+    deployment.run(until=duration)
+    return WorldRunResult(
+        world=spec.name,
+        seed=seed,
+        horizon=duration,
+        num_nodes=spec.num_nodes,
+        num_sites=len(spec.topology.sites),
+        num_objects=len(spec.objects),
+        fingerprint=world_fingerprint(deployment),
+        final_alive=len(deployment.alive_node_ids()),
+        drop_reasons=dict(deployment.network.stats.drop_reasons),
+        wall_seconds=time.perf_counter() - wall_start,
+    )

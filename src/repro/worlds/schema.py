@@ -1,0 +1,710 @@
+"""World format v1: schema validation with path-to-field diagnostics.
+
+:func:`parse_world` turns a JSON-compatible dict into a validated
+:class:`~repro.worlds.model.World`.  Validation is strict in three ways:
+
+* **unknown keys are rejected** — a typo'd field name fails loudly instead
+  of silently doing nothing;
+* **every failure names its JSON path** — ``topology.sites[2].nodes`` or
+  ``faults[1].groups[0]``, so the error points at the exact field;
+* **cross-references are checked semantically** — site names in traffic
+  bindings, fault targets and top-layer pins must exist; partition / blast
+  windows must not overlap (the network supports one partition at a time);
+  latencies and probabilities must be in range.
+
+The document format (version 1)::
+
+    {
+      "world": 1,
+      "name": "...", "description": "...",
+      "defaults": {"seed": 7, "duration": 10.0},
+      "topology": {
+        "jitter_sigma": 0.25, "min_jitter": 0.5,
+        "tiers": {"edge": {"latency_scale": 2.0, "jitter_sigma": 0.6,
+                            "loss": 0.02}},
+        "sites": [{"name": "boston", "x": 4400, "y": 800, "nodes": 5,
+                    "region": "us-east", "tier": "edge"}, ...],
+        "links": [{"between": ["boston", "berkeley"], "latency": 0.05,
+                    "jitter_sigma": 0.3, "loss": 0.01}, ...]
+      },
+      "placement": {"objects": [{"id": "board",
+                                  "top_layer": {"sites": [...]},
+                                  "config": {"mode": "hint_based", ...}}]},
+      "traffic": {"max_ops": null, "populations": [
+          {"name": "readers", "clients": 20, "model": "open",
+           "region": "us-east",
+           "popularity": {"kind": "zipf", "skew": 0.9},
+           "mix": {"read_fraction": 0.9},
+           "rate": {"kind": "constant", "rate": 2.0}}]},
+      "faults": [{"kind": "site_blast", "site": "boston",
+                   "at": 10.0, "down_for": 5.0}, ...],
+      "services": {"gossip": false, "ransub_period": 5.0},
+      "fingerprint": {"seed": 7, "horizon": 10.0, ...}
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.worlds.errors import WorldValidationError
+from repro.worlds.model import (FaultSpec, FingerprintSpec, LinkSpec,
+                                ObjectSpec, PopulationSpec, ServicesSpec,
+                                SiteSpec, TierSpec, TopologySpec, TrafficSpec,
+                                World, WORLD_VERSION)
+
+# --------------------------------------------------------------- primitives
+
+def _fail(path: str, reason: str) -> None:
+    raise WorldValidationError(path, reason)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _mapping(value: Any, path: str) -> Mapping:
+    if not isinstance(value, Mapping):
+        _fail(path, f"expected an object, got {type(value).__name__}")
+    return value
+
+
+def _reject_unknown(doc: Mapping, allowed: Sequence[str], path: str) -> None:
+    for key in doc:
+        if key not in allowed:
+            _fail(f"{path}.{key}" if path != "$" else key,
+                  f"unknown key {key!r} (allowed: {', '.join(sorted(allowed))})")
+
+
+def _string(doc: Mapping, key: str, path: str, *, required: bool = False,
+            default: Optional[str] = None) -> Optional[str]:
+    if key not in doc:
+        if required:
+            _fail(path, f"missing required key {key!r}")
+        return default
+    value = doc[key]
+    if not isinstance(value, str) or not value:
+        _fail(f"{path}.{key}", "expected a non-empty string")
+    return value
+
+
+def _number(doc: Mapping, key: str, path: str, *, required: bool = False,
+            default: Optional[float] = None, minimum: Optional[float] = None,
+            exclusive_minimum: Optional[float] = None,
+            below_one: bool = False,
+            maximum: Optional[float] = None,
+            nullable: bool = False) -> Optional[float]:
+    if key not in doc:
+        if required:
+            _fail(path, f"missing required key {key!r}")
+        return default
+    value = doc[key]
+    here = f"{path}.{key}"
+    if value is None:
+        if nullable:
+            return None
+        _fail(here, "must not be null")
+    if not _is_number(value):
+        _fail(here, f"expected a number, got {type(value).__name__}")
+    value = float(value)
+    if minimum is not None and value < minimum:
+        _fail(here, f"must be >= {minimum:g}, got {value:g}")
+    if exclusive_minimum is not None and value <= exclusive_minimum:
+        _fail(here, f"must be > {exclusive_minimum:g}, got {value:g}")
+    if maximum is not None and value > maximum:
+        _fail(here, f"must be <= {maximum:g}, got {value:g}")
+    if below_one and value >= 1.0:
+        _fail(here, f"must be < 1, got {value:g}")
+    return value
+
+
+def _integer(doc: Mapping, key: str, path: str, *, required: bool = False,
+             default: Optional[int] = None,
+             minimum: Optional[int] = None,
+             nullable: bool = False) -> Optional[int]:
+    if key not in doc:
+        if required:
+            _fail(path, f"missing required key {key!r}")
+        return default
+    value = doc[key]
+    here = f"{path}.{key}"
+    if value is None:
+        if nullable:
+            return None
+        _fail(here, "must not be null")
+    if not isinstance(value, int) or isinstance(value, bool):
+        _fail(here, f"expected an integer, got {type(value).__name__}")
+    if minimum is not None and value < minimum:
+        _fail(here, f"must be >= {minimum}, got {value}")
+    return value
+
+
+def _boolean(doc: Mapping, key: str, path: str, *,
+             default: bool = False) -> bool:
+    if key not in doc:
+        return default
+    value = doc[key]
+    if not isinstance(value, bool):
+        _fail(f"{path}.{key}", f"expected a boolean, got {type(value).__name__}")
+    return value
+
+
+def _string_list(value: Any, path: str, *, min_items: int = 1) -> List[str]:
+    if not isinstance(value, list):
+        _fail(path, f"expected an array, got {type(value).__name__}")
+    if len(value) < min_items:
+        _fail(path, f"needs at least {min_items} item(s)")
+    out: List[str] = []
+    for i, item in enumerate(value):
+        if not isinstance(item, str) or not item:
+            _fail(f"{path}[{i}]", "expected a non-empty string")
+        out.append(item)
+    return out
+
+
+# ----------------------------------------------------------------- topology
+
+def _parse_site(doc: Any, path: str) -> SiteSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("name", "x", "y", "nodes", "region", "tier"), path)
+    return SiteSpec(
+        name=_string(doc, "name", path, required=True),
+        x=_number(doc, "x", path, required=True),
+        y=_number(doc, "y", path, required=True),
+        nodes=_integer(doc, "nodes", path, required=True, minimum=1),
+        region=_string(doc, "region", path),
+        tier=_string(doc, "tier", path))
+
+
+def _parse_tier(doc: Any, path: str) -> TierSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("latency_scale", "jitter_sigma", "loss"), path)
+    return TierSpec(
+        latency_scale=_number(doc, "latency_scale", path, default=1.0,
+                              exclusive_minimum=0.0),
+        jitter_sigma=_number(doc, "jitter_sigma", path, minimum=0.0),
+        loss=_number(doc, "loss", path, default=0.0, minimum=0.0,
+                     below_one=True))
+
+
+def _parse_link(doc: Any, path: str, site_names: Sequence[str]) -> LinkSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("between", "latency", "latency_scale",
+                          "jitter_sigma", "loss"), path)
+    if "between" not in doc:
+        _fail(path, "missing required key 'between'")
+    pair = _string_list(doc["between"], f"{path}.between", min_items=2)
+    if len(pair) != 2:
+        _fail(f"{path}.between", f"expected exactly 2 site names, got {len(pair)}")
+    for i, name in enumerate(pair):
+        if name not in site_names:
+            _fail(f"{path}.between[{i}]", f"unknown site {name!r}")
+    if pair[0] == pair[1]:
+        _fail(f"{path}.between", "link endpoints must be two different sites")
+    return LinkSpec(
+        between=(pair[0], pair[1]),
+        latency=_number(doc, "latency", path, minimum=0.0),
+        latency_scale=_number(doc, "latency_scale", path,
+                              exclusive_minimum=0.0),
+        jitter_sigma=_number(doc, "jitter_sigma", path, minimum=0.0),
+        loss=_number(doc, "loss", path, default=0.0, minimum=0.0,
+                     below_one=True))
+
+
+def _parse_topology(doc: Any, path: str) -> TopologySpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("sites", "tiers", "links", "jitter_sigma",
+                          "min_jitter"), path)
+    if "sites" not in doc:
+        _fail(path, "missing required key 'sites'")
+    raw_sites = doc["sites"]
+    if not isinstance(raw_sites, list) or not raw_sites:
+        _fail(f"{path}.sites", "expected a non-empty array of sites")
+    sites = [_parse_site(site, f"{path}.sites[{i}]")
+             for i, site in enumerate(raw_sites)]
+    names = [s.name for s in sites]
+    for i, name in enumerate(names):
+        if name in names[:i]:
+            _fail(f"{path}.sites[{i}].name", f"duplicate site name {name!r}")
+    if sum(s.nodes for s in sites) < 2:
+        _fail(f"{path}.sites", "a world needs at least 2 nodes in total")
+
+    tiers: Dict[str, TierSpec] = {}
+    if "tiers" in doc:
+        raw_tiers = _mapping(doc["tiers"], f"{path}.tiers")
+        for tier_name, tier_doc in raw_tiers.items():
+            tiers[tier_name] = _parse_tier(tier_doc, f"{path}.tiers.{tier_name}")
+    for i, site in enumerate(sites):
+        if site.tier is not None and site.tier not in tiers:
+            _fail(f"{path}.sites[{i}].tier",
+                  f"unknown tier {site.tier!r} (declared: "
+                  f"{', '.join(sorted(tiers)) or 'none'})")
+
+    links: List[LinkSpec] = []
+    if "links" in doc:
+        raw_links = doc["links"]
+        if not isinstance(raw_links, list):
+            _fail(f"{path}.links", "expected an array of links")
+        seen: set = set()
+        for i, link_doc in enumerate(raw_links):
+            link = _parse_link(link_doc, f"{path}.links[{i}]", names)
+            key = tuple(sorted(link.between))
+            if key in seen:
+                _fail(f"{path}.links[{i}].between",
+                      f"duplicate link between {key[0]!r} and {key[1]!r}")
+            seen.add(key)
+            links.append(link)
+
+    return TopologySpec(
+        sites=sites, tiers=tiers, links=links,
+        jitter_sigma=_number(doc, "jitter_sigma", path, default=0.25,
+                             minimum=0.0),
+        min_jitter=_number(doc, "min_jitter", path, default=0.5,
+                           exclusive_minimum=0.0, maximum=1.0))
+
+
+# ---------------------------------------------------------------- placement
+
+_CONFIG_KEYS = ("mode", "hint_level", "hint_delta", "background_period",
+                "resolution_strategy", "weights", "metric")
+_MODES = ("on_demand", "hint_based", "automatic")
+
+
+def _parse_config(doc: Any, path: str) -> Dict[str, Any]:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, _CONFIG_KEYS, path)
+    mode = _string(doc, "mode", path)
+    if mode is not None and mode not in _MODES:
+        _fail(f"{path}.mode", f"unknown mode {mode!r} (one of: {', '.join(_MODES)})")
+    _number(doc, "hint_level", path, minimum=0.0, maximum=1.0)
+    _number(doc, "hint_delta", path, minimum=0.0)
+    _number(doc, "background_period", path, exclusive_minimum=0.0,
+            nullable=True)
+    strategy = _integer(doc, "resolution_strategy", path)
+    if strategy is not None and strategy not in (1, 2, 3):
+        _fail(f"{path}.resolution_strategy",
+              f"must be 1, 2 or 3 (got {strategy})")
+    if "weights" in doc:
+        weights = _mapping(doc["weights"], f"{path}.weights")
+        _reject_unknown(weights, ("numerical", "order", "staleness"),
+                        f"{path}.weights")
+        for key in ("numerical", "order", "staleness"):
+            _number(weights, key, f"{path}.weights", minimum=0.0)
+    if "metric" in doc:
+        metric = _mapping(doc["metric"], f"{path}.metric")
+        _reject_unknown(metric, ("max_numerical", "max_order",
+                                 "max_staleness"), f"{path}.metric")
+        for key in ("max_numerical", "max_order", "max_staleness"):
+            _number(metric, key, f"{path}.metric", exclusive_minimum=0.0)
+    return dict(doc)
+
+
+def _parse_object(doc: Any, path: str, topology: TopologySpec) -> ObjectSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("id", "top_layer", "config"), path)
+    object_id = _string(doc, "id", path, required=True)
+    top_nodes: Optional[Tuple[str, ...]] = None
+    top_sites: Optional[Tuple[str, ...]] = None
+    if doc.get("top_layer") is not None:
+        top = _mapping(doc["top_layer"], f"{path}.top_layer")
+        _reject_unknown(top, ("nodes", "sites"), f"{path}.top_layer")
+        if ("nodes" in top) == ("sites" in top):
+            _fail(f"{path}.top_layer",
+                  "give exactly one of 'nodes' or 'sites'")
+        if "nodes" in top:
+            nodes = _string_list(top["nodes"], f"{path}.top_layer.nodes")
+            known = set(topology.node_ids())
+            for i, node in enumerate(nodes):
+                if node not in known:
+                    _fail(f"{path}.top_layer.nodes[{i}]",
+                          f"unknown node {node!r} (ids are '<site>-<i>')")
+            top_nodes = tuple(nodes)
+        else:
+            sites = _string_list(top["sites"], f"{path}.top_layer.sites")
+            names = {s.name for s in topology.sites}
+            for i, site in enumerate(sites):
+                if site not in names:
+                    _fail(f"{path}.top_layer.sites[{i}]",
+                          f"unknown site {site!r}")
+            top_sites = tuple(sites)
+    config = (_parse_config(doc["config"], f"{path}.config")
+              if "config" in doc else {})
+    return ObjectSpec(object_id=object_id, config=config,
+                      top_layer_nodes=top_nodes, top_layer_sites=top_sites)
+
+
+def _parse_placement(doc: Any, path: str,
+                     topology: TopologySpec) -> List[ObjectSpec]:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("objects",), path)
+    if "objects" not in doc:
+        _fail(path, "missing required key 'objects'")
+    raw = doc["objects"]
+    if not isinstance(raw, list) or not raw:
+        _fail(f"{path}.objects", "expected a non-empty array of objects")
+    objects = [_parse_object(o, f"{path}.objects[{i}]", topology)
+               for i, o in enumerate(raw)]
+    ids = [o.object_id for o in objects]
+    for i, object_id in enumerate(ids):
+        if object_id in ids[:i]:
+            _fail(f"{path}.objects[{i}].id",
+                  f"duplicate object id {object_id!r}")
+    return objects
+
+
+# ------------------------------------------------------------------ traffic
+
+# per kind: (required numeric keys, optional numeric keys)
+_POPULARITY_KINDS = {
+    "uniform": ((), ()),
+    "zipf": ((), ("skew",)),
+    "hotspot": (("rotate_period",), ("hot_weight",)),
+}
+_RATE_KINDS = {
+    "constant": (("rate",), ()),
+    "ramp": (("start_rate", "end_rate", "duration"), ("t0",)),
+    "diurnal": (("base_rate",), ("amplitude", "period", "phase")),
+    "flash_crowd": (("base_rate", "peak_rate", "at"),
+                    ("ramp", "hold", "decay")),
+}
+
+
+def _parse_kinded(doc: Any, path: str,
+                  kinds: Mapping[str, Tuple[Sequence[str], Sequence[str]]],
+                  what: str) -> Dict[str, Any]:
+    doc = _mapping(doc, path)
+    kind = _string(doc, "kind", path, required=True)
+    if kind not in kinds:
+        _fail(f"{path}.kind",
+              f"unknown {what} kind {kind!r} (one of: {', '.join(sorted(kinds))})")
+    required, optional = kinds[kind]
+    _reject_unknown(doc, ("kind",) + tuple(required) + tuple(optional), path)
+    for key in required:
+        _number(doc, key, path, required=True, minimum=0.0)
+    for key in optional:
+        if key in doc:
+            _number(doc, key, path, minimum=0.0)
+    return dict(doc)
+
+
+def _parse_population(doc: Any, path: str,
+                      topology: TopologySpec) -> PopulationSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("name", "clients", "model", "region", "sites",
+                          "popularity", "mix", "rate", "think_time",
+                          "snapshot_reads"), path)
+    name = _string(doc, "name", path, required=True)
+    model = _string(doc, "model", path, default="open")
+    if model not in ("open", "closed"):
+        _fail(f"{path}.model", f"must be 'open' or 'closed', got {model!r}")
+    region = _string(doc, "region", path)
+    sites: Optional[Tuple[str, ...]] = None
+    if region is not None and "sites" in doc:
+        _fail(path, "give at most one of 'region' and 'sites'")
+    if region is not None and region not in topology.regions():
+        declared = sorted(topology.regions()) or ["none"]
+        _fail(f"{path}.region",
+              f"no site declares region {region!r} (declared: "
+              f"{', '.join(declared)})")
+    if "sites" in doc:
+        listed = _string_list(doc["sites"], f"{path}.sites")
+        names = {s.name for s in topology.sites}
+        for i, site in enumerate(listed):
+            if site not in names:
+                _fail(f"{path}.sites[{i}]", f"unknown site {site!r}")
+        sites = tuple(listed)
+    popularity = (_parse_kinded(doc["popularity"], f"{path}.popularity",
+                                _POPULARITY_KINDS, "popularity")
+                  if "popularity" in doc else {"kind": "uniform"})
+    mix: Dict[str, Any] = {}
+    if "mix" in doc:
+        raw_mix = _mapping(doc["mix"], f"{path}.mix")
+        _reject_unknown(raw_mix, ("read_fraction",), f"{path}.mix")
+        _number(raw_mix, "read_fraction", f"{path}.mix", minimum=0.0,
+                maximum=1.0)
+        mix = dict(raw_mix)
+    rate = None
+    if "rate" in doc:
+        rate = _parse_kinded(doc["rate"], f"{path}.rate", _RATE_KINDS, "rate")
+    if model == "open" and rate is None:
+        _fail(path, "open-loop populations need a 'rate' schedule")
+    return PopulationSpec(
+        name=name,
+        clients=_integer(doc, "clients", path, required=True, minimum=1),
+        model=model, region=region, sites=sites, popularity=popularity,
+        mix=mix, rate=rate,
+        think_time=_number(doc, "think_time", path, default=1.0,
+                           exclusive_minimum=0.0),
+        snapshot_reads=_boolean(doc, "snapshot_reads", path))
+
+
+def _parse_traffic(doc: Any, path: str, topology: TopologySpec) -> TrafficSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("populations", "max_ops", "collect_metrics"), path)
+    populations: List[PopulationSpec] = []
+    if "populations" in doc:
+        raw = doc["populations"]
+        if not isinstance(raw, list):
+            _fail(f"{path}.populations", "expected an array of populations")
+        populations = [_parse_population(p, f"{path}.populations[{i}]", topology)
+                       for i, p in enumerate(raw)]
+        names = [p.name for p in populations]
+        for i, name in enumerate(names):
+            if name in names[:i]:
+                _fail(f"{path}.populations[{i}].name",
+                      f"duplicate population name {name!r}")
+    return TrafficSpec(
+        populations=populations,
+        max_ops=_integer(doc, "max_ops", path, minimum=1, nullable=True),
+        collect_metrics=_boolean(doc, "collect_metrics", path))
+
+
+# ------------------------------------------------------------------- faults
+
+def _parse_fault(doc: Any, path: str, topology: TopologySpec) -> FaultSpec:
+    doc = _mapping(doc, path)
+    kind = _string(doc, "kind", path, required=True)
+    site_names = {s.name for s in topology.sites}
+    args: Dict[str, Any] = {}
+
+    def site_ref(key: str, *, required: bool = False) -> Optional[str]:
+        site = _string(doc, key, path, required=required)
+        if site is not None and site not in site_names:
+            _fail(f"{path}.{key}", f"unknown site {site!r}")
+        return site
+
+    if kind == "crash":
+        _reject_unknown(doc, ("kind", "node", "at", "recover_at"), path)
+        node = _string(doc, "node", path, required=True)
+        if node not in topology.node_ids():
+            _fail(f"{path}.node", f"unknown node {node!r} (ids are '<site>-<i>')")
+        at = _number(doc, "at", path, required=True, minimum=0.0)
+        recover_at = _number(doc, "recover_at", path, exclusive_minimum=0.0)
+        if recover_at is not None and recover_at <= at:
+            _fail(f"{path}.recover_at", "must come after 'at'")
+        args = {"node": node, "at": at, "recover_at": recover_at}
+    elif kind == "site_blast":
+        _reject_unknown(doc, ("kind", "site", "at", "down_for", "stagger",
+                              "crash_stagger"), path)
+        args = {
+            "site": site_ref("site", required=True),
+            "at": _number(doc, "at", path, required=True, minimum=0.0),
+            "down_for": _number(doc, "down_for", path, required=True,
+                                exclusive_minimum=0.0),
+            "stagger": _number(doc, "stagger", path, default=0.5, minimum=0.0),
+            "crash_stagger": _number(doc, "crash_stagger", path, default=0.0,
+                                     minimum=0.0),
+        }
+    elif kind in ("churn", "cascade"):
+        allowed = ["kind", "rate", "duration", "start", "downtime", "spare",
+                   "sites"]
+        if kind == "cascade":
+            allowed.append("amplification")
+        _reject_unknown(doc, tuple(allowed), path)
+        sites = None
+        if "sites" in doc:
+            listed = _string_list(doc["sites"], f"{path}.sites")
+            for i, site in enumerate(listed):
+                if site not in site_names:
+                    _fail(f"{path}.sites[{i}]", f"unknown site {site!r}")
+            sites = tuple(listed)
+        args = {
+            "rate": _number(doc, "rate", path, required=True,
+                            exclusive_minimum=0.0),
+            "duration": _number(doc, "duration", path, required=True,
+                                exclusive_minimum=0.0),
+            "start": _number(doc, "start", path, default=0.0, minimum=0.0),
+            "downtime": _number(doc, "downtime", path, default=20.0,
+                                exclusive_minimum=0.0),
+            "spare": _integer(doc, "spare", path, default=1, minimum=1),
+            "sites": sites,
+        }
+        if kind == "cascade":
+            args["amplification"] = _number(doc, "amplification", path,
+                                            default=2.0, minimum=0.0)
+    elif kind == "partition":
+        _reject_unknown(doc, ("kind", "at", "heal_at", "groups"), path)
+        at = _number(doc, "at", path, required=True, minimum=0.0)
+        heal_at = _number(doc, "heal_at", path, required=True,
+                          exclusive_minimum=0.0)
+        if heal_at <= at:
+            _fail(f"{path}.heal_at", "must come after 'at'")
+        if "groups" not in doc:
+            _fail(path, "missing required key 'groups'")
+        raw_groups = doc["groups"]
+        if not isinstance(raw_groups, list) or not raw_groups:
+            _fail(f"{path}.groups",
+                  "expected a non-empty array of site-name groups")
+        groups: List[Tuple[str, ...]] = []
+        seen: set = set()
+        for i, group in enumerate(raw_groups):
+            listed = _string_list(group, f"{path}.groups[{i}]")
+            for j, site in enumerate(listed):
+                if site not in site_names:
+                    _fail(f"{path}.groups[{i}][{j}]", f"unknown site {site!r}")
+                if site in seen:
+                    _fail(f"{path}.groups[{i}][{j}]",
+                          f"site {site!r} listed in two groups")
+                seen.add(site)
+            groups.append(tuple(listed))
+        args = {"at": at, "heal_at": heal_at, "groups": tuple(groups)}
+    elif kind == "loss_burst":
+        _reject_unknown(doc, ("kind", "at", "duration", "loss"), path)
+        args = {
+            "at": _number(doc, "at", path, required=True, minimum=0.0),
+            "duration": _number(doc, "duration", path, required=True,
+                                exclusive_minimum=0.0),
+            "loss": _number(doc, "loss", path, required=True, minimum=0.0,
+                            below_one=True),
+        }
+    else:
+        known = "crash, site_blast, churn, cascade, partition, loss_burst"
+        _fail(f"{path}.kind", f"unknown fault kind {kind!r} (one of: {known})")
+    return FaultSpec(kind=kind, args=args)
+
+
+def _check_fault_windows(faults: List[FaultSpec], path: str) -> None:
+    """Reject overlapping windows the substrate cannot compose.
+
+    The network carries **one** partition at a time (``Network.partition``
+    replaces the previous grouping) and one global loss probability, and a
+    site already down cannot blast again — so overlapping windows of the
+    same kind are almost certainly an authoring mistake; name the second
+    entry's path.
+    """
+    def overlap(a0: float, a1: float, b0: float, b1: float) -> bool:
+        return a0 < b1 and b0 < a1
+
+    partitions: List[Tuple[float, float, int]] = []
+    bursts: List[Tuple[float, float, int]] = []
+    blasts: Dict[str, List[Tuple[float, float, int]]] = {}
+    for i, fault in enumerate(faults):
+        if fault.kind == "partition":
+            window = (fault.args["at"], fault.args["heal_at"], i)
+            for start, end, j in partitions:
+                if overlap(window[0], window[1], start, end):
+                    _fail(f"{path}[{i}].at",
+                          f"partition window overlaps faults[{j}] "
+                          f"({start:g}s..{end:g}s); the network supports one "
+                          f"partition at a time")
+            partitions.append(window)
+        elif fault.kind == "loss_burst":
+            window = (fault.args["at"],
+                      fault.args["at"] + fault.args["duration"], i)
+            for start, end, j in bursts:
+                if overlap(window[0], window[1], start, end):
+                    _fail(f"{path}[{i}].at",
+                          f"loss burst overlaps faults[{j}] "
+                          f"({start:g}s..{end:g}s); bursts share one global "
+                          f"loss probability and must not nest")
+            bursts.append(window)
+        elif fault.kind == "site_blast":
+            site = fault.args["site"]
+            window = (fault.args["at"],
+                      fault.args["at"] + fault.args["down_for"], i)
+            for start, end, j in blasts.get(site, []):
+                if overlap(window[0], window[1], start, end):
+                    _fail(f"{path}[{i}].at",
+                          f"site {site!r} blast overlaps faults[{j}] "
+                          f"({start:g}s..{end:g}s); a site cannot go down "
+                          f"twice at once")
+            blasts.setdefault(site, []).append(window)
+
+
+# -------------------------------------------------------------- fingerprint
+
+_FINGERPRINT_VALUE_KEYS = ("events", "writes", "ops", "sent", "delivered",
+                           "dropped", "state_hash")
+
+
+def _parse_fingerprint(doc: Any, path: str) -> FingerprintSpec:
+    doc = _mapping(doc, path)
+    _reject_unknown(doc, ("seed", "horizon") + _FINGERPRINT_VALUE_KEYS, path)
+    seed = _integer(doc, "seed", path, required=True)
+    horizon = _number(doc, "horizon", path, required=True,
+                      exclusive_minimum=0.0)
+    values: Dict[str, Any] = {}
+    for key in _FINGERPRINT_VALUE_KEYS:
+        if key not in doc:
+            continue
+        value = doc[key]
+        if key == "state_hash":
+            if not isinstance(value, str):
+                _fail(f"{path}.state_hash", "expected a string digest")
+        elif not isinstance(value, int) or isinstance(value, bool):
+            _fail(f"{path}.{key}", "expected an integer counter")
+        values[key] = value
+    return FingerprintSpec(seed=seed, horizon=horizon, values=values)
+
+
+# --------------------------------------------------------------------- root
+
+_TOP_KEYS = ("world", "name", "description", "defaults", "topology",
+             "placement", "traffic", "faults", "services", "fingerprint")
+
+
+def parse_world(doc: Mapping, *, source: Optional[str] = None) -> World:
+    """Validate a world document and return its parsed form.
+
+    Raises :class:`WorldValidationError` with the JSON path of the first
+    offending field.
+    """
+    doc = _mapping(doc, "$")
+    if "world" not in doc:
+        _fail("$", "missing required key 'world' (the format version)")
+    version = doc["world"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        _fail("world", f"expected an integer version, got {type(version).__name__}")
+    if version != WORLD_VERSION:
+        _fail("world", f"unsupported world version {version} "
+                       f"(this loader reads version {WORLD_VERSION})")
+    _reject_unknown(doc, _TOP_KEYS, "$")
+
+    name = _string(doc, "name", "$", required=True)
+    description = _string(doc, "description", "$", default="")
+
+    default_seed, default_duration = 7, 10.0
+    if "defaults" in doc:
+        defaults = _mapping(doc["defaults"], "defaults")
+        _reject_unknown(defaults, ("seed", "duration"), "defaults")
+        default_seed = _integer(defaults, "seed", "defaults", default=7)
+        default_duration = _number(defaults, "duration", "defaults",
+                                   default=10.0, exclusive_minimum=0.0)
+
+    if "topology" not in doc:
+        _fail("$", "missing required key 'topology'")
+    topology = _parse_topology(doc["topology"], "topology")
+
+    if "placement" not in doc:
+        _fail("$", "missing required key 'placement'")
+    objects = _parse_placement(doc["placement"], "placement", topology)
+
+    traffic = (_parse_traffic(doc["traffic"], "traffic", topology)
+               if "traffic" in doc else TrafficSpec())
+
+    faults: List[FaultSpec] = []
+    if "faults" in doc:
+        raw_faults = doc["faults"]
+        if not isinstance(raw_faults, list):
+            _fail("faults", "expected an array of fault entries")
+        faults = [_parse_fault(f, f"faults[{i}]", topology)
+                  for i, f in enumerate(raw_faults)]
+        _check_fault_windows(faults, "faults")
+
+    services = ServicesSpec()
+    if "services" in doc:
+        raw = _mapping(doc["services"], "services")
+        _reject_unknown(raw, ("gossip", "ransub_period"), "services")
+        services = ServicesSpec(
+            gossip=_boolean(raw, "gossip", "services"),
+            ransub_period=_number(raw, "ransub_period", "services",
+                                  default=5.0, exclusive_minimum=0.0))
+
+    fingerprint = (_parse_fingerprint(doc["fingerprint"], "fingerprint")
+                   if doc.get("fingerprint") is not None else None)
+
+    return World(name=name, description=description, topology=topology,
+                 objects=objects, traffic=traffic, faults=faults,
+                 services=services, default_seed=default_seed,
+                 default_duration=default_duration, fingerprint=fingerprint,
+                 source=source)

@@ -146,7 +146,7 @@ def test_registry_covers_every_experiment_module():
     assert set(registry.REGISTRY) == {"fig2", "fig7", "fig8", "tab2", "fig9",
                                       "fig9_sharded", "multiobject", "tab3",
                                       "fig10", "churn", "conformance",
-                                      "workload"}
+                                      "workload", "world_matrix"}
     for entry in registry.REGISTRY.values():
         assert entry.description
         assert callable(entry.run) and callable(entry.report)

@@ -127,3 +127,86 @@ class TestLossDeterminism:
         a, b = run(), run()
         assert a == b
         assert "timeout" in a and "ok" in a  # both paths exercised
+
+
+def _link_lossy_run(seed: float, *, use_send_many: bool,
+                    rounds: int = 60) -> dict:
+    """Global loss 0, but the a→b link drops 40 % — the lossy-tier shape."""
+    sim = Simulator(seed=seed)
+    network = Network(sim, FixedLatencyModel(0.02))
+    nodes = {n: Sink(sim, network, n) for n in ("a", "b", "c")}
+    network.set_loss_probability(0.4, src="a", dst="b")
+    sent_ids = []
+    for _ in range(rounds):
+        if use_send_many:
+            msgs = network.send_many("a", ["b", "c"], protocol="t",
+                                     msg_type="ping")
+            sent_ids.extend(m.msg_id for m in msgs)
+        else:
+            for dst in ("b", "c"):
+                m = network.send("a", dst, protocol="t", msg_type="ping")
+                if m is not None:
+                    sent_ids.append(m.msg_id)
+    sim.run()
+    return {
+        "sent_ids": sent_ids,
+        "received": {n: list(node.received) for n, node in nodes.items()},
+        "stats": network.stats.snapshot(),
+    }
+
+
+class TestPerLinkLoss:
+    def test_same_seed_identical_link_drop_sequence(self):
+        a = _link_lossy_run(13, use_send_many=False)
+        b = _link_lossy_run(13, use_send_many=False)
+        assert a == b
+        assert a["stats"]["drop_reasons"]["link-loss"] > 0
+        assert "loss" not in a["stats"]["drop_reasons"]  # global loss is 0
+
+    def test_only_the_configured_direction_drops(self):
+        run = _link_lossy_run(13, use_send_many=False)
+        # a→c shares the source but not the lossy link: everything arrives.
+        assert len(run["received"]["c"]) == 60
+        assert len(run["received"]["b"]) < 60
+
+    def test_reverse_direction_is_independent(self):
+        sim = Simulator(seed=3)
+        network = Network(sim, FixedLatencyModel(0.01))
+        nodes = {n: Sink(sim, network, n) for n in ("a", "b")}
+        network.set_loss_probability(0.6, src="a", dst="b")
+        assert network.link_loss("a", "b") == 0.6
+        assert network.link_loss("b", "a") == 0.0
+        for _ in range(40):
+            network.send("b", "a", protocol="t", msg_type="ping")
+        sim.run()
+        assert len(nodes["a"].received) == 40  # b→a never draws link loss
+
+    def test_send_many_fallback_matches_sequential_sends(self):
+        # _pair_loss being non-empty must force send_many into the
+        # per-destination branch so both spellings draw identical samples.
+        a = _link_lossy_run(5, use_send_many=True)
+        b = _link_lossy_run(5, use_send_many=False)
+        assert a == b
+
+    def test_zero_removes_the_link_entry(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.01))
+        Sink(sim, network, "a"), Sink(sim, network, "b")
+        network.set_loss_probability(0.3, src="a", dst="b")
+        network.set_loss_probability(0.0, src="a", dst="b")
+        assert network.link_loss("a", "b") == 0.0
+        assert not network._pair_loss  # entry gone, send_many fast path back
+
+    def test_partial_endpoints_rejected(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.01))
+        Sink(sim, network, "a")
+        with pytest.raises(ValueError):
+            network.set_loss_probability(0.1, src="a")
+
+    def test_strict_mode_rejects_unknown_endpoints(self):
+        sim = Simulator(seed=1)
+        network = Network(sim, FixedLatencyModel(0.01))
+        Sink(sim, network, "a")
+        with pytest.raises(KeyError):
+            network.set_loss_probability(0.1, src="a", dst="ghost")

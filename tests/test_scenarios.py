@@ -380,3 +380,107 @@ class TestResolutionUnderFailures:
         deployment.run(
             until=deployment.sim.now + config.member_block_timeout + 5.0)
         assert not member_replica.write_blocked
+
+
+# ---------------------------------------------------------------------------
+# Correlated-failure generators (site blast & cascade)
+# ---------------------------------------------------------------------------
+
+class TestSiteBlast:
+    def test_schedule_is_exactly_pinned(self):
+        plan = FaultPlan.site_blast(["a", "b", "c"], at=10.0, down_for=5.0,
+                                    stagger=0.5)
+        assert [(x.time, x.kind, x.node_id) for x in plan.actions()] == [
+            (10.0, "crash", "a"), (10.0, "crash", "b"), (10.0, "crash", "c"),
+            (15.0, "recover", "a"), (15.5, "recover", "b"),
+            (16.0, "recover", "c")]
+
+    def test_crash_stagger_spreads_the_blast(self):
+        plan = FaultPlan.site_blast(["a", "b", "c"], at=4.0, down_for=2.0,
+                                    stagger=0.0, crash_stagger=0.25)
+        assert [(x.time, x.node_id) for x in plan.crashes()] == [
+            (4.0, "a"), (4.25, "b"), (4.5, "c")]
+        assert [(x.time, x.node_id) for x in plan.recoveries()] == [
+            (6.0, "a"), (6.0, "b"), (6.0, "c")]
+
+    def test_rejects_empty_site_and_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FaultPlan.site_blast([], at=1.0, down_for=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.site_blast(["a"], at=1.0, down_for=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan.site_blast(["a"], at=1.0, down_for=1.0, stagger=-0.1)
+
+
+class TestCascade:
+    def test_schedule_is_exactly_pinned_for_fixed_seed(self):
+        nodes = [f"n{i}" for i in range(6)]
+        plan = FaultPlan.cascade(nodes, rate=0.3, duration=20.0, seed=5,
+                                 downtime=6.0, amplification=3.0)
+        got = [(round(x.time, 6), x.kind, x.node_id) for x in plan.actions()]
+        assert got == [
+            (6.622233, "crash", "n0"), (9.514131, "crash", "n5"),
+            (10.396511, "crash", "n4"), (10.975078, "crash", "n1"),
+            (11.688594, "crash", "n2"), (12.622233, "recover", "n0"),
+            (12.696722, "crash", "n0"), (15.514131, "recover", "n5"),
+            (16.396511, "recover", "n4"), (16.975078, "recover", "n1"),
+            (17.140239, "crash", "n1"), (17.688594, "recover", "n2"),
+            (18.696722, "recover", "n0"), (19.824947, "crash", "n2"),
+            (23.140239, "recover", "n1"), (25.824947, "recover", "n2")]
+
+    def test_zero_amplification_degenerates_to_churn(self):
+        nodes = [f"n{i}" for i in range(6)]
+        cascade = FaultPlan.cascade(nodes, rate=0.2, duration=30.0, seed=9,
+                                    downtime=5.0, amplification=0.0)
+        churn = FaultPlan.churn(nodes, rate=0.2, duration=30.0, seed=9,
+                                downtime=5.0)
+        assert [(x.time, x.kind, x.node_id) for x in cascade.actions()] == \
+            [(x.time, x.kind, x.node_id) for x in churn.actions()]
+
+    def test_amplification_accelerates_failures(self):
+        nodes = [f"n{i}" for i in range(10)]
+        calm = FaultPlan.cascade(nodes, rate=0.3, duration=40.0, seed=7,
+                                 downtime=30.0, amplification=0.0)
+        storm = FaultPlan.cascade(nodes, rate=0.3, duration=40.0, seed=7,
+                                  downtime=30.0, amplification=6.0)
+        assert len(storm.crashes()) > len(calm.crashes())
+
+    def test_spare_always_respected(self):
+        nodes = [f"n{i}" for i in range(4)]
+        plan = FaultPlan.cascade(nodes, rate=5.0, duration=30.0, seed=2,
+                                 downtime=100.0, amplification=4.0, spare=2)
+        # downtime outlasts the run, so crashes are permanent: at most
+        # len(nodes) - spare of them ever happen.
+        assert len(plan.crashes()) <= len(nodes) - 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            FaultPlan.cascade(["a"], rate=0.0, duration=1.0, seed=1)
+        with pytest.raises(ValueError):
+            FaultPlan.cascade(["a"], rate=1.0, duration=1.0, seed=1,
+                              amplification=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan.cascade(["a"], rate=1.0, duration=1.0, seed=1, spare=0)
+
+
+class TestMerge:
+    def test_merge_keeps_time_order_and_tie_stability(self):
+        base = FaultPlan().crash("a", 5.0).recover("a", 9.0)
+        extra = FaultPlan().crash("b", 5.0).crash("c", 2.0)
+        merged = base.merge(extra)
+        assert merged is base
+        assert [(x.time, x.kind, x.node_id) for x in merged.actions()] == [
+            (2.0, "crash", "c"), (5.0, "crash", "a"), (5.0, "crash", "b"),
+            (9.0, "recover", "a")]
+
+    def test_merged_generators_inject_on_one_deployment(self):
+        deployment = DeploymentBuilder(num_nodes=6, seed=17).build()
+        node_ids = deployment.node_ids
+        plan = FaultPlan.site_blast(node_ids[:2], at=2.0, down_for=3.0)
+        plan.merge(FaultPlan.cascade(node_ids[2:], rate=0.5, duration=6.0,
+                                     seed=4, downtime=2.0, start=1.0))
+        injector = FaultInjector(deployment, plan).arm()
+        deployment.run(until=12.0)
+        assert injector.crashes_applied == len(plan.crashes())
+        assert injector.recoveries_applied == len(plan.recoveries())
+        assert len(deployment.alive_node_ids()) == 6  # everyone came back

@@ -1,0 +1,254 @@
+"""World format tests: loader diagnostics, compilation, catalog hygiene.
+
+The schema promises *precise* failure paths — a user editing a world JSON
+gets pointed at the exact field (``topology.links[0].latency``), never a
+generic "invalid world".  These tests assert those paths literally, then
+check the compiled output: node naming, region→site traffic binding,
+per-link loss wiring, top-layer pinning and fault-plan compilation.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.worlds import (CATALOG_DIR, WorldNotFoundError,
+                          WorldValidationError, build_world, catalog_names,
+                          load_catalog, load_world, parse_world,
+                          world_fingerprint)
+from repro.worlds.compile import (compile_fault_plan, population_nodes,
+                                  resolve_top_layer)
+
+
+def _doc() -> dict:
+    """A minimal valid world: 2 sites x 2 nodes, one object, one population."""
+    return {
+        "world": 1,
+        "name": "fixture",
+        "description": "loader test fixture",
+        "defaults": {"seed": 3, "duration": 4.0},
+        "topology": {
+            "sites": [
+                {"name": "left", "x": 0.0, "y": 0.0, "nodes": 2,
+                 "region": "west"},
+                {"name": "right", "x": 10.0, "y": 0.0, "nodes": 2,
+                 "region": "east"},
+            ],
+        },
+        "placement": {"objects": [
+            {"id": "board", "top_layer": {"sites": ["left", "right"]}},
+        ]},
+        "traffic": {"populations": [
+            {"name": "readers", "clients": 2, "model": "open",
+             "region": "west", "rate": {"kind": "constant", "rate": 1.0}},
+        ]},
+    }
+
+
+def _invalid_path(doc: dict) -> str:
+    with pytest.raises(WorldValidationError) as exc:
+        parse_world(doc)
+    return exc.value.path
+
+
+class TestLoaderDiagnostics:
+    def test_missing_version_names_the_root(self):
+        doc = _doc()
+        del doc["world"]
+        assert _invalid_path(doc) == "$"
+
+    def test_unsupported_version_names_the_field(self):
+        doc = _doc()
+        doc["world"] = 2
+        assert _invalid_path(doc) == "world"
+        doc["world"] = "1"
+        assert _invalid_path(doc) == "world"
+
+    def test_unknown_top_level_key(self):
+        doc = _doc()
+        doc["topologee"] = {}
+        assert _invalid_path(doc) == "topologee"
+
+    def test_unknown_nested_key_names_full_path(self):
+        doc = _doc()
+        doc["topology"]["sites"][0]["colour"] = "blue"
+        assert _invalid_path(doc) == "topology.sites[0].colour"
+
+    def test_dangling_top_layer_site_ref(self):
+        doc = _doc()
+        doc["placement"]["objects"][0]["top_layer"]["sites"] = ["left", "ghost"]
+        assert _invalid_path(doc) == "placement.objects[0].top_layer.sites[1]"
+
+    def test_dangling_link_site_ref(self):
+        doc = _doc()
+        doc["topology"]["links"] = [{"between": ["left", "ghost"]}]
+        assert _invalid_path(doc) == "topology.links[0].between[1]"
+
+    def test_negative_link_latency(self):
+        doc = _doc()
+        doc["topology"]["links"] = [
+            {"between": ["left", "right"], "latency": -0.01}]
+        assert _invalid_path(doc) == "topology.links[0].latency"
+
+    def test_overlapping_partition_windows(self):
+        doc = _doc()
+        doc["faults"] = [
+            {"kind": "partition", "at": 2.0, "heal_at": 6.0,
+             "groups": [["left"], ["right"]]},
+            {"kind": "partition", "at": 4.0, "heal_at": 8.0,
+             "groups": [["left"], ["right"]]},
+        ]
+        assert _invalid_path(doc) == "faults[1].at"
+
+    def test_overlapping_loss_bursts(self):
+        doc = _doc()
+        doc["faults"] = [
+            {"kind": "loss_burst", "at": 1.0, "duration": 3.0, "loss": 0.2},
+            {"kind": "loss_burst", "at": 2.0, "duration": 1.0, "loss": 0.1},
+        ]
+        assert _invalid_path(doc) == "faults[1].at"
+
+    def test_overlapping_same_site_blasts(self):
+        doc = _doc()
+        doc["faults"] = [
+            {"kind": "site_blast", "site": "left", "at": 1.0, "down_for": 4.0},
+            {"kind": "site_blast", "site": "left", "at": 3.0, "down_for": 1.0},
+        ]
+        assert _invalid_path(doc) == "faults[1].at"
+
+    def test_disjoint_same_site_blasts_allowed(self):
+        doc = _doc()
+        doc["faults"] = [
+            {"kind": "site_blast", "site": "left", "at": 1.0, "down_for": 1.0},
+            {"kind": "site_blast", "site": "left", "at": 3.0, "down_for": 1.0},
+        ]
+        assert len(parse_world(doc).faults) == 2
+
+    def test_population_region_must_be_declared(self):
+        doc = _doc()
+        doc["traffic"]["populations"][0]["region"] = "atlantis"
+        assert _invalid_path(doc) == "traffic.populations[0].region"
+
+    def test_open_population_requires_a_rate(self):
+        doc = _doc()
+        del doc["traffic"]["populations"][0]["rate"]
+        assert _invalid_path(doc) == "traffic.populations[0]"
+
+    def test_message_leads_with_the_path(self):
+        doc = _doc()
+        doc["topology"]["sites"][1]["nodes"] = 0
+        with pytest.raises(WorldValidationError) as exc:
+            parse_world(doc)
+        assert str(exc.value).startswith(exc.value.path + ": ")
+        assert exc.value.path == "topology.sites[1].nodes"
+
+
+class TestLoader:
+    def test_catalog_has_the_graded_suites_and_stress_worlds(self):
+        names = catalog_names()
+        assert len(names) >= 10
+        for expected in ("wan-20", "wan-40", "wan-60", "wan-80", "wan-100",
+                         "geo-wan", "edge-lossy", "flash-crowd",
+                         "partition-prone", "churn-heavy"):
+            assert expected in names
+
+    def test_unknown_name_lists_the_catalog(self):
+        with pytest.raises(WorldNotFoundError) as exc:
+            load_world("wan-21")
+        assert "wan-20" in str(exc.value)
+
+    def test_load_world_accepts_mapping_path_and_name(self, tmp_path):
+        from_mapping = load_world(_doc())
+        path = tmp_path / "fixture.json"
+        path.write_text(json.dumps(_doc()), encoding="utf-8")
+        from_file = load_world(str(path))
+        assert from_mapping.name == from_file.name == "fixture"
+        assert from_file.source == str(path)
+        assert load_world("wan-20").name == "wan-20"
+
+    def test_malformed_json_reports_the_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(WorldValidationError):
+            load_world(str(path))
+
+    def test_catalog_filenames_match_world_names(self):
+        for name, world in load_catalog().items():
+            assert world.name == name
+
+
+class TestCompilation:
+    def test_node_ids_are_site_indexed(self):
+        world = parse_world(_doc())
+        assert world.topology.node_ids() == \
+            ["left-0", "left-1", "right-0", "right-1"]
+        assert world.num_nodes == 4
+
+    def test_region_binds_population_to_its_sites(self):
+        world = parse_world(_doc())
+        assert population_nodes(world.traffic.populations[0], world) == \
+            ["left-0", "left-1"]
+
+    def test_top_layer_sites_pin_first_node_per_site(self):
+        world = parse_world(_doc())
+        assert resolve_top_layer(world.objects[0], world) == \
+            ["left-0", "right-0"]
+
+    def test_fault_plan_expands_site_blast_to_site_nodes(self):
+        doc = _doc()
+        doc["faults"] = [
+            {"kind": "site_blast", "site": "left", "at": 2.0, "down_for": 3.0}]
+        plan = compile_fault_plan(parse_world(doc), seed=3)
+        assert [(a.time, a.node_id) for a in plan.crashes()] == \
+            [(2.0, "left-0"), (2.0, "left-1")]
+
+    def test_build_world_creates_the_declared_deployment(self):
+        world = parse_world(_doc())
+        deployment = build_world(world, seed=3, duration=4.0)
+        assert sorted(deployment.node_ids) == \
+            ["left-0", "left-1", "right-0", "right-1"]
+        assert set(deployment.objects) == {"board"}
+        mw = deployment.middleware("board", "left-0")
+        assert mw.detection._top_layer_provider() == ["left-0", "right-0"]
+        assert deployment.world is world
+
+    def test_link_loss_is_wired_both_directions(self):
+        doc = _doc()
+        doc["topology"]["links"] = [
+            {"between": ["left", "right"], "loss": 0.25}]
+        deployment = build_world(parse_world(doc), seed=3)
+        network = deployment.network
+        assert network.link_loss("left-0", "right-1") == 0.25
+        assert network.link_loss("right-1", "left-0") == 0.25
+        assert network.link_loss("left-0", "left-1") == 0.0
+
+    def test_tier_loss_reaches_the_network(self):
+        doc = _doc()
+        doc["topology"]["tiers"] = {"wifi": {"loss": 0.1}}
+        doc["topology"]["sites"][0]["tier"] = "wifi"
+        deployment = build_world(parse_world(doc), seed=3)
+        assert deployment.network.link_loss("left-0", "right-0") == \
+            pytest.approx(0.1)
+
+    def test_build_world_replays_bit_identically(self):
+        def run():
+            deployment = build_world(_doc(), seed=5, duration=4.0)
+            deployment.run(until=4.0)
+            return world_fingerprint(deployment)
+
+        first, second = run(), run()
+        assert first == second
+        assert first["ops"] > 0
+
+
+class TestCatalogPins:
+    def test_every_catalog_world_is_fingerprint_pinned(self):
+        for name, world in load_catalog().items():
+            assert world.fingerprint is not None, f"{name} has no pin"
+            assert world.fingerprint.values.get("state_hash"), name
+
+    def test_catalog_dir_holds_only_valid_worlds(self):
+        files = sorted(p.stem for p in CATALOG_DIR.glob("*.json"))
+        assert files == sorted(catalog_names())
