@@ -2,19 +2,28 @@
 
 ``--backend sim`` runs the seeded conformance scenario on the simulator and
 reports its protocol outcomes.  ``--backend live`` runs the *same* scenario
-over real sockets (in-process, one transport per node) and checks the
-outcomes against the simulator oracle — a mismatch fails the experiment
-(nonzero CLI exit), making this the scriptable twin of ``python -m
-repro.live``.
+over real sockets and checks the outcomes against the simulator oracle — a
+mismatch fails the experiment (nonzero CLI exit), making this the
+scriptable twin of ``python -m repro.live``.
+
+With ``--param "fault_plan='churn'"`` the run becomes a chaos run: the
+fault plan is replayed against both backends — simulated ``fail``/
+``recover`` and network rules on the sim side, real SIGKILLs, supervised
+restarts and control-channel drop rules against a one-process-per-node
+:class:`~repro.live.deployment.LiveDeployment` on the live side — and the
+fault-tolerant oracle (:func:`~repro.live.scenario.fault_oracle_diff`)
+compares survivor outcomes and recovery evidence.
 """
 
 from __future__ import annotations
 
 import tempfile
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from repro.live.scenario import (default_scenario, oracle_diff,
-                                 run_live_scenario_inprocess,
+from repro.live.chaos import LiveFaultController, resolve_plan
+from repro.live.deployment import LiveDeployment, RestartPolicy
+from repro.live.scenario import (default_scenario, fault_oracle_diff,
+                                 oracle_diff, run_live_scenario_inprocess,
                                  run_sim_scenario)
 
 
@@ -26,30 +35,61 @@ def run_conformance_experiment(*, backend: str = "sim", num_nodes: int = 4,
                                num_objects: int = 2, seed: int = 7,
                                transport: str = "uds",
                                time_scale: float = 1.0,
+                               fault_plan: Optional[str] = None,
+                               restart_budget: int = 2,
                                jobs: int = 1) -> Dict[str, Any]:
     """Run the conformance scenario on ``backend`` ("sim" or "live").
 
-    ``jobs`` is accepted for CLI uniformity; the scenario is a single
-    deployment, not a sweep.
+    ``fault_plan`` names a builtin plan (``churn``/``kill``/``partition``)
+    or a ``FaultPlan.to_dict`` JSON file; on the live backend it forces the
+    multiprocess deployment (in-process stacks have no process to kill) and
+    switches the comparison to the fault-tolerant oracle.  ``jobs`` is
+    accepted for CLI uniformity; the scenario is a single deployment, not a
+    sweep.
     """
     if backend not in ("sim", "live"):
         raise ValueError(f"unknown backend {backend!r} (sim or live)")
     spec = default_scenario(num_nodes, num_objects, seed=seed,
                             time_scale=time_scale)
-    sim = run_sim_scenario(spec)
+    plan = (resolve_plan(fault_plan, spec.nodes, time_scale=time_scale)
+            if fault_plan is not None else None)
+    sim = run_sim_scenario(spec, fault_plan=plan)
     result: Dict[str, Any] = {
         "backend": backend,
         "transport": transport if backend == "live" else None,
         "nodes": len(spec.nodes),
         "objects": len(spec.objects),
         "seed": seed,
+        "fault_plan": fault_plan,
         "outcomes": sim,
         "oracle_problems": [],
     }
     if backend == "live":
         with tempfile.TemporaryDirectory(prefix="repro-conformance-") as d:
-            live = run_live_scenario_inprocess(spec, d, kind=transport)
-        problems = oracle_diff(sim, live)
+            if plan is None:
+                live = run_live_scenario_inprocess(spec, d, kind=transport)
+                problems = oracle_diff(sim, live)
+            else:
+                deployment = LiveDeployment(
+                    spec, d, kind=transport,
+                    restart_policy=RestartPolicy(max_restarts=restart_budget))
+                controller = LiveFaultController(deployment, plan)
+                try:
+                    deployment.start()
+                    live = deployment.wait(on_tick=controller.tick,
+                                           require_all_outcomes=False)
+                finally:
+                    deployment.terminate()
+                problems = fault_oracle_diff(sim, live, plan)
+                result["chaos"] = {
+                    "actions_applied": len(controller.timeline),
+                    "rejoins": controller.rejoins,
+                    "reconnects": sum(o.get("reconnects", 0)
+                                      for o in live.values()),
+                }
+                if plan.crashes() and result["chaos"]["reconnects"] == 0:
+                    problems.append("fault plan crashed nodes but no "
+                                    "transport reconnects happened")
         result["outcomes"] = live
         result["oracle_problems"] = problems
         if problems:
@@ -67,7 +107,9 @@ def format_conformance_report(result: Dict[str, Any]) -> str:
     folded = sum(sum(o["folded"].values()) for o in outcomes.values())
     lines = [
         f"conformance scenario on backend={result['backend']}"
-        + (f" ({result['transport']})" if result["transport"] else ""),
+        + (f" ({result['transport']})" if result["transport"] else "")
+        + (f" under fault plan {result['fault_plan']!r}"
+           if result.get("fault_plan") else ""),
         f"  nodes={result['nodes']} objects={result['objects']} "
         f"seed={result['seed']}",
         f"  writes applied:        {writes}",
@@ -75,6 +117,13 @@ def format_conformance_report(result: Dict[str, Any]) -> str:
         f"  resolutions completed: {resolutions}",
         f"  log entries folded:    {folded}",
     ]
+    if "chaos" in result:
+        chaos = result["chaos"]
+        lines.append(f"  chaos: {chaos['actions_applied']} actions, "
+                     f"{chaos['rejoins']} supervised re-joins, "
+                     f"{chaos['reconnects']} reconnects")
     if result["backend"] == "live":
-        lines.append("  oracle: outcomes match the simulator")
+        label = ("fault-tolerant oracle" if result.get("fault_plan")
+                 else "oracle")
+        lines.append(f"  {label}: outcomes match the simulator")
     return "\n".join(lines)

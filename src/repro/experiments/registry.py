@@ -119,7 +119,8 @@ _ENTRIES: List[ExperimentEntry] = [
         smoke={"worlds": ("wan-20", "edge-lossy"), "duration": 6.0}),
     ExperimentEntry(
         name="conformance",
-        description="transport conformance: a backend vs the simulator oracle",
+        description="transport conformance: a backend vs the simulator "
+                    "oracle (fault_plan= for chaos runs)",
         run=conformance.run_conformance_experiment,
         report=conformance.format_conformance_report,
         smoke={"num_nodes": 3, "num_objects": 2, "time_scale": 0.6}),

@@ -6,20 +6,34 @@ package provides their real-network implementation:
 
 * :class:`~repro.live.clock.LiveClock` — ``Clock`` over an asyncio loop;
 * :class:`~repro.live.transport.LiveTransport` — ``Transport`` over
-  length-prefixed frames (:mod:`repro.live.wire`) on UNIX or TCP sockets;
+  length-prefixed frames (:mod:`repro.live.wire`) on UNIX or TCP sockets,
+  with reconnect-with-backoff (:mod:`repro.live.backoff`), bounded per-peer
+  queues, and heartbeat liveness probing;
 * :class:`~repro.live.node.LiveNode` — a
   :class:`~repro.transport.endpoint.ProtocolEndpoint` on wall-clock time;
 * :mod:`repro.live.scenario` — the backend-neutral conformance scenario and
-  the simulator-as-oracle comparison;
+  the simulator-as-oracle comparison (fair-weather and fault-tolerant);
 * :class:`~repro.live.deployment.LiveDeployment` +
-  :mod:`repro.live.node_main` — one-process-per-node bring-up/teardown;
+  :mod:`repro.live.node_main` — one-process-per-node bring-up/teardown with
+  opt-in crash supervision (:class:`~repro.live.deployment.RestartPolicy`);
+* :mod:`repro.live.chaos` + :mod:`repro.live.control` — replay a
+  :class:`~repro.scenarios.plan.FaultPlan` against the real processes:
+  signals for crashes, supervised restarts for recoveries, control-channel
+  drop rules for partitions and loss;
 * ``python -m repro.live`` — CLI running a seeded localhost deployment and
-  checking it against the simulator oracle.
+  checking it against the simulator oracle (``--fault-plan`` for chaos).
 """
 
+from repro.live.backoff import BackoffPolicy
+from repro.live.chaos import LiveFaultController, builtin_plan, resolve_plan
 from repro.live.clock import LiveClock
+from repro.live.control import ControlClient, ControlError, ControlServer
+from repro.live.deployment import LiveDeployment, RestartPolicy
 from repro.live.node import LiveNode
 from repro.live.transport import LiveTransport
 from repro.live.wire import WireError
 
-__all__ = ["LiveClock", "LiveNode", "LiveTransport", "WireError"]
+__all__ = ["BackoffPolicy", "ControlClient", "ControlError", "ControlServer",
+           "LiveClock", "LiveDeployment", "LiveFaultController", "LiveNode",
+           "LiveTransport", "RestartPolicy", "WireError", "builtin_plan",
+           "resolve_plan"]

@@ -8,6 +8,15 @@ default — runs the same scenario on the simulator and compares (the
 simulator is the oracle; ``--no-oracle`` skips that step, e.g. for quick
 bring-up checks).
 
+``--fault-plan NAME|PATH`` turns the run into a chaos run: the plan (a
+builtin like ``churn``, or a ``FaultPlan.to_dict`` JSON file) is replayed
+against the real processes — SIGKILLs, supervised restarts, control-channel
+partitions — while the same plan runs on the simulator, and the
+fault-tolerant oracle compares survivor counts and recovery evidence
+(DESIGN.md §15).  A plan with crashes also asserts nonzero transport
+reconnects, the chaos CI job's signal that re-dialing actually happened.
+The applied chaos timeline lands in ``<rundir>/chaos_timeline.json``.
+
 Exit codes: 0 success, 1 deployment failure or oracle mismatch.
 """
 
@@ -19,9 +28,11 @@ import os
 import sys
 import tempfile
 
-from repro.live.deployment import DeploymentError, LiveDeployment
-from repro.live.scenario import default_scenario, oracle_diff, \
-    run_sim_scenario
+from repro.live.chaos import LiveFaultController, resolve_plan
+from repro.live.deployment import (DeploymentError, LiveDeployment,
+                                   RestartPolicy)
+from repro.live.scenario import (default_scenario, fault_oracle_diff,
+                                 oracle_diff, run_sim_scenario)
 
 
 def main(argv=None) -> int:
@@ -42,6 +53,16 @@ def main(argv=None) -> int:
     parser.add_argument("--rundir", default=None,
                         help="run directory for sockets/logs/outcomes "
                              "(default: a fresh temp dir)")
+    parser.add_argument("--fault-plan", default=None, metavar="NAME|PATH",
+                        help="replay this FaultPlan against the deployment "
+                             "(builtin: churn, kill, partition; or a JSON "
+                             "file); implies supervision")
+    parser.add_argument("--supervise", action="store_true",
+                        help="restart nodes that crash unexpectedly "
+                             "(automatic when --fault-plan is given)")
+    parser.add_argument("--restart-budget", type=int, default=2,
+                        help="supervised restarts allowed per node "
+                             "(default 2)")
     parser.add_argument("--no-oracle", action="store_true",
                         help="skip the simulator-oracle comparison")
     parser.add_argument("--json", action="store_true",
@@ -49,29 +70,56 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     # default_scenario spans 4.4 time units; scale to the requested duration
+    time_scale = args.duration / 4.4
     spec = default_scenario(args.nodes, args.objects, seed=args.seed,
-                            time_scale=args.duration / 4.4)
+                            time_scale=time_scale)
     rundir = args.rundir or tempfile.mkdtemp(prefix="repro-live-")
     os.makedirs(rundir, exist_ok=True)
 
-    deployment = LiveDeployment(spec, rundir, kind=args.transport)
+    plan = None
+    if args.fault_plan is not None:
+        plan = resolve_plan(args.fault_plan, spec.nodes,
+                            time_scale=time_scale)
+    policy = (RestartPolicy(max_restarts=args.restart_budget)
+              if (args.supervise or plan is not None) else None)
+    deployment = LiveDeployment(spec, rundir, kind=args.transport,
+                                restart_policy=policy)
+    controller = (LiveFaultController(deployment, plan)
+                  if plan is not None else None)
     try:
-        live = deployment.run()
+        deployment.start()
+        live = deployment.wait(
+            on_tick=controller.tick if controller is not None else None,
+            require_all_outcomes=plan is None)
     except DeploymentError as exc:
         print(f"FAIL: {exc}", file=sys.stderr)
         print(f"logs: {os.path.join(rundir, 'log')}", file=sys.stderr)
         return 1
+    finally:
+        deployment.terminate()
+        if controller is not None:
+            controller.write_timeline(
+                os.path.join(rundir, "chaos_timeline.json"))
 
     writes = sum(sum(o["writes_applied"].values()) for o in live.values())
     gossip = sum(o["gossip_rounds"] for o in live.values())
     resolutions = sum(len(o["resolutions"]) for o in live.values())
     folded = sum(sum(o["folded"].values()) for o in live.values())
+    reconnects = sum(o.get("reconnects", 0) for o in live.values())
+    restarts = sum(o.get("restarts", 0) for o in live.values())
     print(f"live deployment: {len(live)} nodes over {args.transport}, "
           f"rundir {rundir}")
     print(f"  writes applied:        {writes}")
     print(f"  gossip rounds:         {gossip}")
     print(f"  resolutions completed: {resolutions}")
     print(f"  log entries folded:    {folded}")
+    if plan is not None or args.supervise:
+        print(f"  reconnects:            {reconnects}")
+        print(f"  restarts:              {restarts}")
+    if controller is not None:
+        print(f"  chaos: {len(controller.timeline)} actions applied, "
+              f"{controller.rejoins} supervised re-joins "
+              f"(timeline: {os.path.join(rundir, 'chaos_timeline.json')})")
 
     problems = []
     if writes == 0:
@@ -80,12 +128,24 @@ def main(argv=None) -> int:
         problems.append("no gossip rounds ran")
     if resolutions == 0:
         problems.append("no resolution completed")
+    if plan is not None and plan.crashes():
+        if reconnects == 0:
+            problems.append("fault plan crashed nodes but no transport "
+                            "reconnects happened")
+        if controller is not None and controller.rejoins < len(
+                {a.node_id for a in plan.recoveries()}):
+            problems.append("not every planned recovery was applied")
 
     if not args.no_oracle:
-        sim = run_sim_scenario(spec)
-        problems.extend(oracle_diff(sim, live))
+        sim = run_sim_scenario(spec, fault_plan=plan)
+        if plan is None:
+            problems.extend(oracle_diff(sim, live))
+        else:
+            problems.extend(fault_oracle_diff(sim, live, plan))
         if not problems:
-            print("  oracle: live outcomes match the simulator")
+            label = ("fault-tolerant oracle" if plan is not None
+                     else "oracle")
+            print(f"  {label}: live outcomes match the simulator")
 
     if args.json:
         print(json.dumps(live, indent=2, sort_keys=True))

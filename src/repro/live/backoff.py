@@ -1,0 +1,122 @@
+"""Capped, jittered exponential backoff for live-mode retries.
+
+One :class:`BackoffPolicy` value describes a whole retry discipline — first
+delay, growth factor, cap, jitter fraction, and an optional give-up window —
+and :meth:`BackoffPolicy.delays` turns it into a deterministic delay stream
+given a seeded RNG.  The live transport uses two policies:
+
+* **connect** — a sender's *first* connection to a peer.  Deployments start
+  all processes concurrently, so early sends must tolerate peers whose
+  listening socket is not up yet; the policy keeps the old 10 s give-up
+  window (``max_elapsed``) but replaces the fixed 50 ms poll loop with
+  jittered exponential delays, so a hundred senders hammering one slow peer
+  de-synchronise instead of thundering in lockstep.
+* **reconnect** — an *established* connection dropped (peer crashed, was
+  SIGKILL'd by the chaos controller, restarted...).  ``max_elapsed=None``:
+  the sender keeps trying forever at the capped cadence, because a
+  supervised restart may bring the peer back at any time.  Undeliverable
+  frames meanwhile become counted drops, never unbounded memory (the
+  per-peer queue is bounded — see ``LiveTransport``).
+
+Jitter is *seeded*: the same ``(seed, stream name)`` pair replays the same
+schedule, which keeps retry behaviour reproducible in tests and lets the
+conformance suite pin exact schedules.
+
+Policies are configurable per transport instance (constructor) or fleet-wide
+via environment variables (``REPRO_LIVE_CONNECT_BASE`` etc.), replacing the
+class-constant knobs of the original fair-weather transport.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["BackoffPolicy", "DEFAULT_CONNECT", "DEFAULT_RECONNECT"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Capped exponential backoff with seeded multiplicative jitter.
+
+    The *k*-th nominal delay is ``min(base * multiplier**k, cap)``; each
+    emitted delay is the nominal one scaled by a uniform draw from
+    ``[1 - jitter, 1 + jitter]``.  ``max_elapsed`` is a give-up budget the
+    *caller* enforces (it knows when the attempt sequence started); ``None``
+    means retry forever.
+    """
+
+    base: float = 0.05
+    cap: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    max_elapsed: Optional[float] = 10.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValueError("backoff base must be positive")
+        if self.cap < self.base:
+            raise ValueError("backoff cap must be >= base")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("backoff jitter must be in [0, 1)")
+        if self.max_elapsed is not None and self.max_elapsed <= 0:
+            raise ValueError("max_elapsed must be positive (or None)")
+
+    # --------------------------------------------------------------- schedule
+    def delays(self, rng=None, *, seed: Optional[int] = None) -> Iterator[float]:
+        """Yield jittered delays forever (the caller owns the give-up rule).
+
+        Pass either a generator exposing ``uniform(low, high)`` (e.g. a
+        :class:`~repro.sim.random.RandomStreams` stream) or a ``seed`` from
+        which a private ``numpy`` generator is derived — same seed, same
+        schedule, which is what the determinism tests pin.
+        """
+        if rng is None:
+            rng = np.random.default_rng(0 if seed is None else seed)
+        delay = self.base
+        while True:
+            if self.jitter > 0:
+                yield delay * float(rng.uniform(1.0 - self.jitter,
+                                                1.0 + self.jitter))
+            else:
+                yield delay
+            delay = min(delay * self.multiplier, self.cap)
+
+    # -------------------------------------------------------------------- env
+    @classmethod
+    def from_env(cls, prefix: str, default: "BackoffPolicy") -> "BackoffPolicy":
+        """Build a policy from ``<prefix>_BASE/_CAP/_MULTIPLIER/_JITTER/
+        _WINDOW`` environment variables, falling back to ``default`` for any
+        that is unset.  ``_WINDOW`` maps to ``max_elapsed``; the literal
+        string ``"inf"`` (or ``"none"``) means retry forever."""
+
+        def _float(name: str, fallback: float) -> float:
+            raw = os.environ.get(f"{prefix}_{name}")
+            return fallback if raw is None else float(raw)
+
+        raw_window = os.environ.get(f"{prefix}_WINDOW")
+        if raw_window is None:
+            max_elapsed = default.max_elapsed
+        elif raw_window.strip().lower() in ("inf", "none", ""):
+            max_elapsed = None
+        else:
+            max_elapsed = float(raw_window)
+        return cls(base=_float("BASE", default.base),
+                   cap=_float("CAP", default.cap),
+                   multiplier=_float("MULTIPLIER", default.multiplier),
+                   jitter=_float("JITTER", default.jitter),
+                   max_elapsed=max_elapsed)
+
+
+#: first connect: bounded give-up window (peers are expected to come up)
+DEFAULT_CONNECT = BackoffPolicy(base=0.05, cap=1.0, multiplier=2.0,
+                                jitter=0.5, max_elapsed=10.0)
+
+#: established-connection reconnect: retry forever at a capped cadence
+DEFAULT_RECONNECT = BackoffPolicy(base=0.1, cap=2.0, multiplier=2.0,
+                                  jitter=0.5, max_elapsed=None)

@@ -44,6 +44,19 @@ class LiveClock:
         """Seconds since this clock was created (monotonic)."""
         return self._loop.time() - self._t0
 
+    def rebase(self, t0: Optional[float] = None) -> float:
+        """Move the clock's origin and return the new ``_t0``.
+
+        With no argument, ``now`` becomes 0 — deployments call this after
+        the ready barrier so every process's scenario timeline starts
+        together.  A *recovering* process instead passes the original
+        epoch (the ``loop.time()``/``time.monotonic()`` value the first
+        incarnation recorded, comparable across processes on one host), so
+        its ``now`` resumes mid-timeline rather than replaying from 0.
+        """
+        self._t0 = self._loop.time() if t0 is None else float(t0)
+        return self._t0
+
     # ------------------------------------------------------------- scheduling
     def call_after(self, delay: float, callback: Callable[..., None], *,
                    priority: int = 0, label: str = "", arg: Any = _NO_ARG,

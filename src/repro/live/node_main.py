@@ -1,12 +1,22 @@
 """Per-node process entrypoint for a live deployment.
 
-``python -m repro.live.node_main <spec.json> <node_id>``
+``python -m repro.live.node_main <spec.json> <node_id> [--recovering]``
 
 Reads the deployment document written by
 :class:`~repro.live.deployment.LiveDeployment`, builds this node's stack,
-binds its listening socket, joins the ready-file barrier, runs the scenario
-schedule on wall-clock time, and writes its protocol outcomes to
-``out/<node_id>.json``.
+binds its listening socket and control channel, joins the ready-file
+barrier, runs the scenario schedule on wall-clock time, and writes its
+protocol outcomes to ``out/<node_id>.json``.
+
+A fresh node records its clock epoch (the host-wide ``time.monotonic``
+value at barrier exit) in ``epoch/<node_id>`` before starting the
+schedule.  A **recovering** incarnation — respawned by the supervisor or a
+chaos plan after a crash — skips the barrier (its peers are long past it),
+re-touches its ready file, rebases its clock onto the *original* epoch so
+``now`` resumes mid-timeline, and replays only the part of the schedule
+that is still in the future.  All replicated state from the first
+incarnation is gone: that amnesia is the crash-stop model made honest, and
+the fault-tolerant oracle accounts for it (DESIGN.md §15).
 """
 
 from __future__ import annotations
@@ -16,6 +26,7 @@ import json
 import os
 import sys
 
+from repro.live.control import ControlServer
 from repro.live.scenario import ScenarioSpec, build_live_stack
 from repro.transport.errors import TransportError
 
@@ -24,14 +35,19 @@ BARRIER_TIMEOUT = 30.0
 BARRIER_POLL = 0.01
 
 
+def _touch_ready(rundir: str, node_id: str) -> str:
+    path = os.path.join(rundir, "ready", node_id)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(str(os.getpid()))
+    return path
+
+
 async def _barrier(rundir: str, node_id: str, nodes) -> None:
     """Signal readiness and wait until every node has done the same."""
-    ready_dir = os.path.join(rundir, "ready")
-    own = os.path.join(ready_dir, node_id)
-    with open(own, "w", encoding="utf-8") as fh:
-        fh.write(str(os.getpid()))
+    _touch_ready(rundir, node_id)
     loop = asyncio.get_running_loop()
     deadline = loop.time() + BARRIER_TIMEOUT
+    ready_dir = os.path.join(rundir, "ready")
     paths = [os.path.join(ready_dir, n) for n in nodes]
     while not all(os.path.exists(p) for p in paths):
         if loop.time() > deadline:
@@ -41,33 +57,70 @@ async def _barrier(rundir: str, node_id: str, nodes) -> None:
         await asyncio.sleep(BARRIER_POLL)
 
 
-async def run_node(document: dict, node_id: str) -> dict:
+async def run_node(document: dict, node_id: str, *,
+                   recovering: bool = False) -> dict:
     spec = ScenarioSpec.from_dict(document["spec"])
     kind = document["kind"]
     rundir = document["rundir"]
     addresses = {n: tuple(a) if isinstance(a, list) else a
                  for n, a in document["addresses"].items()}
+    heartbeat_period = float(document.get("heartbeat_period", 0.0))
 
     stack = build_live_stack(spec, node_id, addresses, kind=kind,
-                             loop=asyncio.get_running_loop())
+                             loop=asyncio.get_running_loop(),
+                             heartbeat_period=heartbeat_period)
     transport = stack.node.transport
+    clock = stack.node.clock
     await transport.start()
-    await _barrier(rundir, node_id, spec.nodes)
-    # All listening sockets are up: rebase to t=0 and start the schedule.
-    stack.node.clock._t0 = stack.node.clock._loop.time()
-    stack.schedule()
-    await asyncio.sleep(spec.duration)
+    control = None
+    control_path = (document.get("control") or {}).get(node_id)
+    if control_path:
+        control = ControlServer(transport, node_id, control_path)
+        await control.start()
+
+    epoch_path = os.path.join(rundir, "epoch", node_id)
+    if not recovering:
+        await _barrier(rundir, node_id, spec.nodes)
+        # All listening sockets are up: rebase to t=0, record the epoch so a
+        # future recovering incarnation can resume the same timeline
+        # (time.monotonic/loop.time share an origin across processes on one
+        # host), then start probing and the schedule.
+        t0 = clock.rebase()
+        os.makedirs(os.path.dirname(epoch_path), exist_ok=True)
+        with open(epoch_path, "w", encoding="utf-8") as fh:
+            fh.write(repr(t0))
+        transport.start_heartbeats()
+        stack.schedule()
+        remaining = spec.duration
+    else:
+        # Rejoin a running deployment: no barrier (peers are mid-run),
+        # resume the original timeline and only the future schedule.
+        _touch_ready(rundir, node_id)
+        with open(epoch_path, "r", encoding="utf-8") as fh:
+            clock.rebase(float(fh.read()))
+        transport.start_heartbeats()
+        stack.schedule(from_time=clock.now)
+        remaining = max(0.0, spec.duration - clock.now)
+    await asyncio.sleep(remaining)
     stack.shutdown()
     outcome = stack.outcome()
+    outcome["recovering"] = recovering
+    outcome["reconnects"] = transport.reconnects
+    outcome["drop_reasons"] = dict(transport.stats.drop_reasons)
+    outcome["pid"] = os.getpid()
+    if control is not None:
+        await control.stop()
     await transport.stop()
     return outcome
 
 
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
+    argv = list(sys.argv[1:] if argv is None else argv)
+    recovering = "--recovering" in argv
+    argv = [a for a in argv if a != "--recovering"]
     if len(argv) != 2:
-        print("usage: python -m repro.live.node_main <spec.json> <node_id>",
-              file=sys.stderr)
+        print("usage: python -m repro.live.node_main <spec.json> <node_id> "
+              "[--recovering]", file=sys.stderr)
         return 2
     spec_path, node_id = argv
     with open(spec_path, "r", encoding="utf-8") as fh:
@@ -75,7 +128,7 @@ def main(argv=None) -> int:
     if node_id not in document["spec"]["nodes"]:
         print(f"unknown node id {node_id!r}", file=sys.stderr)
         return 2
-    outcome = asyncio.run(run_node(document, node_id))
+    outcome = asyncio.run(run_node(document, node_id, recovering=recovering))
     out_path = os.path.join(document["rundir"], "out", f"{node_id}.json")
     tmp_path = out_path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as fh:

@@ -179,22 +179,35 @@ class NodeStack:
                                                 digest.version_vector())
 
     # ------------------------------------------------------------- schedule
-    def schedule(self) -> None:
-        """Install this node's share of the spec onto its clock."""
+    def schedule(self, from_time: float = 0.0) -> None:
+        """Install this node's share of the spec onto its clock.
+
+        ``from_time`` supports recovering incarnations: entries at or
+        before it are skipped (they belong to the pre-crash life), the rest
+        are scheduled at their absolute times — which on a rebased live
+        clock land at the same wall-clock instants the original timeline
+        promised.
+        """
         clock = self.node.clock
         node_id = self.node.node_id
         for when, node, obj, delta in self.spec.writes:
-            if node == node_id:
-                clock.call_after(when, self._do_write, arg=(obj, delta))
+            if node == node_id and when > from_time:
+                clock.call_at(when, self._do_write, arg=(obj, delta))
         for when, node, obj in self.spec.resolutions:
-            if node == node_id:
-                clock.call_after(
-                    when, self.middlewares[obj].demand_active_resolution)
-        clock.call_after(self.spec.truncate_at, self._do_truncate)
+            if node == node_id and when > from_time:
+                clock.call_at(when, self._do_resolution, arg=obj)
+        if self.spec.truncate_at > from_time:
+            clock.call_at(self.spec.truncate_at, self._do_truncate)
         if self.gossip is not None:
             self.gossip.start()
 
+    # The alive guards below are the client's view of crash-stop: a fault
+    # plan that downs this node means no client can reach it, so schedule
+    # entries landing in the downtime are neither attempted nor counted —
+    # on the live backend the process is simply gone at those instants.
     def _do_write(self, write: Tuple[str, float]) -> None:
+        if not self.node.alive:
+            return
         obj, delta = write
         self.writes_attempted[obj] += 1
         outcome = self.middlewares[obj].write(
@@ -204,7 +217,14 @@ class NodeStack:
         if outcome is not None:
             self.writes_applied[obj] += 1
 
+    def _do_resolution(self, obj: str) -> None:
+        if not self.node.alive:
+            return
+        self.middlewares[obj].demand_active_resolution()
+
     def _do_truncate(self) -> None:
+        if not self.node.alive:
+            return
         for obj, middleware in self.middlewares.items():
             self.folded[obj] = middleware.truncate_stable(self.spec.nodes,
                                                           keep_window=0.0)
@@ -242,10 +262,18 @@ class NodeStack:
 # simulator backend (the oracle)
 # --------------------------------------------------------------------------
 
-def run_sim_scenario(spec: ScenarioSpec, *,
-                     latency: float = 0.02) -> Dict[str, Dict[str, Any]]:
+def run_sim_scenario(spec: ScenarioSpec, *, latency: float = 0.02,
+                     fault_plan: Any = None) -> Dict[str, Dict[str, Any]]:
     """Run the spec on the discrete-event simulator; returns per-node
-    outcomes keyed by node id."""
+    outcomes keyed by node id.
+
+    With a ``fault_plan`` (:class:`~repro.scenarios.plan.FaultPlan`) the
+    plan's actions are scheduled on simulated time: crashes call
+    ``node.fail()``, recoveries ``node.recover()``, partitions/heals/loss
+    changes go to the network — the sim half of the fault-tolerant oracle
+    (the live half delivers the same plan as signals and control-channel
+    rules; see :mod:`repro.live.chaos`).
+    """
     from repro.sim.clock import ClockModel
     from repro.sim.engine import Simulator
     from repro.sim.latency import FixedLatencyModel
@@ -273,6 +301,32 @@ def run_sim_scenario(spec: ScenarioSpec, *,
     for stack in stacks.values():
         stack.gossip = gossip
         stack.schedule()
+    if fault_plan is not None:
+        from repro.scenarios.plan import (CRASH, HEAL, PARTITION, RECOVER,
+                                          RESTORE_LOSS, SET_LOSS)
+
+        fault_plan.validate(spec.nodes)
+        loss_stack: List[float] = []
+
+        def _apply_fault(action: Any) -> None:
+            if action.kind == CRASH:
+                stacks[action.node_id].node.fail()
+            elif action.kind == RECOVER:
+                stacks[action.node_id].node.recover()
+            elif action.kind == PARTITION:
+                network.partition(action.groups)
+            elif action.kind == HEAL:
+                network.heal()
+            elif action.kind == SET_LOSS:
+                loss_stack.append(network.loss_probability)
+                network.set_loss_probability(action.loss_probability)
+            elif action.kind == RESTORE_LOSS:
+                if loss_stack:
+                    network.set_loss_probability(loss_stack.pop())
+
+        for action in fault_plan.actions():
+            sim.call_at(action.time, _apply_fault, arg=action,
+                        label=f"fault:{action.kind}")
     sim.run(until=spec.duration)
     for stack in stacks.values():
         stack.shutdown()
@@ -306,12 +360,16 @@ def make_addresses(nodes: List[str], kind: str,
 def build_live_stack(spec: ScenarioSpec, node_id: str,
                      addresses: Dict[str, Address], *,
                      kind: str = "uds",
-                     loop: Optional[asyncio.AbstractEventLoop] = None
+                     loop: Optional[asyncio.AbstractEventLoop] = None,
+                     heartbeat_period: float = 0.0,
+                     max_queue_frames: Optional[int] = None
                      ) -> NodeStack:
     """Wire one live node: its own clock (as a real per-process deployment
     would have), transport, endpoint, and protocol stack."""
     clock = LiveClock(seed=spec.seed, loop=loop)
-    transport = LiveTransport(clock, addresses, kind=kind)
+    transport = LiveTransport(clock, addresses, kind=kind,
+                              heartbeat_period=heartbeat_period,
+                              max_queue_frames=max_queue_frames)
     node = LiveNode(clock, transport, node_id, processing_delay=0.0)
     stack = NodeStack(node, spec)
     # Per-node service: only the local node's digests leave this process
@@ -334,7 +392,7 @@ async def run_live_stack(stack: NodeStack) -> Dict[str, Any]:
     """Bring one live stack up, run its schedule to completion, tear down."""
     transport = stack.node.transport
     await transport.start()
-    stack.node.clock._t0 = stack.node.clock._loop.time()  # rebase: t=0 now
+    stack.node.clock.rebase()  # t=0 now
     stack.schedule()
     await asyncio.sleep(stack.spec.duration)
     stack.shutdown()
@@ -395,6 +453,79 @@ def oracle_diff(sim_outcomes: Dict[str, Dict[str, Any]],
                       for r in o["resolutions"])
     if sim_res != live_res:
         problems.append(f"resolutions: sim={sim_res!r} live={live_res!r}")
+    for label, outcomes in (("sim", sim_outcomes), ("live", live_outcomes)):
+        if sum(o["gossip_rounds"] for o in outcomes.values()) == 0:
+            problems.append(f"{label}: no gossip rounds ran")
+    return problems
+
+
+#: per-node keys compared on *surviving* nodes under a fault plan; these
+#: are pure functions of the schedule and the node's own liveness, so they
+#: must match even while peers crash and restart around them
+FAULT_ORACLE_KEYS = ("writes_attempted", "writes_applied", "detections_run")
+
+
+def fault_oracle_diff(sim_outcomes: Dict[str, Dict[str, Any]],
+                      live_outcomes: Dict[str, Dict[str, Any]],
+                      plan: Any) -> List[str]:
+    """Fault-tolerant oracle: compare sim and live runs of the same
+    (seed, spec, fault plan); returns human-readable mismatches.
+
+    What it holds equal and what it excuses follows the crash models of the
+    two backends.  A sim crash (``fail``/``recover``) keeps replica state
+    in memory; a live crash is a SIGKILL'd process whose supervised restart
+    comes back with *amnesia*.  So:
+
+    * **survivors** (nodes the plan never crashes) must match exactly on
+      writes attempted/applied and detections run — their workload is
+      untouched by peers' deaths;
+    * **resolutions** are compared as the multiset initiated by survivors
+      and observed on survivors;
+    * **recovered nodes** must show re-join evidence on the live side (an
+      outcome written by a ``--recovering`` incarnation, or a nonzero
+      restart count) — their counts are *not* compared, because crash
+      timing relative to schedule entries is wall-clock-dependent;
+    * **excluded everywhere**: ``final_counts`` and ``folded`` — a
+      restarted live node re-enters with an empty store, so merged vectors
+      and stability frontiers legitimately diverge from a sim whose
+      recovered nodes remember; and all timing-dependent quantities, as in
+      the fair-weather oracle.  Both sides must still show nonzero gossip.
+    """
+    problems: List[str] = []
+    crashed = {a.node_id for a in plan.crashes()}
+    recovered = {a.node_id for a in plan.recoveries()} & crashed
+    survivors = [n for n in sorted(sim_outcomes) if n not in crashed]
+    if not survivors:
+        return ["fault plan leaves no survivors to compare"]
+    for node_id in survivors:
+        live_o = live_outcomes.get(node_id)
+        if live_o is None:
+            problems.append(f"{node_id}: survivor wrote no live outcome")
+            continue
+        sim_o = sim_outcomes[node_id]
+        for key in FAULT_ORACLE_KEYS:
+            if sim_o[key] != live_o[key]:
+                problems.append(f"{node_id}.{key}: sim={sim_o[key]!r} "
+                                f"live={live_o[key]!r}")
+
+    def _survivor_resolutions(outcomes: Dict[str, Dict[str, Any]]) -> list:
+        keep = set(survivors)
+        return sorted(tuple(r) for n in survivors if n in outcomes
+                      for r in outcomes[n]["resolutions"] if r[1] in keep)
+
+    sim_res = _survivor_resolutions(sim_outcomes)
+    live_res = _survivor_resolutions(live_outcomes)
+    if sim_res != live_res:
+        problems.append(f"survivor resolutions: sim={sim_res!r} "
+                        f"live={live_res!r}")
+    for node_id in sorted(recovered):
+        live_o = live_outcomes.get(node_id)
+        if live_o is None:
+            problems.append(f"{node_id}: recovered node wrote no live outcome")
+        elif not (live_o.get("recovering")
+                  or live_o.get("restarts", 0) > 0):
+            problems.append(f"{node_id}: recovered node shows no restart "
+                            f"evidence (recovering flag / restarts)")
     for label, outcomes in (("sim", sim_outcomes), ("live", live_outcomes)):
         if sum(o["gossip_rounds"] for o in outcomes.values()) == 0:
             problems.append(f"{label}: no gossip rounds ran")

@@ -9,11 +9,34 @@ and moves messages as length-prefixed frames (:mod:`repro.live.wire`):
   ``clock.call_after(0, ...)`` — same queue-hop a simulated zero-latency
   delivery takes, so handlers never run re-entrantly inside ``send``;
 * a send to a **remote** id is encoded once and handed to a per-peer sender
-  task that lazily connects (with bounded retries, since peers come up in
-  arbitrary order) and streams frames over one long-lived connection;
+  task that lazily connects and streams frames over one long-lived
+  connection.  Connects and *re*-connects use capped, jittered exponential
+  backoff (:mod:`repro.live.backoff`): the first connect gives up after a
+  bounded window (a peer that never came up), an established connection
+  that drops is re-dialed forever (a supervised restart may bring the peer
+  back at any time).  The per-peer queue is **bounded**: while a peer is
+  down the oldest frame is evicted per new send and counted as a
+  ``queue-overflow`` drop, so memory stays flat instead of growing with
+  outage length;
 * each local endpoint with an address gets a listening server; inbound
   frames are decoded into :class:`~repro.transport.message.Message` objects
-  and dispatched to the endpoint's ``deliver``.
+  and dispatched to the endpoint's ``deliver``.  A single oversized or
+  malformed frame closes *that* connection with a counted ``frame-error``
+  drop — it never kills the server task;
+* :meth:`start_heartbeats` runs a liveness probe per remote peer (a cheap
+  connect/close at a jittered period).  ``heartbeat_misses`` consecutive
+  failures mark the peer down: sends to it become immediate counted
+  ``dst-down`` drops (the same crash-stop semantics sim ``Network`` gives a
+  failed node) and ``liveness_hooks`` / ``ProtocolEndpoint.peer_failed``
+  fire; one successful probe marks it back up and fires
+  ``peer_recovered``.
+
+The chaos control channel (:mod:`repro.live.chaos`) injects the sim fault
+taxonomy at this layer: :meth:`set_blocked_peers` turns sends to (and
+inbound frames from) the blocked set into counted ``partition`` drops, and
+:meth:`set_loss_probability` applies seeded Bernoulli ``loss`` drops at
+send time — the same drop reasons the simulated ``Network`` records, so
+``NetworkStats`` stays comparable across backends.
 
 Semantics mirror the simulated :class:`~repro.sim.network.Network` where a
 real network can honour them: sending to an id absent from the address book
@@ -21,17 +44,20 @@ and never registered locally raises ``KeyError`` (a wiring bug); sends
 involving known-but-down endpoints are counted drops (``src-down`` /
 ``dst-down`` / ``departed``), never errors.  What a real network cannot
 honour — deterministic latency, global delivery order — is exactly the
-divergence the conformance oracle excludes (DESIGN.md §13).
+divergence the conformance oracle excludes (DESIGN.md §13, §15).
 """
 
 from __future__ import annotations
 
 import asyncio
+import collections
 import contextlib
 import os
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (Any, Deque, Dict, Iterator, List, Optional, Sequence,
+                    Set, Tuple, Union)
 
 from repro.live import wire
+from repro.live.backoff import DEFAULT_CONNECT, DEFAULT_RECONNECT, BackoffPolicy
 from repro.live.clock import LiveClock
 from repro.transport.errors import TransportError
 from repro.transport.message import Message, NetworkStats
@@ -39,16 +65,29 @@ from repro.transport.message import Message, NetworkStats
 #: node address: a UNIX-socket path, or a ``(host, port)`` pair for TCP
 Address = Union[str, Tuple[str, int]]
 
+#: sends queued toward a peer while its connection is down are bounded to
+#: this many frames per peer; beyond it the oldest queued frame is evicted
+#: as a counted ``queue-overflow`` drop (override: $REPRO_LIVE_QUEUE_FRAMES)
+DEFAULT_QUEUE_FRAMES = 1024
+
+#: consecutive failed liveness probes before a peer is declared down
+DEFAULT_HEARTBEAT_MISSES = 3
+
 
 class _PeerLink:
-    """Outbound frame queue plus the sender task draining it."""
+    """Outbound bounded frame queue plus the sender task draining it."""
 
-    __slots__ = ("queue", "task")
+    __slots__ = ("frames", "event", "task", "writer", "connects", "closed")
 
-    def __init__(self, queue: "asyncio.Queue[Optional[bytes]]",
-                 task: "asyncio.Task[None]") -> None:
-        self.queue = queue
+    def __init__(self, task: "asyncio.Task[None]") -> None:
+        #: queued ``(protocol, frame)`` pairs — protocol kept so eviction and
+        #: send-failure drops are charged to the right protocol counter
+        self.frames: Deque[Tuple[str, bytes]] = collections.deque()
+        self.event = asyncio.Event()
         self.task = task
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.connects = 0          # successful connects (first + re-dials)
+        self.closed = False        # stop(): flush what is queued, then exit
 
 
 class LiveTransport:
@@ -56,14 +95,13 @@ class LiveTransport:
 
     DEFAULT_MESSAGE_BYTES = 1024
 
-    #: how long a sender task keeps retrying its first connect; deployments
-    #: start all processes concurrently, so early sends must tolerate peers
-    #: whose listening socket is not up yet
-    CONNECT_RETRY_WINDOW = 10.0
-    CONNECT_RETRY_DELAY = 0.05
-
     def __init__(self, clock: LiveClock, addresses: Dict[str, Address], *,
-                 kind: str = "uds") -> None:
+                 kind: str = "uds",
+                 connect_backoff: Optional[BackoffPolicy] = None,
+                 reconnect_backoff: Optional[BackoffPolicy] = None,
+                 max_queue_frames: Optional[int] = None,
+                 heartbeat_period: Optional[float] = None,
+                 heartbeat_misses: Optional[int] = None) -> None:
         if kind not in ("uds", "tcp"):
             raise TransportError(f"unknown transport kind {kind!r}")
         self.clock = clock
@@ -80,6 +118,45 @@ class LiveTransport:
         self._next_msg_id = 0
         self._closing = False
         self.delivery_hooks: List[Any] = []
+
+        # --- fault tolerance knobs (constructor beats environment) ---
+        self.connect_backoff = (connect_backoff if connect_backoff is not None
+                                else BackoffPolicy.from_env(
+                                    "REPRO_LIVE_CONNECT", DEFAULT_CONNECT))
+        self.reconnect_backoff = (reconnect_backoff
+                                  if reconnect_backoff is not None
+                                  else BackoffPolicy.from_env(
+                                      "REPRO_LIVE_RECONNECT",
+                                      DEFAULT_RECONNECT))
+        self.max_queue_frames = (
+            int(max_queue_frames) if max_queue_frames is not None
+            else int(os.environ.get("REPRO_LIVE_QUEUE_FRAMES",
+                                    DEFAULT_QUEUE_FRAMES)))
+        if self.max_queue_frames < 1:
+            raise TransportError("max_queue_frames must be >= 1")
+        if heartbeat_period is None:
+            raw = os.environ.get("REPRO_LIVE_HB_PERIOD", "")
+            heartbeat_period = float(raw) if raw else 0.0
+        self.heartbeat_period = float(heartbeat_period)
+        self.heartbeat_misses = (
+            int(heartbeat_misses) if heartbeat_misses is not None
+            else int(os.environ.get("REPRO_LIVE_HB_MISSES",
+                                    DEFAULT_HEARTBEAT_MISSES)))
+
+        #: successful re-dials of previously established connections,
+        #: summed over peers — the chaos CLI asserts this is nonzero after
+        #: a crash/restart plan
+        self.reconnects = 0
+        #: peers the liveness probe currently believes are crashed
+        self._peer_down: Set[str] = set()
+        #: callables ``hook(peer_id, alive)`` fired on liveness transitions
+        self.liveness_hooks: List[Any] = []
+        self._probe_tasks: List["asyncio.Task[None]"] = []
+
+        # --- chaos drop rules (pushed over the control channel) ---
+        self._blocked_peers: Set[str] = set()
+        self._loss_probability = 0.0
+        self._loss_rng: Optional[Any] = None
 
     # ------------------------------------------------------------ membership
     def register(self, node: Any) -> None:
@@ -121,11 +198,33 @@ class LiveTransport:
                     self._serve_connection, host=host, port=port)
             self._servers.append(server)
 
+    def start_heartbeats(self) -> None:
+        """Begin liveness probing of every remote peer in the address book.
+
+        Separate from :meth:`start` on purpose: deployments call it *after*
+        the ready barrier, so slow bring-up is never misread as a crash.
+        A ``heartbeat_period`` of 0 (the default) disables probing.
+        """
+        if self.heartbeat_period <= 0 or self._closing:
+            return
+        loop = asyncio.get_event_loop()
+        for peer_id, address in self.addresses.items():
+            if peer_id in self._nodes:
+                continue
+            self._probe_tasks.append(
+                loop.create_task(self._probe_loop(peer_id, address)))
+
     async def stop(self) -> None:
-        """Tear down sender tasks, inbound readers and listening servers."""
+        """Tear down probes, sender tasks, inbound readers and servers."""
         self._closing = True
+        for task in self._probe_tasks:
+            task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        self._probe_tasks.clear()
         for link in self._peers.values():
-            link.queue.put_nowait(None)  # sender sentinel: flush and exit
+            link.closed = True      # sender sentinel: flush and exit
+            link.event.set()
         for link in self._peers.values():
             with contextlib.suppress(asyncio.TimeoutError):
                 await asyncio.wait_for(link.task, timeout=2.0)
@@ -150,6 +249,71 @@ class LiveTransport:
                     with contextlib.suppress(OSError):
                         os.unlink(address)
 
+    # ------------------------------------------------------ chaos drop rules
+    def set_blocked_peers(self, peers: Sequence[str]) -> None:
+        """Partition rule: sends to (and frames from) ``peers`` become
+        counted ``partition`` drops, matching sim ``Network.partition``."""
+        self._blocked_peers = set(peers)
+
+    def set_loss_probability(self, probability: float) -> None:
+        """Bernoulli ``loss`` drops at send time, seeded from the clock's
+        random streams so a given (seed, sequence of sends) replays."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be within [0, 1]")
+        self._loss_probability = float(probability)
+
+    def _loss_draw(self) -> bool:
+        if self._loss_probability <= 0.0:
+            return False
+        if self._loss_rng is None:
+            self._loss_rng = self.clock.random.stream("live.chaos-loss")
+        return bool(self._loss_rng.uniform(0.0, 1.0)
+                    < self._loss_probability)
+
+    # --------------------------------------------------------------- liveness
+    @property
+    def down_peers(self) -> Set[str]:
+        return set(self._peer_down)
+
+    def _mark_peer(self, peer_id: str, *, alive: bool) -> None:
+        if alive:
+            if peer_id not in self._peer_down:
+                return
+            self._peer_down.discard(peer_id)
+        else:
+            if peer_id in self._peer_down:
+                return
+            self._peer_down.add(peer_id)
+        for hook in self.liveness_hooks:
+            hook(peer_id, alive)
+        for node in list(self._nodes.values()):
+            notify = getattr(
+                node, "peer_recovered" if alive else "peer_failed", None)
+            if notify is not None:
+                notify(peer_id)
+
+    async def _probe_loop(self, peer_id: str, address: Address) -> None:
+        missed = 0
+        rng = self.clock.random.stream(f"live.hb.{peer_id}")
+        while not self._closing:
+            # jittered period: probes across the fleet de-synchronise
+            await asyncio.sleep(
+                self.heartbeat_period * float(rng.uniform(0.85, 1.15)))
+            try:
+                _, writer = await asyncio.wait_for(
+                    self._connect(address), timeout=self.heartbeat_period * 2)
+                writer.close()
+                with contextlib.suppress(ConnectionError, OSError):
+                    await writer.wait_closed()
+            except (ConnectionError, OSError, FileNotFoundError,
+                    asyncio.TimeoutError):
+                missed += 1
+                if missed >= self.heartbeat_misses:
+                    self._mark_peer(peer_id, alive=False)
+                continue
+            missed = 0
+            self._mark_peer(peer_id, alive=True)
+
     # ---------------------------------------------------------------- sending
     def send(self, src: str, dst: str, *, protocol: str, msg_type: str,
              payload: Any = None,
@@ -161,6 +325,19 @@ class LiveTransport:
                 raise KeyError(f"source node {src!r} is not registered")
             self._drop(protocol, size, "src-down")
             return None
+        if dst not in self._nodes and dst not in self.addresses:
+            raise KeyError(f"destination node {dst!r} is not registered")
+        if dst in self._blocked_peers:
+            self._drop(protocol, size, "partition")
+            return None
+        if self._loss_draw():
+            self._drop(protocol, size, "loss")
+            return None
+        if dst in self._peer_down:
+            # crash-stop as observed from here: the peer is gone, sends to
+            # it degrade to counted drops exactly like sim's failed nodes
+            self._drop(protocol, size, "dst-down")
+            return None
         stats = self.stats
         if dst in self._nodes:
             # Local fast path: one queue hop through the clock, mirroring a
@@ -171,8 +348,6 @@ class LiveTransport:
                                          payload, size)
             self.clock.call_after(0.0, self._deliver_local, arg=message)
             return message
-        if dst not in self.addresses:
-            raise KeyError(f"destination node {dst!r} is not registered")
         stats.sent[protocol] += 1
         stats.bytes_sent[protocol] += size
         try:
@@ -182,7 +357,7 @@ class LiveTransport:
             self.stats.dropped[protocol] += 1
             self.stats.drop_reasons["encode-error"] += 1
             raise
-        self._peer(dst).queue.put_nowait(frame)
+        self._enqueue(dst, protocol, frame)
         return self._make_message(src, dst, protocol, msg_type, payload, size)
 
     def send_many(self, src: str, dsts: Sequence[str], *, protocol: str,
@@ -209,6 +384,12 @@ class LiveTransport:
         stats.dropped[protocol] += 1
         stats.drop_reasons[reason] += 1
 
+    def _count_drop(self, protocol: str, reason: str) -> None:
+        """A frame already counted as sent failed later (queue eviction,
+        connection loss): charge only the drop, never re-count the send."""
+        self.stats.dropped[protocol] += 1
+        self.stats.drop_reasons[reason] += 1
+
     # ------------------------------------------------------- local delivery
     def _deliver_local(self, message: Message) -> None:
         node = self._nodes.get(message.dst)
@@ -222,13 +403,20 @@ class LiveTransport:
         node.deliver(message)
 
     # ------------------------------------------------------- outbound peers
+    def _enqueue(self, dst: str, protocol: str, frame: bytes) -> None:
+        link = self._peer(dst)
+        if len(link.frames) >= self.max_queue_frames:
+            evicted_protocol, _ = link.frames.popleft()
+            self._count_drop(evicted_protocol, "queue-overflow")
+        link.frames.append((protocol, frame))
+        link.event.set()
+
     def _peer(self, dst: str) -> _PeerLink:
         link = self._peers.get(dst)
         if link is None:
-            queue: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
-            task = asyncio.get_event_loop().create_task(
-                self._sender_loop(dst, queue))
-            link = self._peers[dst] = _PeerLink(queue, task)
+            link = _PeerLink(asyncio.get_event_loop().create_task(
+                self._sender_loop(dst)))
+            self._peers[dst] = link
         return link
 
     async def _connect(self, address: Address):
@@ -237,45 +425,70 @@ class LiveTransport:
         host, port = address
         return await asyncio.open_connection(host=host, port=port)
 
-    async def _sender_loop(self, dst: str,
-                           queue: "asyncio.Queue[Optional[bytes]]") -> None:
+    async def _sender_loop(self, dst: str) -> None:
         address = self.addresses[dst]
-        writer: Optional[asyncio.StreamWriter] = None
+        # seeded per-peer jitter: same (seed, peer) replays the same backoff
+        rng = self.clock.random.stream(f"live.backoff.{dst}")
+        link: Optional[_PeerLink] = None
         try:
             while True:
-                frame = await queue.get()
-                if frame is None:
-                    break
-                if writer is None:
-                    writer = await self._connect_with_retry(address)
-                if writer is None:
-                    self.stats.dropped["live"] += 1
-                    self.stats.drop_reasons["dst-down"] += 1
+                link = self._peers[dst]
+                while not link.frames and not link.closed:
+                    link.event.clear()
+                    await link.event.wait()
+                if not link.frames:
+                    break  # closed and fully drained
+                protocol, frame = link.frames.popleft()
+                if link.writer is None:
+                    link.writer = await self._connect_with_backoff(
+                        link, address, rng)
+                if link.writer is None:
+                    self._count_drop(protocol, "dst-down")
                     continue
                 try:
-                    writer.write(frame)
-                    await writer.drain()
+                    link.writer.write(frame)
+                    await link.writer.drain()
                 except (ConnectionError, OSError):
-                    writer = None
-                    self.stats.dropped["live"] += 1
-                    self.stats.drop_reasons["dst-down"] += 1
+                    # established connection gone: drop this frame, re-dial
+                    # (with the reconnect policy) before the next one
+                    await self._close_writer(link)
+                    self._count_drop(protocol, "conn-lost")
         finally:
-            if writer is not None:
-                writer.close()
-                with contextlib.suppress(ConnectionError, OSError):
-                    await writer.wait_closed()
+            if link is not None:
+                await self._close_writer(link)
 
-    async def _connect_with_retry(
-            self, address: Address) -> Optional[asyncio.StreamWriter]:
-        deadline = self.clock.now + self.CONNECT_RETRY_WINDOW
+    async def _close_writer(self, link: _PeerLink) -> None:
+        writer, link.writer = link.writer, None
+        if writer is not None:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def _connect_with_backoff(
+            self, link: _PeerLink, address: Address,
+            rng: Any) -> Optional[asyncio.StreamWriter]:
+        """Dial ``address`` under the connect policy (first ever connect,
+        bounded give-up window) or the reconnect policy (a previously
+        established connection dropped; retry until closed)."""
+        policy = (self.connect_backoff if link.connects == 0
+                  else self.reconnect_backoff)
+        delays: Iterator[float] = policy.delays(rng)
+        started = self.clock.now
         while not self._closing:
             try:
                 _, writer = await self._connect(address)
-                return writer
             except (ConnectionError, OSError, FileNotFoundError):
-                if self.clock.now >= deadline:
+                delay = next(delays)
+                if (policy.max_elapsed is not None
+                        and self.clock.now + delay - started
+                        > policy.max_elapsed):
                     return None
-                await asyncio.sleep(self.CONNECT_RETRY_DELAY)
+                await asyncio.sleep(delay)
+                continue
+            link.connects += 1
+            if link.connects > 1:
+                self.reconnects += 1
+            return writer
         return None
 
     # -------------------------------------------------------- inbound frames
@@ -291,8 +504,23 @@ class LiveTransport:
                     body = await wire.read_frame(reader)
                 except (asyncio.IncompleteReadError, ConnectionError, OSError):
                     break
-                (src, dst, protocol, msg_type, payload, size_bytes,
-                 _sent_at) = wire.decode_envelope(body)
+                except wire.WireError:
+                    # oversized/corrupt frame: close THIS connection with a
+                    # counted drop; the server task and every other peer's
+                    # connection stay up
+                    self._count_drop("live", "frame-error")
+                    break
+                try:
+                    (src, dst, protocol, msg_type, payload, size_bytes,
+                     _sent_at) = wire.decode_envelope(body)
+                except wire.WireError:
+                    self._count_drop("live", "frame-error")
+                    break
+                if src in self._blocked_peers:
+                    # frames in flight when the partition rule landed, or
+                    # from a peer that has not received its rule yet
+                    self._count_drop(protocol, "partition")
+                    continue
                 message = Message(
                     msg_id=self._next_msg_id, src=src, dst=dst,
                     protocol=protocol, msg_type=msg_type, payload=payload,

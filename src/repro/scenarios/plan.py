@@ -43,6 +43,26 @@ class FaultAction:
     groups: Optional[Tuple[Tuple[str, ...], ...]] = None
     loss_probability: Optional[float] = None
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe); inverse of :meth:`from_dict`."""
+        data: dict = {"time": self.time, "kind": self.kind}
+        if self.node_id is not None:
+            data["node_id"] = self.node_id
+        if self.groups is not None:
+            data["groups"] = [list(g) for g in self.groups]
+        if self.loss_probability is not None:
+            data["loss_probability"] = self.loss_probability
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultAction":
+        groups = data.get("groups")
+        return cls(time=float(data["time"]), kind=str(data["kind"]),
+                   node_id=data.get("node_id"),
+                   groups=(None if groups is None
+                           else tuple(tuple(g) for g in groups)),
+                   loss_probability=data.get("loss_probability"))
+
     def describe(self) -> str:
         if self.kind == CRASH:
             return f"t={self.time:g}s crash {self.node_id}"
@@ -261,10 +281,37 @@ class FaultPlan:
             self._add(action)
         return self
 
+    # ---------------------------------------------------------- serialisation
+    def to_dict(self) -> dict:
+        """Plain-data form: the action list in application order.
+
+        This is the interchange format between the sim injector and the
+        live chaos controller — a plan authored once (or loaded from a JSON
+        file) replays against either backend.
+        """
+        return {"actions": [a.to_dict() for a in self.actions()]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls()
+        for raw in data.get("actions", []):
+            plan._add(FaultAction.from_dict(raw))
+        return plan
+
     # -------------------------------------------------------------- querying
     def actions(self) -> List[FaultAction]:
         """Actions in application order: by time, insertion order on ties."""
         return sorted(self._actions, key=lambda a: a.time)
+
+    def window(self, after: float, until: float) -> List[FaultAction]:
+        """Actions due in ``(after, until]``, in application order.
+
+        A wall-clock scheduler (the live chaos controller) ticks at its own
+        cadence and applies each tick's window exactly once: half-open
+        bounds make consecutive windows partition the timeline, so no
+        action is ever applied twice or skipped between ticks.
+        """
+        return [a for a in self.actions() if after < a.time <= until]
 
     def __iter__(self) -> Iterator[FaultAction]:
         return iter(self.actions())

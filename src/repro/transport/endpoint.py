@@ -78,6 +78,12 @@ class ProtocolEndpoint:
         #: resetting its in-flight state when its host crashes)
         self.fail_hooks: List[Callable[[], None]] = []
         self.recover_hooks: List[Callable[[], None]] = []
+        #: observers of *remote* liveness transitions — fed by transports
+        #: that can detect peer crashes (the live backend's heartbeat probe
+        #: calls ``peer_failed``/``peer_recovered``; sim code may call them
+        #: from a failure-detector model).  Hooks take the peer id.
+        self.peer_fail_hooks: List[Callable[[str], None]] = []
+        self.peer_recover_hooks: List[Callable[[str], None]] = []
         transport.register(self)
         self.register_handler("__rpc_request__", self._handle_rpc_request)
         self.register_handler("__rpc_response__", self._handle_rpc_response)
@@ -122,6 +128,16 @@ class ProtocolEndpoint:
                 timer.start()
         for hook in self.recover_hooks:
             hook()
+
+    def peer_failed(self, peer_id: str) -> None:
+        """A remote peer was observed to crash (transport liveness probe)."""
+        for hook in self.peer_fail_hooks:
+            hook(peer_id)
+
+    def peer_recovered(self, peer_id: str) -> None:
+        """A previously crashed remote peer is reachable again."""
+        for hook in self.peer_recover_hooks:
+            hook(peer_id)
 
     def adopt_timer(self, timer: Any) -> None:
         """Tie a :class:`~repro.transport.timers.PeriodicTimer` to this life.

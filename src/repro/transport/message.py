@@ -59,8 +59,13 @@ class NetworkStats:
         self.delivered: Counter = Counter(delivered or {})
         self.dropped: Counter = Counter(dropped or {})
         self.bytes_sent: Counter = Counter(bytes_sent or {})
-        #: why messages were dropped: "loss", "partition", "dst-down",
-        #: "src-down", "departed" (destination crashed while in flight)
+        #: why messages were dropped: "loss", "link-loss", "partition",
+        #: "dst-down", "src-down", "departed" (destination crashed while in
+        #: flight), "encode-error"; live-only reasons: "queue-overflow" (a
+        #: bounded per-peer queue evicted its oldest frame while the peer
+        #: was down), "conn-lost" (an established connection died mid-send),
+        #: "frame-error" (an oversized/malformed inbound frame closed that
+        #: one connection)
         self.drop_reasons: Counter = Counter()
 
     # Convenience recorders for external instrumentation; Network's own send

@@ -1,0 +1,436 @@
+"""Fault-tolerant live mode: supervision, chaos replay, and the
+fault-tolerant oracle.
+
+Covers the pieces individually — FaultPlan serialisation and windowing,
+the builtin plan catalog, the control channel, the sim fault scenario,
+``fault_oracle_diff`` — and then end to end: a multiprocess deployment with
+a chaos controller SIGKILLing and restarting real node processes while the
+same plan runs on the simulator, plus unplanned-crash supervision and
+idempotent teardown (DESIGN.md §15).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import copy
+import json
+import os
+import signal
+import time
+from typing import Any, Dict
+
+import pytest
+
+from repro.experiments.conformance import run_conformance_experiment
+from repro.live.chaos import (LiveFaultController, builtin_plan,
+                              resolve_plan)
+from repro.live.control import ControlClient, ControlError, ControlServer
+from repro.live.deployment import (LiveDeployment, RestartPolicy,
+                                   describe_exit)
+from repro.live.scenario import (default_scenario, fault_oracle_diff,
+                                 run_sim_scenario)
+from repro.scenarios.plan import FaultAction, FaultPlan
+from repro.transport.message import NetworkStats
+
+
+# --------------------------------------------------------------------------
+# FaultPlan serialisation + windowing (the live-controller interchange)
+# --------------------------------------------------------------------------
+
+def full_plan() -> FaultPlan:
+    plan = FaultPlan()
+    plan.partition([["a", "b"], ["c", "d"]], at=0.5)
+    plan.set_loss(0.1, at=0.8)
+    plan.crash("c", at=1.0)
+    plan.heal(at=1.5)
+    plan.recover("c", at=2.0)
+    plan.loss_burst(at=2.5, duration=0.5, loss_probability=0.3)
+    return plan
+
+
+class TestFaultPlanInterchange:
+    def test_roundtrips_through_json(self):
+        plan = full_plan()
+        data = json.loads(json.dumps(plan.to_dict()))
+        restored = FaultPlan.from_dict(data)
+        assert restored.to_dict() == plan.to_dict()
+        assert [a.describe() for a in restored.actions()] == \
+            [a.describe() for a in plan.actions()]
+
+    def test_action_dict_omits_unused_fields(self):
+        crash = FaultAction(time=1.0, kind="crash", node_id="x")
+        assert crash.to_dict() == {"time": 1.0, "kind": "crash",
+                                   "node_id": "x"}
+        assert FaultAction.from_dict(crash.to_dict()) == crash
+
+    def test_windows_partition_the_timeline(self):
+        """Half-open ``(after, until]`` windows: consecutive ticks apply
+        every action exactly once, no matter where the tick edges land."""
+        plan = full_plan()
+        edges = [0.0, 0.5, 0.9, 1.0, 1.7, 2.5, 10.0]
+        applied = [a for lo, hi in zip(edges, edges[1:])
+                   for a in plan.window(lo, hi)]
+        assert applied == plan.actions()
+
+    def test_window_boundaries_are_half_open(self):
+        plan = FaultPlan().crash("a", at=1.0)
+        assert plan.window(0.0, 1.0) == plan.actions()  # inclusive right
+        assert plan.window(1.0, 2.0) == []              # exclusive left
+
+
+class TestBuiltinPlans:
+    NODES = [f"n{i:02d}" for i in range(8)]
+
+    def test_churn_kills_a_quarter_from_the_tail(self):
+        plan = builtin_plan("churn", self.NODES, time_scale=1.0)
+        crashed = {a.node_id for a in plan.crashes()}
+        # 25 % of 8 nodes, taken from the tail so resolution initiators
+        # (the head of the list) survive.
+        assert crashed == {"n06", "n07"}
+        assert {a.node_id for a in plan.recoveries()} == crashed
+        kinds = [a.kind for a in plan.actions()]
+        assert "partition" in kinds and "heal" in kinds
+
+    def test_fault_windows_avoid_the_resolution_phase(self):
+        """Crashes must clear the demanded resolutions (2.0–2.15 plus
+        non-scaling protocol rounds); the partition window must close
+        before them."""
+        for ts in (0.6, 1.0, 2.0):
+            plan = builtin_plan("churn", self.NODES, time_scale=ts)
+            heal = next(a for a in plan.actions() if a.kind == "heal")
+            assert heal.time < 2.0 * ts
+            for crash in plan.crashes():
+                assert crash.time >= 2.5 * ts
+
+    def test_kill_and_partition_are_subsets_of_churn(self):
+        kill = builtin_plan("kill", self.NODES)
+        assert all(a.kind in ("crash", "recover") for a in kill.actions())
+        part = builtin_plan("partition", self.NODES)
+        assert all(a.kind in ("partition", "heal") for a in part.actions())
+        assert not part.crashes()
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            builtin_plan("meteor-strike", self.NODES)
+
+    def test_resolve_plan_loads_json_files(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(full_plan().to_dict()), encoding="utf-8")
+        restored = resolve_plan(str(path), self.NODES)
+        assert restored.to_dict() == full_plan().to_dict()
+
+    def test_resolve_plan_falls_back_to_builtins(self):
+        plan = resolve_plan("kill", self.NODES, time_scale=1.0)
+        assert plan.crashes()
+
+
+# --------------------------------------------------------------------------
+# control channel: parent-side client against an in-loop server
+# --------------------------------------------------------------------------
+
+class FakeTransport:
+    """Just enough surface for ControlServer: drop rules + introspection."""
+
+    def __init__(self) -> None:
+        self.blocked: Any = None
+        self.loss: Any = None
+        self.stats = NetworkStats()
+        self.reconnects = 3
+
+        class _Clock:
+            now = 1.5
+        self.clock = _Clock()
+
+    def set_blocked_peers(self, peers) -> None:
+        self.blocked = sorted(peers)
+
+    def set_loss_probability(self, probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("loss probability must be within [0, 1]")
+        self.loss = probability
+
+
+def test_control_round_trip(tmp_path):
+    transport = FakeTransport()
+    address = str(tmp_path / "n00.sock")
+    server = ControlServer(transport, "n00", address)
+    client = ControlClient(address, timeout=5.0)
+
+    async def _go() -> Dict[str, Any]:
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def _call(request):
+            return loop.run_in_executor(None, client.call, request)
+
+        await _call({"op": "partition", "blocked": ["n02", "n01"]})
+        await _call({"op": "set_loss", "probability": 0.25})
+        pong = await _call({"op": "ping"})
+        await _call({"op": "heal"})
+        await server.stop()
+        return pong
+
+    pong = asyncio.run(_go())
+    assert transport.loss == 0.25
+    assert transport.blocked == []  # heal cleared the partition rule
+    assert pong["node_id"] == "n00"
+    assert pong["reconnects"] == 3
+    assert pong["now"] == 1.5
+    assert "drop_reasons" in pong["stats"]
+
+
+def test_control_errors_are_replies_not_crashes(tmp_path):
+    """A bad request gets an ``ok: False`` reply (raised client-side as
+    ControlError); the server keeps answering afterwards."""
+    transport = FakeTransport()
+    address = str(tmp_path / "n00.sock")
+    server = ControlServer(transport, "n00", address)
+    client = ControlClient(address, timeout=5.0)
+
+    async def _go():
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for bad in ({"op": "warp-core-breach"},
+                    {"op": "set_loss", "probability": 7.0}):
+            with pytest.raises(ControlError):
+                await loop.run_in_executor(None, client.call, bad)
+        pong = await loop.run_in_executor(None, client.call, {"op": "ping"})
+        await server.stop()
+        return pong
+
+    assert asyncio.run(_go())["ok"] is True
+
+
+def test_control_client_raises_when_nobody_listens(tmp_path):
+    client = ControlClient(str(tmp_path / "nope.sock"), timeout=0.2)
+    with pytest.raises(ControlError):
+        client.call({"op": "ping"})
+
+
+# --------------------------------------------------------------------------
+# the sim half: fault plans on simulated time
+# --------------------------------------------------------------------------
+
+class TestSimFaultScenario:
+    def test_fault_runs_are_deterministic(self):
+        spec = default_scenario(4, 2, seed=7, time_scale=1.0)
+        plan = builtin_plan("churn", spec.nodes, time_scale=1.0)
+        assert run_sim_scenario(spec, fault_plan=plan) == \
+            run_sim_scenario(spec, fault_plan=plan)
+
+    def test_crashed_nodes_miss_their_downtime_writes(self):
+        spec = default_scenario(4, 2, seed=7, time_scale=1.0)
+        plan = builtin_plan("kill", spec.nodes, time_scale=1.0)
+        fair = run_sim_scenario(spec)
+        faulty = run_sim_scenario(spec, fault_plan=plan)
+        victims = {a.node_id for a in plan.crashes()}
+        for node_id in victims:
+            assert sum(faulty[node_id]["writes_attempted"].values()) < \
+                sum(fair[node_id]["writes_attempted"].values())
+        # Survivors' workloads are untouched by their peers' deaths.
+        for node_id in set(spec.nodes) - victims:
+            assert faulty[node_id]["writes_attempted"] == \
+                fair[node_id]["writes_attempted"]
+
+
+# --------------------------------------------------------------------------
+# fault_oracle_diff: what it holds equal and what it excuses
+# --------------------------------------------------------------------------
+
+class TestFaultOracleDiff:
+    @pytest.fixture()
+    def sim_and_plan(self):
+        spec = default_scenario(4, 2, seed=7, time_scale=1.0)
+        plan = builtin_plan("kill", spec.nodes, time_scale=1.0)
+        return run_sim_scenario(spec, fault_plan=plan), plan
+
+    @staticmethod
+    def as_live(sim: Dict[str, Dict[str, Any]],
+                plan: FaultPlan) -> Dict[str, Dict[str, Any]]:
+        """A sim run dressed as a live one: recovered nodes carry the
+        re-join evidence a supervised restart leaves behind."""
+        live = copy.deepcopy(sim)
+        for action in plan.recoveries():
+            live[action.node_id]["recovering"] = True
+            live[action.node_id]["restarts"] = 1
+        return live
+
+    def test_matching_runs_produce_no_problems(self, sim_and_plan):
+        sim, plan = sim_and_plan
+        assert fault_oracle_diff(sim, self.as_live(sim, plan), plan) == []
+
+    def test_flags_survivor_count_mismatch(self, sim_and_plan):
+        sim, plan = sim_and_plan
+        live = self.as_live(sim, plan)
+        survivor = next(n for n in sorted(sim)
+                        if n not in {a.node_id for a in plan.crashes()})
+        live[survivor]["writes_applied"]["obj0"] += 1
+        problems = fault_oracle_diff(sim, live, plan)
+        assert any("writes_applied" in p and survivor in p for p in problems)
+
+    def test_excuses_recovered_node_counts_but_not_evidence(self,
+                                                            sim_and_plan):
+        sim, plan = sim_and_plan
+        victim = plan.crashes()[0].node_id
+        live = self.as_live(sim, plan)
+        # Amnesia: a restarted node's counts may differ — not a problem.
+        live[victim]["writes_applied"]["obj0"] = 0
+        live[victim]["final_counts"] = {}
+        assert fault_oracle_diff(sim, live, plan) == []
+        # But missing re-join evidence is.
+        live[victim]["recovering"] = False
+        live[victim]["restarts"] = 0
+        problems = fault_oracle_diff(sim, live, plan)
+        assert any("restart" in p and victim in p for p in problems)
+
+    def test_flags_missing_survivor_outcome(self, sim_and_plan):
+        sim, plan = sim_and_plan
+        live = self.as_live(sim, plan)
+        survivor = next(n for n in sorted(sim)
+                        if n not in {a.node_id for a in plan.crashes()})
+        del live[survivor]
+        problems = fault_oracle_diff(sim, live, plan)
+        assert any(survivor in p and "no live outcome" in p
+                   for p in problems)
+
+    def test_no_survivors_is_its_own_problem(self, sim_and_plan):
+        sim, _ = sim_and_plan
+        everyone = FaultPlan()
+        for node_id in sim:
+            everyone.crash(node_id, at=1.0)
+        assert fault_oracle_diff(sim, sim, everyone) == \
+            ["fault plan leaves no survivors to compare"]
+
+
+# --------------------------------------------------------------------------
+# end to end: real processes, real signals, supervised restarts
+# --------------------------------------------------------------------------
+
+def _await_epoch(deployment: LiveDeployment, timeout: float = 20.0) -> None:
+    """Block until every node is past the barrier (epoch files exist)."""
+    deadline = time.monotonic() + timeout
+    paths = [os.path.join(deployment.rundir, "epoch", n)
+             for n in deployment.spec.nodes]
+    while not all(os.path.exists(p) for p in paths):
+        deployment.poll()
+        if time.monotonic() > deadline:
+            raise AssertionError("deployment never reached the barrier")
+        time.sleep(0.02)
+
+
+class TestChaosEndToEnd:
+    def test_kill_plan_matches_fault_tolerant_oracle(self):
+        """The acceptance path in miniature: a multiprocess deployment,
+        SIGKILL + supervised restart mid-run, fault-tolerant oracle match
+        (raises ConformanceError on any divergence)."""
+        result = run_conformance_experiment(
+            backend="live", num_nodes=4, num_objects=2, seed=7,
+            transport="uds", time_scale=1.0, fault_plan="kill")
+        assert result["oracle_problems"] == []
+        assert result["chaos"]["rejoins"] >= 1
+        assert result["chaos"]["reconnects"] > 0
+        victim = "n03"  # kill takes victims from the tail
+        outcome = result["outcomes"][victim]
+        assert outcome["recovering"] is True
+        assert "SIGKILL" in outcome["exit_status"]
+
+    def test_controller_timeline_records_every_action(self, tmp_path):
+        spec = default_scenario(3, 1, seed=5, time_scale=0.6)
+        plan = builtin_plan("partition", spec.nodes, time_scale=0.6)
+        deployment = LiveDeployment(spec, str(tmp_path), kind="uds",
+                                    restart_policy=RestartPolicy())
+        controller = LiveFaultController(deployment, plan)
+        try:
+            deployment.start()
+            deployment.wait(on_tick=controller.tick)
+        finally:
+            deployment.terminate()
+            controller.write_timeline(str(tmp_path / "timeline.json"))
+        assert controller.done()
+        applied = [e for e in controller.timeline
+                   if e["action"]["kind"] in ("partition", "heal")]
+        assert [e["action"]["kind"] for e in applied] == \
+            ["partition", "heal"]
+        # every applied rule-push reached every running node
+        assert all(all(e.get("pushed", {}).values()) for e in applied)
+        dumped = json.loads((tmp_path / "timeline.json").read_text())
+        assert dumped["plan"] == plan.to_dict()
+        assert len(dumped["timeline"]) == len(controller.timeline)
+
+
+class TestSupervision:
+    def test_unplanned_crash_is_restarted_within_budget(self, tmp_path):
+        """A node SIGKILLed outside any plan: the supervisor respawns it
+        with ``--recovering`` and the deployment still completes, exit
+        history and restart count in the outcome."""
+        spec = default_scenario(3, 2, seed=11, time_scale=0.8)
+        deployment = LiveDeployment(spec, str(tmp_path), kind="uds",
+                                    restart_policy=RestartPolicy(
+                                        max_restarts=2))
+        victim = spec.nodes[-1]
+        try:
+            deployment.start()
+            _await_epoch(deployment)
+            time.sleep(0.3)
+            deployment.kill_node(victim, sig=signal.SIGKILL, hold=False)
+            outcomes = deployment.wait()
+        finally:
+            deployment.terminate()
+        assert outcomes[victim]["recovering"] is True
+        assert outcomes[victim]["restarts"] >= 1
+        assert outcomes[victim]["exit_status"][0] == "SIGKILL"
+        assert outcomes[victim]["exit_status"][-1] == "exit 0"
+        for node_id in spec.nodes[:-1]:
+            assert outcomes[node_id]["exit_status"] == ["exit 0"]
+            assert outcomes[node_id]["restarts"] == 0
+
+    def test_held_nodes_stay_down_until_ordered_back(self, tmp_path):
+        """kill_node(hold=True) pins a node down even under a restart
+        policy — the chaos contract that makes plan downtime windows
+        honest — and restart_node brings it back."""
+        spec = default_scenario(3, 1, seed=2, time_scale=1.0)
+        deployment = LiveDeployment(spec, str(tmp_path), kind="uds",
+                                    restart_policy=RestartPolicy())
+        victim = spec.nodes[-1]
+        try:
+            deployment.start()
+            _await_epoch(deployment)
+            deployment.kill_node(victim, hold=True)
+            time.sleep(0.8)
+            deployment.poll()
+            assert not deployment.is_running(victim)
+            assert deployment.report()[victim]["state"] == "held-down"
+            deployment.restart_node(victim, recovering=True)
+            time.sleep(0.5)
+            assert deployment.is_running(victim)
+            outcomes = deployment.wait(require_all_outcomes=False)
+        finally:
+            deployment.terminate()
+        assert outcomes[victim]["restarts"] == 1
+
+
+class TestTeardownAndReport:
+    def test_terminate_is_idempotent_and_report_always_has_status(
+            self, tmp_path):
+        spec = default_scenario(2, 1, seed=3, time_scale=1.0)
+        deployment = LiveDeployment(spec, str(tmp_path), kind="uds")
+        deployment.start()
+        _await_epoch(deployment)
+        deployment.terminate()
+        deployment.terminate()  # second call must be a no-op
+        report = deployment.report()
+        assert set(report) == set(spec.nodes)
+        for node_id, entry in report.items():
+            # exit status (code or signal name) is always present
+            assert entry["exit_status"] in ("SIGTERM", "exit 0")
+            assert entry["exits"]  # full history, no duplicates
+            assert len(entry["exits"]) == 1
+            if entry["exit_status"] != "exit 0":
+                assert "log_tail" in entry
+            assert not deployment.is_running(node_id)
+
+    def test_describe_exit_names_signals(self):
+        assert describe_exit(0) == "exit 0"
+        assert describe_exit(2) == "exit 2"
+        assert describe_exit(-signal.SIGKILL) == "SIGKILL"
+        assert describe_exit(-signal.SIGTERM) == "SIGTERM"

@@ -275,3 +275,61 @@ def test_oversized_frame_refused():
     with pytest.raises(wire.WireError):
         wire.encode_envelope("a", "b", "p", "t",
                              "x" * (wire.MAX_FRAME_BYTES + 1), 0, 0.0)
+
+
+# --------------------------------------------------------------------------
+# inbound hardening: a bad frame kills one connection, never the server
+# --------------------------------------------------------------------------
+
+def test_bad_inbound_frames_close_only_their_connection(tmp_path):
+    """Regression: a header claiming more than ``MAX_FRAME_BYTES`` (or a
+    malformed body) must close *that* connection with a counted
+    ``frame-error`` drop — the listening server and every other peer's
+    connection stay up and later frames still deliver."""
+    import asyncio
+
+    from repro.live.clock import LiveClock
+    from repro.live.node import LiveNode
+    from repro.live.transport import LiveTransport
+
+    loop = asyncio.new_event_loop()
+    address = str(tmp_path / "b.sock")
+    clock = LiveClock(seed=1, loop=loop)
+    transport = LiveTransport(clock, {"b": address}, kind="uds")
+    node = LiveNode(clock, transport, "b", processing_delay=0.0)
+    delivered = []
+    node.register_handler("ping", lambda msg: delivered.append(msg.payload))
+
+    async def _go():
+        await transport.start()
+
+        # 1. a frame header claiming >16 MiB: refused before any read
+        reader, writer = await asyncio.open_unix_connection(address)
+        writer.write(struct.pack(">I", wire.MAX_FRAME_BYTES + 1))
+        await writer.drain()
+        assert await asyncio.wait_for(reader.read(), timeout=5.0) == b""
+        writer.close()
+
+        # 2. a malformed body on a fresh connection: same fate
+        reader, writer = await asyncio.open_unix_connection(address)
+        body = b"\xff\xfe definitely not a tagged-JSON envelope"
+        writer.write(struct.pack(">I", len(body)) + body)
+        await writer.drain()
+        assert await asyncio.wait_for(reader.read(), timeout=5.0) == b""
+        writer.close()
+
+        # 3. the server is still alive: a well-formed frame delivers
+        reader, writer = await asyncio.open_unix_connection(address)
+        writer.write(wire.encode_envelope("a", "b", "conformance", "ping",
+                                          {"ok": True}, 64, 0.0))
+        await writer.drain()
+        await asyncio.sleep(0.2)
+        writer.close()
+        await transport.stop()
+
+    try:
+        loop.run_until_complete(_go())
+    finally:
+        loop.close()
+    assert transport.stats.drop_reasons["frame-error"] == 2
+    assert delivered == [{"ok": True}]

@@ -12,17 +12,26 @@ tight enough to catch contract violations:
   frame codec and a real socket),
 * sending to a *never-registered* id raises ``KeyError`` (wiring bug),
   while a *known-but-crashed* destination is a counted drop,
+* the full crash-stop cycle: deliver → fail (sends become counted drops,
+  periodic timers freeze) → recover (delivery and timers resume),
 * RPC request/response, remote error, and timeout behaviour,
 * periodic timer stop → no ticks while stopped → start resumes
   (the restartable-timer contract protocol code relies on).
+
+Live-only hardening (no sim counterpart) is covered at the end: bounded
+per-peer send queues with ``queue-overflow`` eviction, heartbeat liveness
+probing, and :class:`BackoffPolicy` determinism.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 
 import pytest
 
+from repro.live.backoff import (DEFAULT_CONNECT, DEFAULT_RECONNECT,
+                                BackoffPolicy)
 from repro.live.clock import LiveClock
 from repro.live.node import LiveNode
 from repro.live.scenario import make_addresses
@@ -189,6 +198,41 @@ def test_send_to_crashed_node_is_a_counted_drop(harness_factory):
     assert h.dropped() >= 1
 
 
+def test_crash_stop_fail_recover_cycle(harness_factory):
+    """The full crash-stop contract, one body for all three backends:
+    deliver → fail (send becomes a counted drop, the victim's periodic
+    timer freezes) → recover (delivery and the timer resume)."""
+    h = harness_factory()
+    a, b = h.nodes["a"], h.nodes["b"]
+    received = []
+    ticks = []
+    marks = {}
+    b.register_handler("ping", lambda msg: received.append(msg.payload))
+    b.call_every(0.1, lambda: ticks.append(1), label="victim-rounds")
+
+    h.at(0.2, lambda: a.send("b", protocol="conformance", msg_type="ping",
+                             payload="before"))
+    h.at(0.5, lambda: (b.fail(),
+                       marks.__setitem__("ticks_at_fail", len(ticks)),
+                       marks.__setitem__("drops_at_fail", h.dropped())))
+    h.at(0.8, lambda: a.send("b", protocol="conformance", msg_type="ping",
+                             payload="while-down"))
+    h.at(1.2, lambda: (marks.__setitem__("ticks_while_down", len(ticks)),
+                       b.recover()))
+    h.at(1.6, lambda: a.send("b", protocol="conformance", msg_type="ping",
+                             payload="after"))
+    h.run(2.4)
+
+    # Delivered before the crash and after the recovery, never in between.
+    assert received == ["before", "after"]
+    # The while-down send degraded to a counted drop, not an error.
+    assert h.dropped() > marks["drops_at_fail"]
+    # The victim's periodic protocol froze while dead and resumed after.
+    assert marks["ticks_at_fail"] >= 2
+    assert marks["ticks_while_down"] == marks["ticks_at_fail"]
+    assert len(ticks) >= marks["ticks_while_down"] + 2
+
+
 # --------------------------------------------------------------------------
 # RPC
 # --------------------------------------------------------------------------
@@ -286,3 +330,140 @@ def test_call_every_jitter_and_stop(harness_factory):
     assert len(plain) >= 3
     # No tick arrived between the stop and the frozen marker.
     assert frozen[0][1] == len(plain)
+
+
+# --------------------------------------------------------------------------
+# live-only hardening: bounded queues, heartbeat liveness, backoff policies
+# --------------------------------------------------------------------------
+
+def test_bounded_queue_evicts_oldest_as_counted_overflow(tmp_path):
+    """While a peer is down, the per-peer send queue stays bounded: each
+    send beyond ``max_queue_frames`` evicts the oldest queued frame as a
+    counted ``queue-overflow`` drop, so memory is flat in outage length."""
+    loop = asyncio.new_event_loop()
+    addresses = {"a": str(tmp_path / "a.sock"),
+                 "ghost": str(tmp_path / "ghost.sock")}  # never listens
+    clock = LiveClock(seed=1, loop=loop)
+    transport = LiveTransport(
+        clock, addresses, kind="uds", max_queue_frames=4,
+        connect_backoff=BackoffPolicy(base=0.05, cap=0.1, multiplier=2.0,
+                                      jitter=0.0, max_elapsed=60.0))
+    node = LiveNode(clock, transport, "a", processing_delay=0.0)
+
+    async def _go():
+        await transport.start()
+        # No awaits between sends: all twelve enqueue before the sender
+        # task gets a chance to run, so eviction counts are deterministic.
+        for i in range(12):
+            node.send("ghost", protocol="conformance", msg_type="x",
+                      payload=i)
+        assert transport.stats.drop_reasons["queue-overflow"] == 8
+        await asyncio.sleep(0.2)
+        # The sender holds at most one frame while it dials; the queue
+        # never outgrew the bound.
+        assert len(transport._peers["ghost"].frames) <= 4
+        await transport.stop()
+
+    try:
+        loop.run_until_complete(_go())
+    finally:
+        loop.close()
+    # Every frame was counted sent exactly once, evictions only add drops.
+    assert transport.stats.sent["conformance"] == 12
+    assert transport.stats.drop_reasons["queue-overflow"] == 8
+
+
+def test_heartbeat_marks_peer_down_then_recovered(tmp_path):
+    """Liveness probing: a peer that never answers is declared down after
+    ``heartbeat_misses`` failed probes (sends to it become immediate
+    ``dst-down`` drops, ``peer_failed`` fires); one successful probe marks
+    it back up and fires ``peer_recovered``."""
+    loop = asyncio.new_event_loop()
+    addresses = make_addresses(["a", "b"], "uds", str(tmp_path))
+    clock_a = LiveClock(seed=1, loop=loop)
+    transport_a = LiveTransport(clock_a, addresses, kind="uds",
+                                heartbeat_period=0.05, heartbeat_misses=2)
+    a = LiveNode(clock_a, transport_a, "a", processing_delay=0.0)
+    liveness = []
+    peer_events = []
+    transport_a.liveness_hooks.append(
+        lambda peer, alive: liveness.append((peer, alive)))
+    a.peer_fail_hooks.append(lambda peer: peer_events.append(("fail", peer)))
+    a.peer_recover_hooks.append(
+        lambda peer: peer_events.append(("recover", peer)))
+
+    async def _go():
+        await transport_a.start()
+        transport_a.start_heartbeats()
+        await asyncio.sleep(0.6)
+        assert "b" in transport_a.down_peers
+        a.send("b", protocol="conformance", msg_type="ping")
+        assert transport_a.stats.drop_reasons["dst-down"] >= 1
+
+        # Bring b up: the next probe connects and the peer is back.
+        clock_b = LiveClock(seed=2, loop=loop)
+        transport_b = LiveTransport(clock_b, addresses, kind="uds")
+        LiveNode(clock_b, transport_b, "b", processing_delay=0.0)
+        await transport_b.start()
+        await asyncio.sleep(0.6)
+        assert "b" not in transport_a.down_peers
+        await transport_a.stop()
+        await transport_b.stop()
+
+    try:
+        loop.run_until_complete(_go())
+    finally:
+        loop.close()
+    assert ("b", False) in liveness and ("b", True) in liveness
+    assert ("fail", "b") in peer_events and ("recover", "b") in peer_events
+
+
+class TestBackoffPolicy:
+    def test_same_seed_replays_the_same_schedule(self):
+        policy = BackoffPolicy(base=0.05, cap=1.0, multiplier=2.0,
+                               jitter=0.5, max_elapsed=None)
+        first = list(itertools.islice(policy.delays(seed=42), 8))
+        again = list(itertools.islice(policy.delays(seed=42), 8))
+        other = list(itertools.islice(policy.delays(seed=43), 8))
+        assert first == again
+        assert first != other
+
+    def test_zero_jitter_is_the_exact_capped_exponential(self):
+        policy = BackoffPolicy(base=0.1, cap=0.8, multiplier=2.0,
+                               jitter=0.0, max_elapsed=None)
+        assert list(itertools.islice(policy.delays(seed=0), 5)) == \
+            [0.1, 0.2, 0.4, 0.8, 0.8]
+
+    def test_jitter_stays_within_the_band_and_under_the_cap(self):
+        policy = BackoffPolicy(base=0.1, cap=0.4, multiplier=2.0,
+                               jitter=0.25, max_elapsed=None)
+        nominal = [0.1, 0.2, 0.4, 0.4, 0.4, 0.4]
+        for delay, base in zip(itertools.islice(policy.delays(seed=7), 6),
+                               nominal):
+            assert 0.75 * base <= delay <= 1.25 * base
+
+    def test_validation_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(base=1.0, cap=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy(max_elapsed=0.0)
+
+    def test_from_env_overrides_and_infinite_window(self, monkeypatch):
+        monkeypatch.setenv("CONF_TEST_BASE", "0.25")
+        monkeypatch.setenv("CONF_TEST_WINDOW", "inf")
+        policy = BackoffPolicy.from_env("CONF_TEST", DEFAULT_CONNECT)
+        assert policy.base == 0.25
+        assert policy.max_elapsed is None
+        assert policy.cap == DEFAULT_CONNECT.cap
+
+    def test_defaults_match_the_documented_disciplines(self):
+        # first connect gives up (peers are expected to come up);
+        # reconnect never does (a supervised restart may arrive any time)
+        assert DEFAULT_CONNECT.max_elapsed is not None
+        assert DEFAULT_RECONNECT.max_elapsed is None
